@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: standard flags,
+ * suite runners with progress output, and the metric extractors the
+ * paper's figures report.
+ */
+
+#pragma once
+
+#include <iostream>
+
+#include "harness/cli.hh"
+#include "harness/report.hh"
+
+namespace smartref::bench {
+
+/** Run the 32-benchmark suite on a conventional module. */
+inline std::vector<ComparisonResult>
+conventionalSuite(const CliArgs &args, const DramConfig &dram,
+                  double absRowScale = 1.0)
+{
+    ExperimentOptions opts = args.experimentOptions();
+    std::cerr << "running 32 benchmarks on " << dram.name << " (warmup "
+              << opts.warmup / kMillisecond << " ms, measure "
+              << opts.measure / kMillisecond << " ms)..." << std::endl;
+    std::vector<ComparisonResult> results;
+    for (const auto &profile : allProfiles()) {
+        std::cerr << "  " << profile.name << std::flush;
+        results.push_back(
+            compareConventional(profile, dram, opts, absRowScale));
+        std::cerr << " [" << fmtPercent(results.back().refreshReduction())
+                  << "]" << std::endl;
+    }
+    checkNoViolations(results);
+    return results;
+}
+
+/** Run the 32-benchmark suite through the 3D DRAM cache. */
+inline std::vector<ComparisonResult>
+threeDSuite(const CliArgs &args, const DramConfig &threeD)
+{
+    ExperimentOptions opts = args.experimentOptions();
+    std::cerr << "running 32 benchmarks on " << threeD.name << " (warmup "
+              << opts.warmup / kMillisecond << " ms, measure "
+              << opts.measure / kMillisecond << " ms)..." << std::endl;
+    std::vector<ComparisonResult> results;
+    for (const auto &profile : allProfiles()) {
+        std::cerr << "  " << profile.name << std::flush;
+        results.push_back(compareThreeD(profile, threeD, opts));
+        std::cerr << " [" << fmtPercent(results.back().refreshReduction())
+                  << "]" << std::endl;
+    }
+    checkNoViolations(results);
+    return results;
+}
+
+/** @name Figure metric extractors. */
+///@{
+inline double
+refreshEnergySaving(const ComparisonResult &r)
+{
+    return r.refreshEnergySaving();
+}
+
+inline double
+totalEnergySaving(const ComparisonResult &r)
+{
+    return r.totalEnergySaving();
+}
+
+inline double
+perfImprovement(const ComparisonResult &r)
+{
+    return r.perfImprovement();
+}
+///@}
+
+} // namespace smartref::bench

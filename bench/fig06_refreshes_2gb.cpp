@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 6: refresh operations per second, 2 GB DDR2, 64 ms retention.
+ * Paper: baseline 2,048,000/s; Smart GMEAN 691,435/s; reductions range
+ * from 26 % (fasta) to 85.7 % (water-spatial), average 59.3 %.
+ */
+
+#include "bench_common.hh"
+
+using namespace smartref;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const DramConfig dram = ddr2_2GB();
+    const auto results = bench::conventionalSuite(args, dram);
+    printRefreshRateFigure(
+        std::cout, "Figure 6: refreshes per second (2 GB DRAM)",
+        "baseline 2,048,000/s, GMEAN 691,435/s, reductions 26%..85.7%",
+        dram.baselineRefreshesPerSecond(), results, args.csvPath());
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 7: relative refresh energy savings, 2 GB DDR2.
+ * Paper: savings 25 % (gcc) to 79 % (radix), GMEAN 52.57 %. The Smart
+ * side is charged its RAS-only bus energy and counter SRAM energy.
+ */
+
+#include "bench_common.hh"
+
+using namespace smartref;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto results = bench::conventionalSuite(args, ddr2_2GB());
+    printFigure(std::cout,
+                "Figure 7: relative refresh energy savings (2 GB DRAM)",
+                "savings 25% (gcc) .. 79% (radix), GMEAN 52.57%", results,
+                "refresh energy saving", bench::refreshEnergySaving, true,
+                args.csvPath());
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 8: relative total DRAM energy savings, 2 GB DDR2.
+ * Paper: up to 25 % (perl_twolf), GMEAN 12.13 %. Counter and bus
+ * overheads are included in the Smart side's total.
+ */
+
+#include "bench_common.hh"
+
+using namespace smartref;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto results = bench::conventionalSuite(args, ddr2_2GB());
+    printFigure(std::cout,
+                "Figure 8: relative total DRAM energy savings (2 GB DRAM)",
+                "up to 25% (perl_twolf), GMEAN 12.13%", results,
+                "total energy saving", bench::totalEnergySaving, true,
+                args.csvPath());
+    return 0;
+}

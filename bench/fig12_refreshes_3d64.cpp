@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 12: refresh operations per second, 64 MB 3D DRAM cache, 64 ms.
+ * Paper: baseline 1,024,000/s, Smart GMEAN 795,411/s; reductions range
+ * from 4 % (fasta) to 42 % (mummer).
+ */
+
+#include "bench_common.hh"
+
+using namespace smartref;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const DramConfig threeD = dram3d_64MB();
+    const auto results = bench::threeDSuite(args, threeD);
+    printRefreshRateFigure(
+        std::cout,
+        "Figure 12: refreshes per second (64 MB 3D DRAM cache, 64 ms)",
+        "baseline 1,024,000/s, GMEAN 795,411/s, reductions 4%..42%",
+        threeD.baselineRefreshesPerSecond(), results, args.csvPath());
+    return 0;
+}

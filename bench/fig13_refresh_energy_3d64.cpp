@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 13: relative refresh energy savings, 64 MB 3D cache, 64 ms.
+ * Paper: 7 % (fasta) to 42 % (clustalw/mummer), GMEAN 21.91 %.
+ */
+
+#include "bench_common.hh"
+
+using namespace smartref;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto results = bench::threeDSuite(args, dram3d_64MB());
+    printFigure(
+        std::cout,
+        "Figure 13: relative refresh energy savings (3D 64 MB, 64 ms)",
+        "savings 7%..42%, GMEAN 21.91%", results, "refresh energy saving",
+        bench::refreshEnergySaving, true, args.csvPath());
+    return 0;
+}

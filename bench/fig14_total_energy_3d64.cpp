@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 14: relative total energy savings, 64 MB 3D cache, 64 ms.
+ * Paper: up to 21.5 % (gcc_twolf), GMEAN 9.37 %; two-process runs save
+ * more because interleaved footprints touch more distinct rows.
+ */
+
+#include "bench_common.hh"
+
+using namespace smartref;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto results = bench::threeDSuite(args, dram3d_64MB());
+    printFigure(std::cout,
+                "Figure 14: relative total energy savings (3D 64 MB, 64 ms)",
+                "up to 21.5% (gcc_twolf), GMEAN 9.37%", results,
+                "total energy saving", bench::totalEnergySaving, true,
+                args.csvPath());
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 16: relative refresh energy savings, 64 MB 3D cache, 32 ms.
+ * Paper: GMEAN 15.79 % — trends mirror the 64 ms case at lower levels.
+ */
+
+#include "bench_common.hh"
+
+using namespace smartref;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const auto results = bench::threeDSuite(args, dram3d_64MB_32ms());
+    printFigure(
+        std::cout,
+        "Figure 16: relative refresh energy savings (3D 64 MB, 32 ms)",
+        "GMEAN 15.79%", results, "refresh energy saving",
+        bench::refreshEnergySaving, true, args.csvPath());
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks for the hot components: counter
+ * array operations, the stagger walk, address mapping, cache lookups,
+ * event-queue throughput and device command issue. These bound the
+ * simulator's own performance (simulated-seconds-per-wall-second) and
+ * catch regressions in the inner loops.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/counter_array.hh"
+#include "core/stagger_scheduler.hh"
+#include "ctrl/address_mapper.hh"
+#include "dram/dram_module.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace smartref;
+
+namespace {
+
+void
+BM_CounterArrayTouch(benchmark::State &state)
+{
+    CounterArray counters(131072, 3);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(counters.touch(i));
+        i = (i + 1) & 131071;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterArrayTouch);
+
+void
+BM_CounterArrayReset(benchmark::State &state)
+{
+    CounterArray counters(131072, 3);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        counters.reset(i);
+        i = (i + 7919) & 131071;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterArrayReset);
+
+void
+BM_StaggerStep(benchmark::State &state)
+{
+    CounterArray counters(131072, 3);
+    StaggerScheduler stagger(counters, 8, 64 * kMillisecond);
+    stagger.initialiseStaggered();
+    std::uint64_t expired = 0;
+    for (auto _ : state)
+        stagger.step([&](std::uint64_t) { ++expired; });
+    benchmark::DoNotOptimize(expired);
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_StaggerStep);
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    AddressMapper mapper(ddr2_2GB().org);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.decode(addr));
+        addr += 4093;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_AddressRoundTrip(benchmark::State &state)
+{
+    AddressMapper mapper(ddr2_2GB().org);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.encode(mapper.decode(addr)));
+        addr += 8191;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressRoundTrip);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    StatGroup root("root");
+    CacheConfig cfg;
+    cfg.sizeBytes = 1 * kMiB;
+    cfg.assoc = 8;
+    Cache cache(cfg, &root);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBelow(4 * kMiB), false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(i, [&sum, i] { sum += i; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    Rng rng(9);
+    ZipfSampler zipf(131072, 0.9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_DramRowCycle(benchmark::State &state)
+{
+    // One full ACT -> RD -> PRE row cycle on the device model.
+    EventQueue eq;
+    DramConfig cfg = ddr2_2GB();
+    DramModule dram(cfg, eq);
+    std::uint32_t row = 0;
+    for (auto _ : state) {
+        DramCommand act{DramCommandType::Activate, 0, 0, row, 0};
+        eq.runUntil(std::max(eq.now(), dram.earliestIssue(act)));
+        dram.issue(act);
+        DramCommand rd{DramCommandType::Read, 0, 0, row, 0};
+        eq.runUntil(std::max(eq.now(), dram.earliestIssue(rd)));
+        dram.issue(rd);
+        DramCommand pre{DramCommandType::Precharge, 0, 0, 0, 0};
+        eq.runUntil(std::max(eq.now(), dram.earliestIssue(pre)));
+        dram.issue(pre);
+        row = (row + 1) % cfg.org.rows;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramRowCycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tables 1 and 2: the DRAM module and 3D DRAM cache configurations, plus
+ * the Section 4.7 counter area overhead for each (48 KB for the 2 GB
+ * module with 3-bit counters; 768 KB for a 32 GB-capable controller).
+ */
+
+#include <iostream>
+
+#include "core/counter_array.hh"
+#include "harness/report.hh"
+#include "harness/system.hh"
+
+using namespace smartref;
+
+namespace {
+
+void
+printConfig(const DramConfig &cfg, std::uint32_t counterBits)
+{
+    const auto &o = cfg.org;
+    ReportTable t({"parameter", "value"});
+    t.addRow({"name", cfg.name});
+    t.addRow({"capacity",
+              fmtDouble(static_cast<double>(o.capacityBytes()) /
+                            static_cast<double>(kMiB),
+                        0) +
+                  " MiB"});
+    t.addRow({"ranks", std::to_string(o.ranks)});
+    t.addRow({"banks/rank", std::to_string(o.banks)});
+    t.addRow({"rows/bank", std::to_string(o.rows)});
+    t.addRow({"columns/row", std::to_string(o.columns)});
+    t.addRow({"data width (bits)", std::to_string(o.dataWidthBits)});
+    t.addRow({"refresh interval (ms)",
+              std::to_string(cfg.timing.retention / kMillisecond)});
+    t.addRow({"refresh targets (rank x bank x row)",
+              std::to_string(o.totalRows())});
+    t.addRow({"baseline refreshes/s",
+              fmtMillions(cfg.baselineRefreshesPerSecond()) + " M"});
+    t.addRow({"counter area (Section 4.7)",
+              fmtDouble(counterAreaKB(o.banks, o.ranks, o.rows,
+                                      counterBits),
+                        1) +
+                  " KB (" + std::to_string(counterBits) + "-bit)"});
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table 1: conventional DRAM module configurations "
+                 "===\n\n";
+    printConfig(ddr2_2GB(), 3);
+    printConfig(ddr2_4GB(), 3);
+
+    std::cout << "=== Table 2: 3D DRAM cache configurations ===\n\n";
+    printConfig(dram3d_64MB(), 3);
+    printConfig(dram3d_64MB_32ms(), 3);
+    printConfig(dram3d_32MB(), 3);
+
+    // Section 4.7 checks quoted in the text.
+    std::cout << "Section 4.7 anchors:\n"
+              << "  2 GB module, 3-bit counters: "
+              << counterAreaKB(4, 2, 16384, 3)
+              << " KB (paper: 48 KB)\n"
+              << "  32 GB-capable controller:    "
+              << counterAreaKB(4, 2, 16384, 3) * 16
+              << " KB (paper: 768 KB)\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 3: the bus-energy model parameters and the per-access energy
+ * they produce (paper Section 6). This is the RAS-only refresh overhead
+ * that Smart Refresh pays per refresh it still issues.
+ */
+
+#include <iostream>
+
+#include "ctrl/bus_energy_model.hh"
+#include "harness/report.hh"
+#include "harness/system.hh"
+
+using namespace smartref;
+
+int
+main()
+{
+    std::cout << "=== Table 3: bus energy model parameters ===\n\n";
+
+    const BusEnergyParams base{};
+    ReportTable t({"parameter", "value"});
+    t.addRow({"on-chip length", fmtDouble(base.onChipLengthMm, 0) + " mm"});
+    t.addRow(
+        {"off-chip length", fmtDouble(base.offChipLengthMm, 0) + " mm"});
+    t.addRow({"on-chip wire capacitance",
+              fmtDouble(base.onChipCapPfPerMm, 2) + " pF/mm"});
+    t.addRow({"off-chip wire capacitance",
+              fmtDouble(base.offChipCapPfPerMm, 2) + " pF/mm"});
+    t.addRow({"module input capacitance",
+              fmtDouble(base.moduleInputCapPf, 1) + " pF"});
+    t.addRow({"VDD", fmtDouble(base.vdd, 1) + " V"});
+    t.print(std::cout);
+
+    std::cout << "\nderived per-access energies (C = 1.3 x Cload):\n";
+    StatGroup root("table3");
+    for (const DramConfig &cfg : {ddr2_2GB(), ddr2_4GB()}) {
+        BusEnergyModel bus(deriveBusParams(base, cfg.org), &root);
+        std::cout << "  " << cfg.name << ": wire C = "
+                  << fmtDouble(bus.wireCapacitance() * 1e12, 2)
+                  << " pF, address width = "
+                  << deriveBusParams(base, cfg.org).busWidthBits
+                  << " bits, energy = "
+                  << fmtDouble(bus.energyPerAccess() * 1e9, 3)
+                  << " nJ per posted refresh address\n";
+    }
+    return 0;
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure and ablation, writing console
+# output and per-figure CSVs into results/.
+#
+# Usage: scripts/run_all_figures.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+run() {
+    local name="$1"
+    echo "=== $name ==="
+    if "$BUILD/bench/$name" --csv "$OUT/$name.csv" 2>"$OUT/$name.log"; then
+        :
+    else
+        # Table printers and some ablations take no --csv flag.
+        "$BUILD/bench/$name" 2>>"$OUT/$name.log"
+    fi
+}
+
+for b in table1_configs table3_bus_energy \
+         fig06_refreshes_2gb fig07_refresh_energy_2gb \
+         fig08_total_energy_2gb fig09_refreshes_4gb \
+         fig10_refresh_energy_4gb fig11_total_energy_4gb \
+         fig12_refreshes_3d64 fig13_refresh_energy_3d64 \
+         fig14_total_energy_3d64 fig15_refreshes_3d32 \
+         fig16_refresh_energy_3d32 fig17_total_energy_3d32 \
+         fig18_performance_3d32 \
+         ablation_counter_bits ablation_idle_disable \
+         ablation_queue_stress ablation_page_policy ablation_thermal \
+         ablation_retention_aware ablation_cpu_timing; do
+    run "$b"
+done | tee "$OUT/all_figures.txt"
+
+echo "done; outputs in $OUT/"

@@ -1,0 +1,130 @@
+#include "cache/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+Cache::Cache(const CacheConfig &cfg, StatGroup *parent)
+    : StatGroup("cache." + cfg.name, parent),
+      cfg_(cfg),
+      sets_(cfg.numSets()),
+      lines_(std::size_t(sets_) * cfg.assoc),
+      repl_(ReplacementPolicy::create(cfg.replacement, sets_, cfg.assoc,
+                                      cfg.seed)),
+      hits_(this, "hits", "cache hits"),
+      misses_(this, "misses", "cache misses"),
+      writebacks_(this, "writebacks", "dirty victim writebacks")
+{
+    SMARTREF_ASSERT(sets_ > 0, "cache '", cfg.name, "' has zero sets");
+    SMARTREF_ASSERT((cfg.lineSize & (cfg.lineSize - 1)) == 0,
+                    "line size must be a power of two");
+    SMARTREF_ASSERT((sets_ & (sets_ - 1)) == 0,
+                    "set count must be a power of two");
+}
+
+std::uint32_t
+Cache::setOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr / cfg_.lineSize) % sets_);
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return addr / cfg_.lineSize / sets_;
+}
+
+Addr
+Cache::lineAddr(std::uint64_t tag, std::uint32_t set) const
+{
+    return (tag * sets_ + set) * cfg_.lineSize;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool write)
+{
+    const std::uint32_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const std::size_t base = std::size_t(set) * cfg_.assoc;
+
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            ++hits_;
+            line.dirty = line.dirty || write;
+            repl_->onAccess(set, w);
+            return CacheAccessResult{true, false, 0};
+        }
+    }
+
+    ++misses_;
+    // Prefer an invalid way; otherwise consult the replacement policy.
+    std::uint32_t way = cfg_.assoc;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        if (!lines_[base + w].valid) {
+            way = w;
+            break;
+        }
+    }
+
+    CacheAccessResult result;
+    if (way == cfg_.assoc) {
+        way = repl_->victim(set);
+        Line &victim = lines_[base + way];
+        if (victim.dirty) {
+            ++writebacks_;
+            result.writebackVictim = true;
+            result.victimAddr = lineAddr(victim.tag, set);
+        }
+    }
+
+    Line &line = lines_[base + way];
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = write;
+    repl_->onFill(set, way);
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint32_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const std::size_t base = std::size_t(set) * cfg_.assoc;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const std::uint32_t set = setOf(addr);
+    const std::uint64_t tag = tagOf(addr);
+    const std::size_t base = std::size_t(set) * cfg_.assoc;
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            const bool wasDirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return wasDirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace smartref

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A generic set-associative write-back cache model (tags only).
+ *
+ * The cache is functional: it tracks which lines are present and dirty
+ * and reports hits, misses and victim writebacks; it does not store data
+ * payloads. Latency is a fixed per-level constant composed by the system
+ * model. This mirrors the role Ruby played in the paper's setup — a
+ * hierarchy filter in front of the DRAM simulator.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "L2";
+    std::uint64_t sizeBytes = 1 * kMiB;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineSize = 64;
+    ReplacementKind replacement = ReplacementKind::Lru;
+    Tick hitLatency = 6 * kNanosecond;
+    std::uint64_t seed = 1;
+
+    std::uint32_t
+    numSets() const
+    {
+        return static_cast<std::uint32_t>(sizeBytes / lineSize / assoc);
+    }
+};
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** On a miss with a dirty victim: its line-aligned address. */
+    bool writebackVictim = false;
+    Addr victimAddr = 0;
+};
+
+/** Tag-array model of a set-associative cache. */
+class Cache : public StatGroup
+{
+  public:
+    Cache(const CacheConfig &cfg, StatGroup *parent);
+
+    /**
+     * Access (and on miss, allocate) a line.
+     * @param addr  byte address
+     * @param write marks the line dirty on hit or fill
+     */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate a line if present; @return true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Drop all lines (no writebacks generated). */
+    void flush();
+
+    const CacheConfig &config() const { return cfg_; }
+
+    /** @name Statistics. */
+    ///@{
+    std::uint64_t hits() const { return asU64(hits_); }
+    std::uint64_t misses() const { return asU64(misses_); }
+    std::uint64_t writebacks() const { return asU64(writebacks_); }
+    double
+    hitRate() const
+    {
+        const double total = hits_.value() + misses_.value();
+        return total > 0.0 ? hits_.value() / total : 0.0;
+    }
+    ///@}
+
+  private:
+    static std::uint64_t
+    asU64(const Scalar &s)
+    {
+        return static_cast<std::uint64_t>(s.value());
+    }
+
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint32_t setOf(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    Addr lineAddr(std::uint64_t tag, std::uint32_t set) const;
+
+    CacheConfig cfg_;
+    std::uint32_t sets_;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+
+    Scalar hits_;
+    Scalar misses_;
+    Scalar writebacks_;
+};
+
+} // namespace smartref

@@ -1,0 +1,46 @@
+#include "cache/cache_hierarchy.hh"
+
+namespace smartref {
+
+CacheHierarchy::CacheHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                               StatGroup *parent)
+    : StatGroup("hierarchy", parent),
+      l1_(l1, this),
+      l2_(l2, this),
+      accesses_(this, "accesses", "CPU-side accesses"),
+      memAccesses_(this, "memAccesses", "accesses reaching memory")
+{
+}
+
+HierarchyResult
+CacheHierarchy::access(Addr addr, bool write)
+{
+    ++accesses_;
+    HierarchyResult result;
+    result.cacheLatency = l1_.config().hitLatency;
+
+    const CacheAccessResult r1 = l1_.access(addr, write);
+    if (r1.hit) {
+        result.hitLevel = 1;
+        return result;
+    }
+    // L1 dirty victim is absorbed by L2 (write-allocate there).
+    if (r1.writebackVictim)
+        l2_.access(r1.victimAddr, true);
+
+    result.cacheLatency += l2_.config().hitLatency;
+    const CacheAccessResult r2 = l2_.access(addr, write);
+    if (r2.hit) {
+        result.hitLevel = 2;
+        return result;
+    }
+
+    result.hitLevel = 0;
+    ++memAccesses_;
+    result.memOps.push_back({addr, false}); // demand fill read
+    if (r2.writebackVictim)
+        result.memOps.push_back({r2.victimAddr, true});
+    return result;
+}
+
+} // namespace smartref

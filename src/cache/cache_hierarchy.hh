@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A two-level (L1 + L2) cache hierarchy filter.
+ *
+ * CPU-side accesses filter through L1 then L2; only L2 misses (and dirty
+ * L2 victim writebacks) reach memory. The hierarchy is inclusive-enough
+ * for traffic purposes: L1 victims that are dirty are written through to
+ * L2 (allocating there), and L2 evictions do not back-invalidate L1 —
+ * a simplification that only affects traffic second-order.
+ */
+
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "cache/cache.hh"
+#include "sim/stats.hh"
+
+namespace smartref {
+
+/** Result of a hierarchy access. */
+struct HierarchyResult
+{
+    /** 1 = L1 hit, 2 = L2 hit, 0 = miss to memory. */
+    int hitLevel = 0;
+    /** Total cache-lookup latency accumulated. */
+    Tick cacheLatency = 0;
+    /** Memory accesses generated: the demand fill and any writebacks. */
+    struct MemOp
+    {
+        Addr addr;
+        bool write;
+    };
+    std::vector<MemOp> memOps;
+};
+
+/** L1 + L2 filter in front of the memory controller. */
+class CacheHierarchy : public StatGroup
+{
+  public:
+    CacheHierarchy(const CacheConfig &l1, const CacheConfig &l2,
+                   StatGroup *parent);
+
+    /** Run one CPU access through the hierarchy. */
+    HierarchyResult access(Addr addr, bool write);
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+
+    double
+    memoryAccessFraction() const
+    {
+        const double total = accesses_.value();
+        return total > 0.0 ? memAccesses_.value() / total : 0.0;
+    }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+    Scalar accesses_;
+    Scalar memAccesses_;
+};
+
+} // namespace smartref

@@ -1,0 +1,55 @@
+#include "cache/cmp_hierarchy.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+CmpHierarchy::CmpHierarchy(std::uint32_t numCores, const CacheConfig &l1,
+                           const CacheConfig &l2, StatGroup *parent)
+    : StatGroup("cmpHierarchy", parent),
+      l2_(l2, this),
+      accesses_(this, "accesses", "CPU-side accesses"),
+      memAccesses_(this, "memAccesses", "accesses reaching memory")
+{
+    SMARTREF_ASSERT(numCores > 0, "need at least one core");
+    for (std::uint32_t c = 0; c < numCores; ++c) {
+        CacheConfig cfg = l1;
+        cfg.name = l1.name + std::to_string(c);
+        cfg.seed = l1.seed + c;
+        l1s_.push_back(std::make_unique<Cache>(cfg, this));
+    }
+}
+
+HierarchyResult
+CmpHierarchy::access(std::uint32_t core, Addr addr, bool write)
+{
+    SMARTREF_ASSERT(core < l1s_.size(), "core ", core, " out of range");
+    ++accesses_;
+    Cache &l1 = *l1s_[core];
+
+    HierarchyResult result;
+    result.cacheLatency = l1.config().hitLatency;
+    const CacheAccessResult r1 = l1.access(addr, write);
+    if (r1.hit) {
+        result.hitLevel = 1;
+        return result;
+    }
+    if (r1.writebackVictim)
+        l2_.access(r1.victimAddr, true);
+
+    result.cacheLatency += l2_.config().hitLatency;
+    const CacheAccessResult r2 = l2_.access(addr, write);
+    if (r2.hit) {
+        result.hitLevel = 2;
+        return result;
+    }
+
+    result.hitLevel = 0;
+    ++memAccesses_;
+    result.memOps.push_back({addr, false});
+    if (r2.writebackVictim)
+        result.memOps.push_back({r2.victimAddr, true});
+    return result;
+}
+
+} // namespace smartref

@@ -1,0 +1,103 @@
+#include "cache/dram_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+DramCache::DramCache(MemoryController &dataCtrl, MemoryController &mainMem,
+                     const DramCacheConfig &cfg, EventQueue &eq,
+                     StatGroup *parent)
+    : StatGroup("dramCache", parent),
+      dataCtrl_(dataCtrl),
+      mainMem_(mainMem),
+      cfg_(cfg),
+      eq_(eq),
+      numLines_(dataCtrl.dram().config().org.capacityBytes() /
+                cfg.lineSize),
+      tags_(numLines_),
+      tagSram_(static_cast<double>(numLines_) * cfg.tagBytesPerEntry /
+                   1024.0,
+               cfg.tagSram, this),
+      accesses_(this, "accesses", "demand accesses"),
+      hits_(this, "hits", "tag hits"),
+      misses_(this, "misses", "tag misses"),
+      writebacks_(this, "writebacks", "dirty victim writebacks"),
+      fills_(this, "fills", "lines filled from main memory"),
+      latency_(this, "latency", "demand latency through the cache (ticks)",
+               0.0, 2.0e6, 64),
+      latencySum_(this, "latencySum", "sum of demand latencies (ticks)")
+{
+    SMARTREF_ASSERT(numLines_ > 0, "cache smaller than one line");
+}
+
+void
+DramCache::access(Addr addr, bool write, MemCallback cb)
+{
+    ++accesses_;
+    const Tick arrival = eq_.now();
+    const std::uint64_t lineNo = addr / cfg_.lineSize;
+    const std::uint64_t index = lineNo % numLines_;
+    const std::uint64_t tag = lineNo / numLines_;
+    const Addr lineInCache = index * cfg_.lineSize;
+    const Addr offset = addr % cfg_.lineSize;
+
+    tagSram_.recordTraffic(1, 0); // lookup
+
+    auto complete = [this, arrival, cb = std::move(cb)](
+                        const MemRequest &req, Tick done) {
+        const Tick lat = done - arrival;
+        latency_.sample(static_cast<double>(lat));
+        latencySum_ += static_cast<double>(lat);
+        if (cb)
+            cb(req, done);
+    };
+
+    TagEntry &entry = tags_[index];
+    if (entry.valid && entry.tag == tag) {
+        ++hits_;
+        if (write) {
+            entry.dirty = true;
+            tagSram_.recordTraffic(0, 1);
+        }
+        // Data lives in the stacked DRAM: hit becomes a 3D access.
+        eq_.scheduleAfter(cfg_.tagLatency,
+                          [this, lineInCache, offset, write,
+                           complete]() mutable {
+            dataCtrl_.access(lineInCache + offset, write,
+                             std::move(complete));
+        });
+        return;
+    }
+
+    // Miss: evict (writeback if dirty), fetch from main memory, fill.
+    ++misses_;
+    if (entry.valid && entry.dirty) {
+        ++writebacks_;
+        const Addr victimAddr =
+            (entry.tag * numLines_ + index) * cfg_.lineSize;
+        eq_.scheduleAfter(cfg_.tagLatency, [this, victimAddr]() {
+            mainMem_.access(victimAddr, true);
+        });
+    }
+    entry.valid = true;
+    entry.tag = tag;
+    entry.dirty = write;
+    tagSram_.recordTraffic(0, 1);
+
+    eq_.scheduleAfter(cfg_.tagLatency,
+                      [this, addr, lineInCache, complete]() mutable {
+        mainMem_.access(addr, false,
+                        [this, lineInCache, complete](
+                            const MemRequest &req, Tick done) mutable {
+            // Demand completes when the line arrives from main memory;
+            // the fill write into the 3D DRAM is off the critical path.
+            complete(req, done);
+            ++fills_;
+            eq_.schedule(done, [this, lineInCache]() {
+                dataCtrl_.access(lineInCache, true);
+            });
+        });
+    });
+}
+
+} // namespace smartref

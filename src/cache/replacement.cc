@@ -1,0 +1,94 @@
+#include "cache/replacement.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(ReplacementKind kind, std::uint32_t sets,
+                          std::uint32_t ways, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::Lru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplacementKind::Fifo:
+        return std::make_unique<FifoPolicy>(sets, ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(ways, seed);
+    }
+    SMARTREF_PANIC("unknown replacement kind");
+}
+
+LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways), stamps_(std::size_t(sets) * ways, 0)
+{
+}
+
+void
+LruPolicy::onAccess(std::uint32_t set, std::uint32_t way)
+{
+    stamps_[std::size_t(set) * ways_ + way] = ++clock_;
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way)
+{
+    onAccess(set, way);
+}
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set)
+{
+    const std::size_t base = std::size_t(set) * ways_;
+    std::uint32_t oldest = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w)
+        if (stamps_[base + w] < stamps_[base + oldest])
+            oldest = w;
+    return oldest;
+}
+
+FifoPolicy::FifoPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways), next_(sets, 0)
+{
+}
+
+void
+FifoPolicy::onAccess(std::uint32_t, std::uint32_t)
+{
+}
+
+void
+FifoPolicy::onFill(std::uint32_t, std::uint32_t)
+{
+}
+
+std::uint32_t
+FifoPolicy::victim(std::uint32_t set)
+{
+    const std::uint32_t w = next_[set];
+    next_[set] = (w + 1) % ways_;
+    return w;
+}
+
+RandomPolicy::RandomPolicy(std::uint32_t ways, std::uint64_t seed)
+    : ways_(ways), rng_(seed)
+{
+}
+
+void
+RandomPolicy::onAccess(std::uint32_t, std::uint32_t)
+{
+}
+
+void
+RandomPolicy::onFill(std::uint32_t, std::uint32_t)
+{
+}
+
+std::uint32_t
+RandomPolicy::victim(std::uint32_t)
+{
+    return static_cast<std::uint32_t>(rng_.nextBelow(ways_));
+}
+
+} // namespace smartref

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ *
+ * A policy tracks per-way metadata within each set and picks victims.
+ * LRU is the default (the paper's L2 is 8-way LRU); FIFO and Random are
+ * provided for sensitivity studies.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace smartref {
+
+/** Available replacement algorithms. */
+enum class ReplacementKind { Lru, Fifo, Random };
+
+/** Per-set replacement state and victim selection. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A way was accessed (hit). */
+    virtual void onAccess(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A way was filled with a new line. */
+    virtual void onFill(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Choose the victim way for a fill into a full set. */
+    virtual std::uint32_t victim(std::uint32_t set) = 0;
+
+    /** Factory. */
+    static std::unique_ptr<ReplacementPolicy>
+    create(ReplacementKind kind, std::uint32_t sets, std::uint32_t ways,
+           std::uint64_t seed = 1);
+};
+
+/** True-LRU via per-way age stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void onAccess(std::uint32_t set, std::uint32_t way) override;
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> stamps_;
+};
+
+/** FIFO: evict the oldest fill. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    FifoPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void onAccess(std::uint32_t set, std::uint32_t way) override;
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    std::uint32_t ways_;
+    std::vector<std::uint32_t> next_;
+};
+
+/** Uniform-random victim selection (deterministic via seeded RNG). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t ways, std::uint64_t seed);
+
+    void onAccess(std::uint32_t set, std::uint32_t way) override;
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set) override;
+
+  private:
+    std::uint32_t ways_;
+    Rng rng_;
+};
+
+} // namespace smartref

@@ -1,0 +1,56 @@
+#include "core/activity_monitor.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+ActivityMonitor::ActivityMonitor(std::uint64_t totalRows,
+                                 const ActivityMonitorParams &params,
+                                 StatGroup *parent)
+    : StatGroup("activityMonitor", parent),
+      windows_(this, "windows", "monitoring windows closed"),
+      toCbr_(this, "switchesToCbr", "fall-backs to CBR refresh"),
+      toSmart_(this, "switchesToSmart", "re-enables of Smart Refresh")
+{
+    SMARTREF_ASSERT(params.disableBelowFraction <
+                        params.enableAboveFraction,
+                    "hysteresis thresholds inverted");
+    disableThreshold_ = static_cast<std::uint64_t>(
+        std::ceil(params.disableBelowFraction *
+                  static_cast<double>(totalRows)));
+    enableThreshold_ = static_cast<std::uint64_t>(
+        std::ceil(params.enableAboveFraction *
+                  static_cast<double>(totalRows)));
+}
+
+void
+ActivityMonitor::discardWindow()
+{
+    ++windows_;
+    windowAccesses_ = 0;
+}
+
+ActivityMonitor::Decision
+ActivityMonitor::closeWindow(bool smartCurrentlyOn)
+{
+    ++windows_;
+    const std::uint64_t accesses = windowAccesses_;
+    windowAccesses_ = 0;
+
+    if (smartCurrentlyOn) {
+        if (accesses < disableThreshold_) {
+            ++toCbr_;
+            return Decision::SwitchToCbr;
+        }
+        return Decision::KeepSmart;
+    }
+    if (accesses > enableThreshold_) {
+        ++toSmart_;
+        return Decision::SwitchToSmart;
+    }
+    return Decision::KeepCbr;
+}
+
+} // namespace smartref

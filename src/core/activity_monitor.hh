@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The self-configuration circuit of paper Section 4.6.
+ *
+ * Smart Refresh only pays off when the DRAM sees enough row activity;
+ * with a cold working set the counters just burn SRAM energy and the
+ * RAS-only refreshes burn bus energy. The monitor counts row activations
+ * per retention interval and applies hysteresis: below 1 % of the row
+ * count it requests a fall-back to plain CBR refresh, above 2 % it
+ * requests Smart Refresh be re-enabled.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Hysteresis thresholds as fractions of the module row count. */
+struct ActivityMonitorParams
+{
+    double disableBelowFraction = 0.01; ///< paper's 1 %
+    double enableAboveFraction = 0.02;  ///< paper's 2 %
+};
+
+/** Windowed row-activity counter with hysteresis decisions. */
+class ActivityMonitor : public StatGroup
+{
+  public:
+    enum class Decision { KeepSmart, KeepCbr, SwitchToCbr, SwitchToSmart };
+
+    ActivityMonitor(std::uint64_t totalRows,
+                    const ActivityMonitorParams &params, StatGroup *parent);
+
+    /** A row was activated by a demand access. */
+    void recordAccess() { ++windowAccesses_; }
+
+    /**
+     * Close the current window and decide the mode for the next one.
+     * @param smartCurrentlyOn whether Smart Refresh is active now
+     */
+    Decision closeWindow(bool smartCurrentlyOn);
+
+    /**
+     * Close the current window without making a decision (used while a
+     * mode transition is already in flight).
+     */
+    void discardWindow();
+
+    std::uint64_t windowAccesses() const { return windowAccesses_; }
+    std::uint64_t disableThreshold() const { return disableThreshold_; }
+    std::uint64_t enableThreshold() const { return enableThreshold_; }
+
+    std::uint64_t
+    switchesToCbr() const
+    {
+        return static_cast<std::uint64_t>(toCbr_.value());
+    }
+
+    std::uint64_t
+    switchesToSmart() const
+    {
+        return static_cast<std::uint64_t>(toSmart_.value());
+    }
+
+  private:
+    std::uint64_t disableThreshold_;
+    std::uint64_t enableThreshold_;
+    std::uint64_t windowAccesses_ = 0;
+    Scalar windows_;
+    Scalar toCbr_;
+    Scalar toSmart_;
+};
+
+} // namespace smartref

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The per-row time-out counter array (paper Section 4.1).
+ *
+ * One small binary down-counter per (rank, bank, row). The array models
+ * the SRAM structure the memory controller would hold: every touch is
+ * counted as SRAM traffic so the energy overhead the paper accounts for
+ * (Section 6) can be charged faithfully — a counter-access step is billed
+ * one read and one write per touched counter, and a demand reset is one
+ * write.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+/** A fixed-size array of B-bit down-counters with SRAM traffic counts. */
+class CounterArray
+{
+  public:
+    /**
+     * @param size number of counters (one per rank/bank/row)
+     * @param bits counter width in bits (the paper uses 2 or 3)
+     */
+    CounterArray(std::uint64_t size, std::uint32_t bits)
+        : bits_(bits), max_(static_cast<std::uint8_t>((1u << bits) - 1)),
+          values_(size, 0)
+    {
+        SMARTREF_ASSERT(bits >= 1 && bits <= 8,
+                        "counter width ", bits, " unsupported");
+        SMARTREF_ASSERT(size > 0, "empty counter array");
+    }
+
+    std::uint64_t size() const { return values_.size(); }
+    std::uint32_t bits() const { return bits_; }
+    std::uint8_t maxValue() const { return max_; }
+
+    /** Storage the array occupies, in bits (for the area formula). */
+    std::uint64_t
+    storageBits() const
+    {
+        return size() * bits_;
+    }
+
+    /** Current value (no SRAM traffic; for tests/inspection). */
+    std::uint8_t peek(std::uint64_t i) const { return values_[i]; }
+
+    /** Set an initial value without SRAM traffic (initialisation). */
+    void
+    init(std::uint64_t i, std::uint8_t v)
+    {
+        SMARTREF_ASSERT(v <= max_, "init value ", int(v), " over max");
+        values_[i] = v;
+    }
+
+    /**
+     * Per-counter reset value (multi-rate extension): rows in stronger
+     * retention classes restart their countdown from a higher value,
+     * deferring their next refresh proportionally. Defaults to the
+     * width's maximum for every counter.
+     */
+    void
+    setResetValue(std::uint64_t i, std::uint8_t v)
+    {
+        SMARTREF_ASSERT(v <= max_, "reset value ", int(v), " over max");
+        if (resetValues_.empty())
+            resetValues_.assign(values_.size(), max_);
+        resetValues_[i] = v;
+    }
+
+    /** The value reset()/expiry restarts this counter from. */
+    std::uint8_t
+    resetValue(std::uint64_t i) const
+    {
+        return resetValues_.empty() ? max_ : resetValues_[i];
+    }
+
+    /** Demand access: reset to the row's reset value (one SRAM write). */
+    void
+    reset(std::uint64_t i)
+    {
+        values_[i] = resetValue(i);
+        ++writes_;
+    }
+
+    /**
+     * Periodic walk touch: read the counter; if zero, restart it and
+     * report that a refresh is due, else decrement. Counted as one read
+     * plus one write (the paper's conservative accounting).
+     * @return true when the row must be refreshed
+     */
+    bool
+    touch(std::uint64_t i)
+    {
+        ++reads_;
+        ++writes_;
+        if (values_[i] == 0) {
+            values_[i] = resetValue(i);
+            return true;
+        }
+        --values_[i];
+        return false;
+    }
+
+    /** @name SRAM traffic counters. */
+    ///@{
+    std::uint64_t sramReads() const { return reads_; }
+    std::uint64_t sramWrites() const { return writes_; }
+    ///@}
+
+  private:
+    std::uint32_t bits_;
+    std::uint8_t max_;
+    std::vector<std::uint8_t> values_;
+    std::vector<std::uint8_t> resetValues_; ///< empty = uniform max
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+/**
+ * The paper's Section 4.7 area formula:
+ * Area(KB) = Nbanks * Nranks * Nrows * bits / (8 * 1024).
+ */
+inline double
+counterAreaKB(std::uint32_t banks, std::uint32_t ranks, std::uint32_t rows,
+              std::uint32_t bitsPerCounter)
+{
+    return static_cast<double>(banks) * ranks * rows * bitsPerCounter /
+           (8.0 * 1024.0);
+}
+
+} // namespace smartref

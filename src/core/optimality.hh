@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The refresh-optimality metric of paper Section 4.4.
+ *
+ * Optimality measures how close rows are refreshed to the retention
+ * deadline: an ideal scheme refreshing every row exactly at the deadline
+ * is 100 % optimal. With B-bit counters the worst case is a refresh at
+ * (1 - 1/2^B) of the interval, giving the closed form below (75 % for
+ * 2 bits, 87.5 % for 3 bits).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace smartref {
+
+/** Analytic worst-case optimality of Smart Refresh with B-bit counters. */
+constexpr double
+smartRefreshOptimality(std::uint32_t bitsPerCounter)
+{
+    return 1.0 - 1.0 / static_cast<double>(1ull << bitsPerCounter);
+}
+
+} // namespace smartref

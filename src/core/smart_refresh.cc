@@ -1,0 +1,284 @@
+#include "core/smart_refresh.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+SmartRefreshPolicy::SmartRefreshPolicy(const DramConfig &dramCfg,
+                                       const SmartRefreshConfig &cfg,
+                                       EventQueue &eq, StatGroup *parent)
+    : RefreshPolicy("refresh.smart", parent),
+      org_(dramCfg.org),
+      retention_(dramCfg.timing.retention),
+      cbrSpacing_(dramCfg.refreshSpacing()),
+      cfg_(cfg),
+      eq_(eq),
+      counters_(std::make_unique<CounterArray>(
+          org_.totalRows(),
+          cfg.counterBits +
+              (cfg.retentionClasses
+                   ? static_cast<std::uint32_t>(std::bit_width(
+                         cfg.retentionClasses->maxMultiplier() - 1))
+                   : 0u))),
+      stagger_(std::make_unique<StaggerScheduler>(*counters_, cfg.segments,
+                                                  retention_,
+                                                  cfg.counterBits)),
+      pending_(cfg.queueCapacity, this),
+      monitor_(org_.totalRows(), cfg.monitor, this),
+      bus_(cfg.bus, this),
+      sram_(static_cast<double>(std::max(cfg.controllerMaxRows,
+                                         org_.totalRows())) *
+                cfg.counterBits / (8.0 * 1024.0),
+            cfg.sram, this),
+      smartRequested_(this, "smartRequested",
+                      "counter-expiry refreshes requested"),
+      cbrRequested_(this, "cbrRequested",
+                    "CBR refreshes requested (fallback/overlap)"),
+      skippedByCounters_(this, "touchesDeferred",
+                         "counter touches that deferred a refresh")
+{
+    // Section 5: counter banks for the controller's maximum capacity;
+    // the BIOS enables one bank per installed totalRows-worth of DRAM.
+    const std::uint64_t maxRows =
+        std::max(cfg.controllerMaxRows, org_.totalRows());
+    banksTotal_ = static_cast<std::uint32_t>(
+        (maxRows + org_.totalRows() - 1) / org_.totalRows());
+    banksEnabled_ = 1;
+
+    if (cfg_.retentionClasses) {
+        // Multi-rate counters: a class-m row restarts its countdown at
+        // m x 2^counterBits - 1, deferring its next periodic refresh to
+        // the class deadline m x retention (the walk period stays
+        // retention / 2^counterBits).
+        const auto &classes = *cfg_.retentionClasses;
+        SMARTREF_ASSERT(classes.totalRows() == org_.totalRows(),
+                        "class map sized for ", classes.totalRows(),
+                        " rows, module has ", org_.totalRows());
+        for (std::uint64_t i = 0; i < org_.totalRows(); ++i) {
+            const auto resetVal = static_cast<std::uint8_t>(
+                classes.multiplier(i) * (1u << cfg_.counterBits) - 1);
+            counters_->setResetValue(i, resetVal);
+        }
+    }
+}
+
+double
+SmartRefreshPolicy::counterAreaKBUsed() const
+{
+    // Uses the *storage* width, which exceeds cfg_.counterBits when
+    // multi-rate retention classes widen the counters.
+    return counterAreaKB(org_.banks, org_.ranks, org_.rows,
+                         counters_->bits());
+}
+
+void
+SmartRefreshPolicy::start()
+{
+    SMARTREF_ASSERT(ctrl_ != nullptr, "policy not bound to a controller");
+    if (cfg_.startInCbrMode) {
+        mode_ = Mode::Cbr;
+        cbrActive_ = true;
+        scheduleCbr();
+    } else {
+        mode_ = Mode::Smart;
+        countersActive_ = true;
+        stagger_->initialiseStaggered();
+        scheduleStep();
+    }
+    if (cfg_.autoReconfigure)
+        scheduleWindow();
+}
+
+void
+SmartRefreshPolicy::scheduleStep()
+{
+    eq_.scheduleAfter(stagger_->stepInterval(),
+                      [this, gen = stepGen_] { doStep(gen); },
+                      EventPriority::ClockTick);
+}
+
+void
+SmartRefreshPolicy::doStep(std::uint64_t generation)
+{
+    if (!countersActive_ || generation != stepGen_)
+        return;
+    // Expired counters are emitted spread across the step interval (the
+    // pending queue dispatches one refresh per sub-slot) so that a step
+    // never slams all banks with simultaneous refreshes.
+    const Tick slot = stagger_->stepInterval() / stagger_->segments();
+    std::uint32_t expired = 0;
+    stagger_->step([this, &expired, slot](std::uint64_t idx) {
+        const Tick delay = Tick(expired) * slot;
+        ++expired;
+        if (delay == 0) {
+            emitSmartRefresh(idx);
+        } else {
+            eq_.scheduleAfter(delay,
+                              [this, idx] { emitSmartRefresh(idx); });
+        }
+    });
+    skippedByCounters_ +=
+        static_cast<double>(stagger_->segments() - expired);
+    scheduleStep();
+}
+
+void
+SmartRefreshPolicy::emitSmartRefresh(std::uint64_t counterIndex)
+{
+    RefreshRequest req;
+    req.row = static_cast<std::uint32_t>(counterIndex % org_.rows);
+    const std::uint64_t rb = counterIndex / org_.rows;
+    req.bank = static_cast<std::uint32_t>(rb % org_.banks);
+    req.rank = static_cast<std::uint32_t>(rb / org_.banks);
+    req.cbr = false;
+    req.created = eq_.now();
+    ++smartRequested_;
+    pending_.push(req);
+    ctrl_->pushRefresh(req);
+}
+
+void
+SmartRefreshPolicy::scheduleCbr()
+{
+    eq_.scheduleAfter(cbrSpacing_,
+                      [this, gen = cbrGen_] { doCbr(gen); },
+                      EventPriority::ClockTick);
+}
+
+void
+SmartRefreshPolicy::doCbr(std::uint64_t generation)
+{
+    if (!cbrActive_ || generation != cbrGen_)
+        return;
+    RefreshRequest req;
+    req.rank = nextCbrRank_;
+    req.cbr = true;
+    req.created = eq_.now();
+    nextCbrRank_ = (nextCbrRank_ + 1) % org_.ranks;
+    ++cbrRequested_;
+    ctrl_->pushRefresh(req);
+    scheduleCbr();
+}
+
+void
+SmartRefreshPolicy::scheduleWindow()
+{
+    eq_.scheduleAfter(retention_, [this] { closeWindow(); },
+                      EventPriority::Stats);
+}
+
+void
+SmartRefreshPolicy::closeWindow()
+{
+    if (mode_ == Mode::EnableOverlap || mode_ == Mode::DisableOverlap) {
+        monitor_.discardWindow();
+    } else {
+        const auto decision = monitor_.closeWindow(mode_ == Mode::Smart);
+        switch (decision) {
+          case ActivityMonitor::Decision::SwitchToCbr:
+            beginDisable();
+            break;
+          case ActivityMonitor::Decision::SwitchToSmart:
+            beginEnable();
+            break;
+          case ActivityMonitor::Decision::KeepSmart:
+          case ActivityMonitor::Decision::KeepCbr:
+            break;
+        }
+    }
+    scheduleWindow();
+}
+
+void
+SmartRefreshPolicy::beginDisable()
+{
+    // Start CBR now; keep the counters running one full interval so that
+    // every row stays covered by at least one mechanism at every instant.
+    mode_ = Mode::DisableOverlap;
+    cbrActive_ = true;
+    ++cbrGen_;
+    scheduleCbr();
+    eq_.scheduleAfter(retention_, [this] {
+        if (mode_ != Mode::DisableOverlap)
+            return;
+        countersActive_ = false;
+        ++stepGen_;
+        mode_ = Mode::Cbr;
+    });
+}
+
+void
+SmartRefreshPolicy::beginEnable()
+{
+    // Restart the counters now; keep CBR running one full interval, after
+    // which every counter has been reset at least once by a CBR refresh
+    // and the Section 4.3 guarantee carries the deadline from there.
+    mode_ = Mode::EnableOverlap;
+    countersActive_ = true;
+    ++stepGen_;
+    stagger_->initialiseStaggered();
+    scheduleStep();
+    eq_.scheduleAfter(retention_, [this] {
+        if (mode_ != Mode::EnableOverlap)
+            return;
+        cbrActive_ = false;
+        ++cbrGen_;
+        mode_ = Mode::Smart;
+    });
+}
+
+void
+SmartRefreshPolicy::onRowActivated(std::uint32_t rank, std::uint32_t bank,
+                                   std::uint32_t row)
+{
+    monitor_.recordAccess();
+    if (countersActive_)
+        counters_->reset(counterIndex(rank, bank, row));
+}
+
+void
+SmartRefreshPolicy::onRowClosed(std::uint32_t rank, std::uint32_t bank,
+                                std::uint32_t row)
+{
+    // Closing a page writes it back, which restores the charge exactly
+    // like a refresh (Section 4.1), so the counter resets again.
+    if (countersActive_)
+        counters_->reset(counterIndex(rank, bank, row));
+}
+
+void
+SmartRefreshPolicy::onRefreshIssued(const RefreshRequest &req)
+{
+    if (req.cbr) {
+        // A fallback/overlap CBR refresh restored this row; if the
+        // counters are live they must learn about it.
+        if (countersActive_)
+            counters_->reset(counterIndex(req.rank, req.bank, req.row));
+        return;
+    }
+    bus_.recordAccesses(1);
+    pending_.markIssued(req);
+}
+
+double
+SmartRefreshPolicy::overheadEnergy() const
+{
+    return bus_.totalEnergy() +
+           sram_.energyFor(counters_->sramReads(),
+                           counters_->sramWrites());
+}
+
+void
+SmartRefreshPolicy::syncEnergyStats()
+{
+    const std::uint64_t reads = counters_->sramReads();
+    const std::uint64_t writes = counters_->sramWrites();
+    sram_.recordTraffic(reads - syncedReads_, writes - syncedWrites_);
+    syncedReads_ = reads;
+    syncedWrites_ = writes;
+}
+
+} // namespace smartref

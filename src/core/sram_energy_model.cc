@@ -1,0 +1,31 @@
+#include "core/sram_energy_model.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+SramEnergyModel::SramEnergyModel(double arrayKB,
+                                 const SramEnergyParams &params,
+                                 StatGroup *parent)
+    : StatGroup("counterSram", parent),
+      arrayKB_(arrayKB),
+      energy_(this, "energy", "counter SRAM energy (J)"),
+      reads_(this, "reads", "counter SRAM reads"),
+      writes_(this, "writes", "counter SRAM writes")
+{
+    SMARTREF_ASSERT(arrayKB > 0.0, "empty SRAM array");
+    readEnergy_ =
+        (params.baseReadPj + params.slopePjPerKB * arrayKB) * 1e-12;
+    writeEnergy_ = readEnergy_ * params.writeFactor;
+}
+
+void
+SramEnergyModel::recordTraffic(std::uint64_t reads, std::uint64_t writes)
+{
+    reads_ += static_cast<double>(reads);
+    writes_ += static_cast<double>(writes);
+    energy_ += readEnergy_ * static_cast<double>(reads) +
+               writeEnergy_ * static_cast<double>(writes);
+}
+
+} // namespace smartref

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Energy model of the counter SRAM array in the memory controller.
+ *
+ * The paper estimated per-access energy from an Artisan 90 nm SRAM
+ * compiler datasheet; that tool is proprietary, so this model uses an
+ * analytic fit typical of published 90 nm SRAM macros: a fixed decoder/
+ * sense cost plus a bit-line term growing with array capacity. The logic
+ * that decrements the counters is an order of magnitude cheaper than the
+ * array access and is neglected, exactly as in the paper (Section 6).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+
+namespace smartref {
+
+/** Per-access energy parameters for a 90 nm SRAM macro. */
+struct SramEnergyParams
+{
+    double baseReadPj = 5.0;    ///< decoder + sense amp floor
+    double slopePjPerKB = 0.3;  ///< bit-line cost per KB of array
+    double writeFactor = 1.2;   ///< writes cost ~20 % more than reads
+};
+
+/** Computes and accumulates counter-array SRAM energy. */
+class SramEnergyModel : public StatGroup
+{
+  public:
+    /**
+     * @param arrayKB capacity of the counter array in KB
+     */
+    SramEnergyModel(double arrayKB, const SramEnergyParams &params,
+                    StatGroup *parent);
+
+    double readEnergy() const { return readEnergy_; }   ///< J per read
+    double writeEnergy() const { return writeEnergy_; } ///< J per write
+
+    /** Record SRAM traffic (idempotent totals: pass deltas). */
+    void recordTraffic(std::uint64_t reads, std::uint64_t writes);
+
+    /** Energy of a given traffic volume, without accumulating it (J). */
+    double
+    energyFor(std::uint64_t reads, std::uint64_t writes) const
+    {
+        return readEnergy_ * static_cast<double>(reads) +
+               writeEnergy_ * static_cast<double>(writes);
+    }
+
+    /** Total accumulated energy (J). */
+    double totalEnergy() const { return energy_.value(); }
+
+    double arrayKB() const { return arrayKB_; }
+
+  private:
+    double arrayKB_;
+    double readEnergy_;
+    double writeEnergy_;
+    Scalar energy_;
+    Scalar reads_;
+    Scalar writes_;
+};
+
+} // namespace smartref

@@ -1,0 +1,62 @@
+#include "core/stagger_scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+StaggerScheduler::StaggerScheduler(CounterArray &counters,
+                                   std::uint32_t segments, Tick retention,
+                                   std::uint32_t periodBits)
+    : counters_(counters), segments_(segments)
+{
+    SMARTREF_ASSERT(segments > 0, "need at least one segment");
+    SMARTREF_ASSERT(counters.size() % segments == 0,
+                    "counters (", counters.size(),
+                    ") must divide evenly into ", segments, " segments");
+    if (periodBits == 0)
+        periodBits = counters.bits();
+    SMARTREF_ASSERT(periodBits <= counters.bits(),
+                    "walk granularity finer than counter width");
+    perSegment_ = counters.size() / segments;
+    period_ = retention >> periodBits;
+    SMARTREF_ASSERT(period_ > 0, "retention too short for counter width");
+    stepInterval_ = period_ / perSegment_;
+    SMARTREF_ASSERT(stepInterval_ > 0,
+                    "too many counters per segment for the period");
+}
+
+void
+StaggerScheduler::initialiseStaggered()
+{
+    const std::uint32_t numValues = 1u << counters_.bits();
+    for (std::uint32_t s = 0; s < segments_; ++s) {
+        const std::uint64_t base = std::uint64_t(s) * perSegment_;
+        for (std::uint64_t p = 0; p < perSegment_; ++p) {
+            const std::uint64_t idx = base + p;
+            // Spread expiry phases; never start above the row's reset
+            // value (class deadlines must hold from the first interval).
+            const auto pattern = static_cast<std::uint8_t>(
+                counters_.maxValue() - (p % numValues));
+            counters_.init(idx,
+                           std::min(pattern, counters_.resetValue(idx)));
+        }
+    }
+    position_ = 0;
+}
+
+void
+StaggerScheduler::step(const RefreshFn &refresh)
+{
+    for (std::uint32_t s = 0; s < segments_; ++s) {
+        const std::uint64_t idx =
+            std::uint64_t(s) * perSegment_ + position_;
+        if (counters_.touch(idx))
+            refresh(idx);
+    }
+    position_ = (position_ + 1) % perSegment_;
+    ++steps_;
+}
+
+} // namespace smartref

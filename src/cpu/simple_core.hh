@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A simple in-order core model — the CPU side the paper drove with
+ * Simics. Instructions retire at a base IPC until a memory access is
+ * due; loads block the core until the data returns, stores post and
+ * retire immediately (an ideal store buffer). This closes the loop
+ * between memory latency and execution time, so refresh interference
+ * shows up as lost IPC rather than only as queueing delay.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "trace/address_pattern.hh"
+
+namespace smartref {
+
+/** Core execution parameters. */
+struct CoreParams
+{
+    std::string name = "core0";
+    double frequencyGHz = 2.0;   ///< core clock
+    double baseIpc = 1.0;        ///< IPC with a perfect memory system
+    /** Memory accesses per 1000 retired instructions (post-L1-filter
+     *  traffic is shaped by the cache hierarchy behind the port). */
+    double accessesPerKiloInstr = 20.0;
+};
+
+/** A blocking in-order core driving a memory port. */
+class SimpleCore : public StatGroup
+{
+  public:
+    /**
+     * The memory port: issue an access; the callback fires at data
+     * completion (loads gate execution on it, stores ignore it).
+     */
+    using MemPort = std::function<void(Addr addr, bool write,
+                                       std::function<void(Tick)> done)>;
+
+    SimpleCore(const CoreParams &params, const WorkloadParams &pattern,
+               std::uint64_t rowBytes, MemPort port, EventQueue &eq,
+               StatGroup *parent);
+
+    /** Begin executing. */
+    void start();
+
+    /** Stop issuing new work (in-flight loads still complete). */
+    void stop() { running_ = false; }
+
+    /** @name Progress metrics. */
+    ///@{
+    std::uint64_t
+    instructionsRetired() const
+    {
+        return static_cast<std::uint64_t>(instructions_.value());
+    }
+
+    std::uint64_t
+    memoryAccesses() const
+    {
+        return static_cast<std::uint64_t>(accesses_.value());
+    }
+
+    /** Effective IPC over the core's lifetime so far. */
+    double effectiveIpc(Tick now) const;
+
+    /** Total time spent stalled on loads (ticks). */
+    double stallTicks() const { return stallTicks_.value(); }
+    ///@}
+
+  private:
+    void executeQuantum();
+
+    CoreParams params_;
+    AddressPattern pattern_;
+    MemPort port_;
+    EventQueue &eq_;
+    bool running_ = false;
+    Tick startedAt_ = 0;
+    Tick computeGap_ = 0;         ///< execution time between accesses
+    double instrsPerQuantum_ = 0.0;
+
+    Scalar instructions_;
+    Scalar accesses_;
+    Scalar loads_;
+    Scalar stores_;
+    Scalar stallTicks_;
+};
+
+} // namespace smartref

@@ -1,0 +1,114 @@
+#include "ctrl/address_mapper.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+std::uint32_t
+AddressMapper::log2Exact(std::uint64_t v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        SMARTREF_FATAL(what, " (", v, ") must be a power of two");
+    return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+
+AddressMapper::AddressMapper(const DramOrganization &org,
+                             AddressScheme scheme)
+    : scheme_(scheme),
+      capacity_(org.capacityBytes()),
+      offsetBits_(log2Exact(org.bytesPerColumn(), "bytes per column")),
+      columnBits_(log2Exact(org.columns, "columns")),
+      bankBits_(log2Exact(org.banks, "banks")),
+      rankBits_(log2Exact(org.ranks, "ranks")),
+      rowBits_(log2Exact(org.rows, "rows"))
+{
+}
+
+DramCoord
+AddressMapper::decode(Addr addr) const
+{
+    Addr a = addr % capacity_;
+    DramCoord c;
+
+    auto take = [&a](std::uint32_t bits) {
+        const Addr field = a & ((Addr(1) << bits) - 1);
+        a >>= bits;
+        return static_cast<std::uint32_t>(field);
+    };
+
+    // Fields are consumed least-significant first, i.e. in reverse of the
+    // scheme's msb-first declaration.
+    switch (scheme_) {
+      case AddressScheme::RowRankBankColumn:
+        c.offset = take(offsetBits_);
+        c.column = take(columnBits_);
+        c.bank = take(bankBits_);
+        c.rank = take(rankBits_);
+        c.row = take(rowBits_);
+        break;
+      case AddressScheme::RowBankRankColumn:
+        c.offset = take(offsetBits_);
+        c.column = take(columnBits_);
+        c.rank = take(rankBits_);
+        c.bank = take(bankBits_);
+        c.row = take(rowBits_);
+        break;
+      case AddressScheme::RankBankRowColumn:
+        c.offset = take(offsetBits_);
+        c.column = take(columnBits_);
+        c.row = take(rowBits_);
+        c.bank = take(bankBits_);
+        c.rank = take(rankBits_);
+        break;
+    }
+    return c;
+}
+
+Addr
+AddressMapper::encode(const DramCoord &c) const
+{
+    Addr a = 0;
+    auto put = [&a](std::uint32_t value, std::uint32_t bits) {
+        a = (a << bits) | (value & ((Addr(1) << bits) - 1));
+    };
+
+    switch (scheme_) {
+      case AddressScheme::RowRankBankColumn:
+        put(c.row, rowBits_);
+        put(c.rank, rankBits_);
+        put(c.bank, bankBits_);
+        put(c.column, columnBits_);
+        put(c.offset, offsetBits_);
+        break;
+      case AddressScheme::RowBankRankColumn:
+        put(c.row, rowBits_);
+        put(c.bank, bankBits_);
+        put(c.rank, rankBits_);
+        put(c.column, columnBits_);
+        put(c.offset, offsetBits_);
+        break;
+      case AddressScheme::RankBankRowColumn:
+        put(c.rank, rankBits_);
+        put(c.bank, bankBits_);
+        put(c.row, rowBits_);
+        put(c.column, columnBits_);
+        put(c.offset, offsetBits_);
+        break;
+    }
+    return a;
+}
+
+std::string
+AddressMapper::schemeName(AddressScheme scheme)
+{
+    switch (scheme) {
+      case AddressScheme::RowRankBankColumn: return "row:rank:bank:column";
+      case AddressScheme::RowBankRankColumn: return "row:bank:rank:column";
+      case AddressScheme::RankBankRowColumn: return "rank:bank:row:column";
+    }
+    return "?";
+}
+
+} // namespace smartref

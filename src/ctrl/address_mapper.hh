@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * The mapper splits a physical byte address into (rank, bank, row, column)
+ * plus a sub-column offset, according to a configurable bit-field order.
+ * All field widths are powers of two, so mapping is exact and bijective
+ * over the module capacity (property-tested).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/dram_config.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** DRAM coordinates of one address. */
+struct DramCoord
+{
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0;
+    std::uint32_t offset = 0; ///< byte offset within the column payload
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return rank == o.rank && bank == o.bank && row == o.row &&
+               column == o.column && offset == o.offset;
+    }
+};
+
+/** Bit-field orders (most-significant field first). */
+enum class AddressScheme {
+    /**
+     * row : rank : bank : column : offset — consecutive addresses sweep a
+     * row (maximising open-page hits); row-sized blocks interleave across
+     * banks and ranks. The default, matching open-page controllers.
+     */
+    RowRankBankColumn,
+    /** row : bank : rank : column : offset. */
+    RowBankRankColumn,
+    /** rank : bank : row : column : offset — fully linear per bank. */
+    RankBankRowColumn,
+};
+
+/** Converts between physical addresses and DRAM coordinates. */
+class AddressMapper
+{
+  public:
+    AddressMapper(const DramOrganization &org,
+                  AddressScheme scheme = AddressScheme::RowRankBankColumn);
+
+    /** Decode a physical address (wraps modulo capacity). */
+    DramCoord decode(Addr addr) const;
+
+    /** Encode coordinates back into a physical address. */
+    Addr encode(const DramCoord &coord) const;
+
+    /** Capacity covered by the mapping, in bytes. */
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    AddressScheme scheme() const { return scheme_; }
+
+    static std::string schemeName(AddressScheme scheme);
+
+  private:
+    static std::uint32_t log2Exact(std::uint64_t v, const char *what);
+
+    AddressScheme scheme_;
+    std::uint64_t capacity_;
+    std::uint32_t offsetBits_;
+    std::uint32_t columnBits_;
+    std::uint32_t bankBits_;
+    std::uint32_t rankBits_;
+    std::uint32_t rowBits_;
+};
+
+} // namespace smartref

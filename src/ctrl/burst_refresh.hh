@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Burst refresh policy (paper Section 3): once per retention interval,
+ * every row is refreshed back-to-back. Included as the undesirable
+ * comparison point — it maximises peak refresh backlog and blocks demand
+ * traffic while the burst drains.
+ */
+
+#pragma once
+
+#include "ctrl/memory_controller.hh"
+#include "ctrl/refresh_policy.hh"
+#include "sim/event_queue.hh"
+
+namespace smartref {
+
+/** All-rows burst refresh, once per retention interval. */
+class BurstRefreshPolicy : public RefreshPolicy
+{
+  public:
+    BurstRefreshPolicy(EventQueue &eq, StatGroup *parent);
+
+    void start() override;
+    std::string policyName() const override { return "burst"; }
+
+    std::uint64_t
+    refreshesRequested() const
+    {
+        return static_cast<std::uint64_t>(requested_.value());
+    }
+
+  private:
+    void burst();
+
+    EventQueue &eq_;
+    Scalar requested_;
+};
+
+} // namespace smartref

@@ -1,0 +1,27 @@
+#include "ctrl/bus_energy_model.hh"
+
+namespace smartref {
+
+BusEnergyModel::BusEnergyModel(const BusEnergyParams &p, StatGroup *parent)
+    : StatGroup("bus", parent),
+      energy_(this, "energy", "address-bus energy (J)"),
+      accesses_(this, "accesses", "addresses posted on the bus")
+{
+    const double cloadPf =
+        p.onChipLengthMm * p.onChipCapPfPerMm +
+        p.offChipLengthMm * p.offChipCapPfPerMm +
+        static_cast<double>(p.numModules) * p.moduleInputCapPf;
+    // Driver capacitance is 30 % of the load for impedance matching [16].
+    wireCap_ = 1.3 * cloadPf * 1e-12;
+    energyPerAccess_ =
+        wireCap_ * p.vdd * p.vdd * static_cast<double>(p.busWidthBits);
+}
+
+void
+BusEnergyModel::recordAccesses(std::uint64_t n)
+{
+    accesses_ += static_cast<double>(n);
+    energy_ += energyPerAccess_ * static_cast<double>(n);
+}
+
+} // namespace smartref

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Address-bus energy model (paper Section 6, Table 3).
+ *
+ * RAS-only refreshes must post the row address on the address bus, which
+ * CBR refreshes avoid; that is the energy overhead Smart Refresh pays per
+ * refresh it does issue. The model follows the paper's formula:
+ *
+ *   E = C * VDD^2 * busWidth * numAccesses,   C = 1.3 * Cload
+ *   Cload = Lonchip*Conchip + Loffchip*Coffchip + sum_m Cin(m)
+ *
+ * with the constants of Table 3 (Intel 855PM geometry, ITRS wire caps,
+ * Micron module input capacitance) as defaults.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hh"
+
+namespace smartref {
+
+/** Parameters of the controller-to-DRAM address bus (Table 3). */
+struct BusEnergyParams
+{
+    double onChipLengthMm = 36.0;     ///< semi-perimeter of the MCH die x2
+    double offChipLengthMm = 102.0;   ///< board trace length
+    double onChipCapPfPerMm = 0.21;   ///< ITRS 2006 interconnect update
+    double offChipCapPfPerMm = 0.1;
+    double moduleInputCapPf = 3.0;    ///< per-rank input capacitance
+    std::uint32_t numModules = 2;     ///< ranks hanging off the bus
+    double vdd = 1.8;
+    std::uint32_t busWidthBits = 15;  ///< row + bank address lines
+};
+
+/** Accumulates address-bus energy for posted refresh addresses. */
+class BusEnergyModel : public StatGroup
+{
+  public:
+    BusEnergyModel(const BusEnergyParams &params, StatGroup *parent);
+
+    /** Energy of posting one address on the bus (joules). */
+    double energyPerAccess() const { return energyPerAccess_; }
+
+    /** Total load capacitance seen by one wire (farads). */
+    double wireCapacitance() const { return wireCap_; }
+
+    /** Record `n` posted addresses. */
+    void recordAccesses(std::uint64_t n = 1);
+
+    /** Accumulated bus energy (joules). */
+    double totalEnergy() const { return energy_.value(); }
+
+    std::uint64_t
+    accesses() const
+    {
+        return static_cast<std::uint64_t>(accesses_.value());
+    }
+
+  private:
+    double wireCap_;
+    double energyPerAccess_;
+    Scalar energy_;
+    Scalar accesses_;
+};
+
+} // namespace smartref

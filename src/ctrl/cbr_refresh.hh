@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The baseline distributed CBR refresh policy (paper Section 3).
+ *
+ * One refresh command is issued every retention/totalRows, walking ranks
+ * round-robin; the device's internal counter picks the (bank, row), so no
+ * address is posted on the bus. Every row is refreshed exactly once per
+ * retention interval regardless of demand activity — this is the
+ * lower-power baseline the paper compares Smart Refresh against.
+ */
+
+#pragma once
+
+#include "ctrl/memory_controller.hh"
+#include "ctrl/refresh_policy.hh"
+#include "sim/event_queue.hh"
+
+namespace smartref {
+
+/** Distributed CAS-before-RAS refresh. */
+class CbrRefreshPolicy : public RefreshPolicy
+{
+  public:
+    CbrRefreshPolicy(EventQueue &eq, StatGroup *parent);
+
+    void start() override;
+    std::string policyName() const override { return "cbr"; }
+
+    std::uint64_t
+    refreshesRequested() const
+    {
+        return static_cast<std::uint64_t>(requested_.value());
+    }
+
+  private:
+    void step();
+
+    EventQueue &eq_;
+    Tick spacing_ = 0;
+    std::uint32_t nextRank_ = 0;
+    Scalar requested_;
+};
+
+} // namespace smartref

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Demand memory request and refresh request types exchanged between the
+ * workload front-end, the memory controller and refresh policies.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** A demand read or write arriving at the memory controller. */
+struct MemRequest
+{
+    Addr addr = 0;
+    bool write = false;
+    Tick arrival = 0;
+    std::uint64_t id = 0;
+};
+
+/** Completion callback: invoked when the data burst finishes. */
+using MemCallback = std::function<void(const MemRequest &, Tick completion)>;
+
+/** A refresh operation requested by a refresh policy. */
+struct RefreshRequest
+{
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    /**
+     * CBR refreshes let the device's internal counter choose the row (no
+     * address posted on the bus); RAS-only refreshes target (bank, row)
+     * explicitly.
+     */
+    bool cbr = false;
+    Tick created = 0;
+};
+
+} // namespace smartref

@@ -1,0 +1,301 @@
+#include "ctrl/memory_controller.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+MemoryController::MemoryController(DramModule &dram, EventQueue &eq,
+                                   const ControllerConfig &cfg,
+                                   StatGroup *parent)
+    : StatGroup("ctrl", parent),
+      dram_(dram),
+      eq_(eq),
+      cfg_(cfg),
+      mapper_(dram.config().org, cfg.scheme),
+      engines_(std::size_t(dram.config().org.ranks) *
+               dram.config().org.banks),
+      cbrMirror_(dram.config().org.ranks, 0),
+      reads_(this, "demandReads", "demand read transactions"),
+      writes_(this, "demandWrites", "demand write transactions"),
+      rowHits_(this, "rowHits", "column accesses hitting the open row"),
+      rowMisses_(this, "rowMisses", "accesses to a precharged bank"),
+      rowConflicts_(this, "rowConflicts",
+                    "accesses that had to close another row"),
+      refreshesForwarded_(this, "refreshesForwarded",
+                          "refresh requests accepted from the policy"),
+      idlePrecharges_(this, "idlePrecharges",
+                      "pages closed by the idle-precharge timer"),
+      latency_(this, "latency", "demand latency (ticks)",
+               0.0, 2.0e6, 64),
+      latencySum_(this, "latencySum", "sum of demand latencies (ticks)")
+{
+}
+
+void
+MemoryController::setRefreshPolicy(RefreshPolicy *policy)
+{
+    policy_ = policy;
+    if (policy_) {
+        policy_->bind(this);
+        policy_->start();
+    }
+}
+
+void
+MemoryController::access(Addr addr, bool write, MemCallback cb)
+{
+    Item item;
+    item.kind = Item::Kind::Demand;
+    item.req = MemRequest{addr, write, eq_.now(), nextReqId_++};
+    item.coord = mapper_.decode(addr);
+    item.cb = std::move(cb);
+
+    if (write)
+        ++writes_;
+    else
+        ++reads_;
+
+    const std::size_t idx = engineIndex(item.coord.rank, item.coord.bank);
+    engines_[idx].queue.push_back(std::move(item));
+    kick(idx);
+}
+
+void
+MemoryController::pushRefresh(const RefreshRequest &req)
+{
+    Item item;
+    item.kind = Item::Kind::Refresh;
+    item.ref = req;
+
+    if (req.cbr) {
+        // Resolve the internal-counter target now so the request can be
+        // routed to (and issued from) the right bank engine even if
+        // engines drain out of order.
+        auto [bank, row] =
+            dram_.peekCbrTarget(req.rank, cbrMirror_[req.rank]++);
+        item.ref.bank = bank;
+        item.ref.row = row;
+    }
+    ++refreshesForwarded_;
+    ++refreshBacklog_;
+    maxRefreshBacklog_ = std::max(maxRefreshBacklog_, refreshBacklog_);
+
+    const std::size_t idx = engineIndex(req.rank, item.ref.bank);
+    engines_[idx].queue.push_back(std::move(item));
+    kick(idx);
+}
+
+bool
+MemoryController::idle() const
+{
+    for (const Engine &e : engines_)
+        if (e.busy || !e.queue.empty())
+            return false;
+    return true;
+}
+
+void
+MemoryController::kick(std::size_t engineIdx)
+{
+    Engine &engine = engines_[engineIdx];
+    if (engine.busy || engine.queue.empty())
+        return;
+    engine.busy = true;
+    ++engine.activityGen;
+    Item item = std::move(engine.queue.front());
+    engine.queue.pop_front();
+    startItem(engineIdx, std::move(item));
+}
+
+void
+MemoryController::startItem(std::size_t engineIdx, Item item)
+{
+    if (item.kind == Item::Kind::Demand)
+        runDemand(engineIdx, std::move(item));
+    else
+        runRefresh(engineIdx, std::move(item));
+}
+
+void
+MemoryController::finishEngine(std::size_t engineIdx)
+{
+    engines_[engineIdx].busy = false;
+    kick(engineIdx);
+    if (!engines_[engineIdx].busy)
+        armIdlePrecharge(engineIdx);
+}
+
+void
+MemoryController::armIdlePrecharge(std::size_t engineIdx)
+{
+    if (cfg_.idlePrechargeAfter == 0)
+        return;
+    Engine &engine = engines_[engineIdx];
+    const std::uint32_t rank = static_cast<std::uint32_t>(
+        engineIdx / dram_.config().org.banks);
+    const std::uint32_t bank = static_cast<std::uint32_t>(
+        engineIdx % dram_.config().org.banks);
+    if (!dram_.isBankOpen(rank, bank))
+        return;
+    const std::uint64_t gen = engine.activityGen;
+    eq_.scheduleAfter(cfg_.idlePrechargeAfter, [this, engineIdx, gen] {
+        tryIdlePrecharge(engineIdx, gen);
+    });
+}
+
+void
+MemoryController::tryIdlePrecharge(std::size_t engineIdx,
+                                   std::uint64_t gen)
+{
+    Engine &engine = engines_[engineIdx];
+    if (engine.busy || !engine.queue.empty() || engine.activityGen != gen)
+        return;
+    const std::uint32_t rank = static_cast<std::uint32_t>(
+        engineIdx / dram_.config().org.banks);
+    const std::uint32_t bank = static_cast<std::uint32_t>(
+        engineIdx % dram_.config().org.banks);
+    if (!dram_.isBankOpen(rank, bank))
+        return;
+
+    engine.busy = true;
+    ++engine.activityGen;
+    const std::uint32_t row = dram_.openRow(rank, bank);
+    ++idlePrecharges_;
+    DramCommand pre{DramCommandType::Precharge, rank, bank, 0, 0};
+    issueWhenReady(pre, [this, engineIdx, rank, bank, row](Tick) {
+        if (policy_)
+            policy_->onRowClosed(rank, bank, row);
+        finishEngine(engineIdx);
+    });
+}
+
+void
+MemoryController::issueWhenReady(DramCommand cmd,
+                                 std::function<void(Tick)> then,
+                                 std::function<void()> preIssue)
+{
+    const Tick earliest = dram_.earliestIssue(cmd);
+    if (earliest <= eq_.now()) {
+        if (preIssue)
+            preIssue();
+        const Tick done = dram_.issue(cmd);
+        then(done);
+        return;
+    }
+    eq_.schedule(earliest, [this, cmd, then = std::move(then),
+                            preIssue = std::move(preIssue)]() mutable {
+        // Constraints may have moved while we waited; re-check.
+        issueWhenReady(cmd, std::move(then), std::move(preIssue));
+    });
+}
+
+void
+MemoryController::runDemand(std::size_t engineIdx, Item item)
+{
+    const DramCoord &c = item.coord;
+
+    if (dram_.isBankOpen(c.rank, c.bank)) {
+        if (dram_.openRow(c.rank, c.bank) == c.row) {
+            ++rowHits_;
+            issueColumn(engineIdx, std::move(item));
+            return;
+        }
+        // Row conflict: close the open page, then activate ours.
+        ++rowConflicts_;
+        const std::uint32_t victim = dram_.openRow(c.rank, c.bank);
+        DramCommand pre{DramCommandType::Precharge, c.rank, c.bank, 0, 0};
+        issueWhenReady(pre, [this, engineIdx, victim,
+                             item = std::move(item)](Tick) mutable {
+            const DramCoord &cc = item.coord;
+            if (policy_)
+                policy_->onRowClosed(cc.rank, cc.bank, victim);
+            DramCommand act{DramCommandType::Activate, cc.rank, cc.bank,
+                            cc.row, 0};
+            issueWhenReady(act,
+                           [this, engineIdx,
+                            item = std::move(item)](Tick) mutable {
+                const DramCoord &c3 = item.coord;
+                if (policy_)
+                    policy_->onRowActivated(c3.rank, c3.bank, c3.row);
+                issueColumn(engineIdx, std::move(item));
+            });
+        });
+        return;
+    }
+
+    // Bank closed: plain row miss.
+    ++rowMisses_;
+    DramCommand act{DramCommandType::Activate, c.rank, c.bank, c.row, 0};
+    issueWhenReady(act,
+                   [this, engineIdx, item = std::move(item)](Tick) mutable {
+        const DramCoord &cc = item.coord;
+        if (policy_)
+            policy_->onRowActivated(cc.rank, cc.bank, cc.row);
+        issueColumn(engineIdx, std::move(item));
+    });
+}
+
+void
+MemoryController::issueColumn(std::size_t engineIdx, Item item)
+{
+    const DramCoord &c = item.coord;
+    DramCommand col{item.req.write ? DramCommandType::Write
+                                   : DramCommandType::Read,
+                    c.rank, c.bank, c.row, c.column};
+    issueWhenReady(col, [this, engineIdx,
+                         item = std::move(item)](Tick done) mutable {
+        const Tick lat = done - item.req.arrival;
+        latency_.sample(static_cast<double>(lat));
+        latencySum_ += static_cast<double>(lat);
+        if (item.cb) {
+            // Deliver the completion at the tick the data arrives.
+            eq_.schedule(done, [req = item.req, cb = std::move(item.cb),
+                                done]() { cb(req, done); });
+        }
+        // The engine frees as soon as the column command has issued; the
+        // device enforces all remaining burst/recovery timing.
+        finishEngine(engineIdx);
+    });
+}
+
+void
+MemoryController::runRefresh(std::size_t engineIdx, Item item)
+{
+    const RefreshRequest req = item.ref;
+    // All refreshes carry a resolved (bank, row); the cbr flag only
+    // changes whether an address was posted on the bus (energy).
+    DramCommand cmd{DramCommandType::RefreshRasOnly, req.rank, req.bank,
+                    req.row, 0};
+
+    // Observe, just before issue, whether the refresh will implicitly
+    // close an open page: the closed row's charge is restored, and
+    // access-aware policies must learn about it.
+    auto closedPage = std::make_shared<std::pair<bool, std::uint32_t>>(
+        false, 0);
+    auto preIssue = [this, req, closedPage]() {
+        if (dram_.isBankOpen(req.rank, req.bank)) {
+            closedPage->first = true;
+            closedPage->second = dram_.openRow(req.rank, req.bank);
+        }
+    };
+
+    issueWhenReady(cmd,
+                   [this, engineIdx, req, closedPage](Tick) {
+        SMARTREF_ASSERT(refreshBacklog_ > 0, "refresh backlog underflow");
+        --refreshBacklog_;
+        maxRefreshDelay_ = std::max(maxRefreshDelay_,
+                                    eq_.now() - req.created);
+        if (policy_) {
+            if (closedPage->first)
+                policy_->onRowClosed(req.rank, req.bank,
+                                     closedPage->second);
+            policy_->onRefreshIssued(req);
+        }
+        finishEngine(engineIdx);
+    },
+                   std::move(preIssue));
+}
+
+} // namespace smartref

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The memory controller: per-bank transaction engines with an open-page
+ * row-buffer policy, arbitration between demand traffic and refresh
+ * requests, and latency statistics.
+ *
+ * Each (rank, bank) pair has a FIFO engine. Demand transactions expand
+ * into the command sequence the open-page policy requires (PRE on a row
+ * conflict, ACT on a closed bank, then the column burst); refresh requests
+ * occupy the engine for one refresh command. Engines run concurrently;
+ * the device model enforces all shared-resource timing (data bus, tRRD),
+ * so engines simply retry until their command becomes legal.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ctrl/address_mapper.hh"
+#include "ctrl/mem_request.hh"
+#include "ctrl/refresh_policy.hh"
+#include "dram/dram_module.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace smartref {
+
+/** Controller tunables. */
+struct ControllerConfig
+{
+    AddressScheme scheme = AddressScheme::RowRankBankColumn;
+    /**
+     * Adaptive page policy: close an open row after this much bank
+     * idleness (0 disables). Closing idle pages lets ranks reach
+     * precharge power-down, which is what makes refresh a significant
+     * share of DRAM energy in the low-power baseline (the ITSY
+     * observation the paper starts from). The writeback also restores
+     * the row's charge, so access-aware refresh policies are notified.
+     */
+    Tick idlePrechargeAfter = 200 * kNanosecond;
+};
+
+/** Open-page memory controller for one DRAM module. */
+class MemoryController : public StatGroup
+{
+  public:
+    MemoryController(DramModule &dram, EventQueue &eq,
+                     const ControllerConfig &cfg = {},
+                     StatGroup *parent = nullptr);
+
+    /** Attach the refresh policy (not owned) and start it. */
+    void setRefreshPolicy(RefreshPolicy *policy);
+
+    /**
+     * Submit a demand access arriving now.
+     * @param cb invoked when the data burst completes (may be empty)
+     */
+    void access(Addr addr, bool write, MemCallback cb = nullptr);
+
+    /** Submit a refresh request (called by the refresh policy). */
+    void pushRefresh(const RefreshRequest &req);
+
+    const AddressMapper &mapper() const { return mapper_; }
+    DramModule &dram() { return dram_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    /** @name Statistics accessors. */
+    ///@{
+    std::uint64_t demandReads() const { return asU64(reads_); }
+    std::uint64_t demandWrites() const { return asU64(writes_); }
+    std::uint64_t rowHits() const { return asU64(rowHits_); }
+    std::uint64_t rowMisses() const { return asU64(rowMisses_); }
+    std::uint64_t rowConflicts() const { return asU64(rowConflicts_); }
+    double
+    rowHitRate() const
+    {
+        const double total = reads_.value() + writes_.value();
+        return total > 0.0 ? rowHits_.value() / total : 0.0;
+    }
+    /** Mean demand latency (arrival to data completion) in ticks. */
+    double avgLatency() const { return latency_.mean(); }
+    /** Sum of all demand latencies in ticks. */
+    double latencySumTicks() const { return latencySum_.value(); }
+    const Histogram &latencyHistogram() const { return latency_; }
+    /** Refresh requests not yet issued to the device. */
+    std::size_t refreshBacklog() const { return refreshBacklog_; }
+    /** Largest refresh backlog ever observed. */
+    std::size_t maxRefreshBacklog() const { return maxRefreshBacklog_; }
+    /** Largest request-to-issue delay of any refresh (ticks). */
+    Tick maxRefreshDispatchDelay() const { return maxRefreshDelay_; }
+    ///@}
+
+    /** Drain outstanding work: returns true when all queues are empty. */
+    bool idle() const;
+
+  private:
+    static std::uint64_t
+    asU64(const Scalar &s)
+    {
+        return static_cast<std::uint64_t>(s.value());
+    }
+
+    /** A queued unit of work for one bank engine. */
+    struct Item
+    {
+        enum class Kind { Demand, Refresh } kind = Kind::Demand;
+        // Demand fields
+        MemRequest req;
+        DramCoord coord;
+        MemCallback cb;
+        // Refresh fields
+        RefreshRequest ref;
+    };
+
+    /** FIFO engine for one (rank, bank). */
+    struct Engine
+    {
+        std::deque<Item> queue;
+        bool busy = false;
+        /** Bumped on any activity; stale idle-precharge checks no-op. */
+        std::uint64_t activityGen = 0;
+    };
+
+    std::size_t
+    engineIndex(std::uint32_t rank, std::uint32_t bank) const
+    {
+        return std::size_t(rank) * dram_.config().org.banks + bank;
+    }
+
+    void kick(std::size_t engineIdx);
+    void startItem(std::size_t engineIdx, Item item);
+    void runDemand(std::size_t engineIdx, Item item);
+    void issueColumn(std::size_t engineIdx, Item item);
+    void runRefresh(std::size_t engineIdx, Item item);
+    void finishEngine(std::size_t engineIdx);
+    void armIdlePrecharge(std::size_t engineIdx);
+    void tryIdlePrecharge(std::size_t engineIdx, std::uint64_t gen);
+
+    /**
+     * Issue `cmd` as soon as it becomes legal, then invoke `then` with
+     * the completion tick. Retries via the event queue if constraints
+     * move while waiting. `preIssue`, if set, runs immediately before the
+     * device accepts the command (used to observe pre-issue bank state).
+     */
+    void issueWhenReady(DramCommand cmd, std::function<void(Tick)> then,
+                        std::function<void()> preIssue = nullptr);
+
+    DramModule &dram_;
+    EventQueue &eq_;
+    ControllerConfig cfg_;
+    AddressMapper mapper_;
+    RefreshPolicy *policy_ = nullptr;
+
+    std::vector<Engine> engines_;
+    /**
+     * Mirror of each rank's CBR counter. Refreshes may issue out of the
+     * device's internal-counter order once routed to per-bank engines, so
+     * the controller resolves each CBR's (bank, row) at push time from
+     * this mirror and issues it as an addressed refresh; the `cbr` flag
+     * is kept for energy accounting (no address posted on the bus).
+     */
+    std::vector<std::uint64_t> cbrMirror_;
+    std::uint64_t nextReqId_ = 0;
+    std::size_t refreshBacklog_ = 0;
+    std::size_t maxRefreshBacklog_ = 0;
+    Tick maxRefreshDelay_ = 0;
+
+    Scalar reads_;
+    Scalar writes_;
+    Scalar rowHits_;
+    Scalar rowMisses_;
+    Scalar rowConflicts_;
+    Scalar refreshesForwarded_;
+    Scalar idlePrecharges_;
+    Histogram latency_;
+    Scalar latencySum_;
+};
+
+} // namespace smartref

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Distributed RAS-only refresh: like distributed CBR but the controller
+ * supplies each row address on the address bus, paying the Table 3 bus
+ * energy per refresh. This isolates the RAS-only overhead that Smart
+ * Refresh also pays, without any refresh skipping.
+ */
+
+#pragma once
+
+#include "ctrl/bus_energy_model.hh"
+#include "ctrl/memory_controller.hh"
+#include "ctrl/refresh_policy.hh"
+#include "sim/event_queue.hh"
+
+namespace smartref {
+
+/** Distributed RAS-only refresh with posted addresses. */
+class RasOnlyRefreshPolicy : public RefreshPolicy
+{
+  public:
+    RasOnlyRefreshPolicy(EventQueue &eq, const BusEnergyParams &busParams,
+                         StatGroup *parent);
+
+    void start() override;
+    void onRefreshIssued(const RefreshRequest &req) override;
+    double overheadEnergy() const override { return bus_.totalEnergy(); }
+    std::string policyName() const override { return "ras-only"; }
+
+    const BusEnergyModel &bus() const { return bus_; }
+
+  private:
+    void step();
+
+    EventQueue &eq_;
+    BusEnergyModel bus_;
+    Tick spacing_ = 0;
+    std::uint64_t walkIndex_ = 0;
+    Scalar requested_;
+};
+
+} // namespace smartref

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The refresh-policy interface.
+ *
+ * A policy decides *when* each row is refreshed; the memory controller
+ * arbitrates refreshes against demand traffic and issues the device
+ * commands. The controller notifies the policy of row activity so that
+ * access-aware policies (Smart Refresh) can track which rows were
+ * implicitly restored.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ctrl/mem_request.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+class MemoryController;
+
+/** Abstract base for refresh policies. */
+class RefreshPolicy : public StatGroup
+{
+  public:
+    RefreshPolicy(std::string name, StatGroup *parent)
+        : StatGroup(std::move(name), parent)
+    {
+    }
+
+    ~RefreshPolicy() override = default;
+
+    /** Attach to the controller that will dispatch our requests. */
+    void bind(MemoryController *ctrl) { ctrl_ = ctrl; }
+
+    /** Schedule initial events; called once before simulation starts. */
+    virtual void start() = 0;
+
+    /** @name Row-activity notifications from the controller. */
+    ///@{
+    /** A row was opened by a demand access (charge read into amps). */
+    virtual void
+    onRowActivated(std::uint32_t rank, std::uint32_t bank,
+                   std::uint32_t row)
+    {
+        (void)rank; (void)bank; (void)row;
+    }
+
+    /**
+     * A row was closed (precharged), restoring its charge. Also called
+     * for pages implicitly closed by a refresh operation.
+     */
+    virtual void
+    onRowClosed(std::uint32_t rank, std::uint32_t bank, std::uint32_t row)
+    {
+        (void)rank; (void)bank; (void)row;
+    }
+
+    /** A refresh request from this policy was issued to the device. */
+    virtual void onRefreshIssued(const RefreshRequest &req) { (void)req; }
+    ///@}
+
+    /**
+     * Controller-overhead energy attributable to this policy (bus
+     * addresses for RAS-only refreshes, counter SRAM for Smart Refresh).
+     */
+    virtual double overheadEnergy() const { return 0.0; }
+
+    /** Short policy label for reports. */
+    virtual std::string policyName() const = 0;
+
+  protected:
+    MemoryController *ctrl_ = nullptr;
+};
+
+} // namespace smartref

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Retention-aware (RAPID-style) distributed refresh — the related-work
+ * baseline of the paper's reference [32].
+ *
+ * Rows are profiled into retention classes (see RetentionClassMap); the
+ * policy walks all rows at the nominal distributed cadence but only
+ * issues a refresh when a row's class deadline actually requires one: a
+ * class-m row is refreshed on every m-th visit, so its refresh age is
+ * m x nominal — exactly its deadline. This skips refreshes based on
+ * *cell strength* where Smart Refresh skips based on *access recency*;
+ * the two compose (see SmartRefreshConfig::retentionClasses).
+ *
+ * Refreshes are addressed (RAS-only), so the Table 3 bus energy applies
+ * per issued refresh, just as for Smart Refresh.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "dram/retention_classes.hh"
+#include "ctrl/bus_energy_model.hh"
+#include "ctrl/memory_controller.hh"
+#include "ctrl/refresh_policy.hh"
+#include "sim/event_queue.hh"
+
+namespace smartref {
+
+/** RAPID-style multi-rate distributed refresh. */
+class RetentionAwarePolicy : public RefreshPolicy
+{
+  public:
+    RetentionAwarePolicy(EventQueue &eq,
+                         std::shared_ptr<const RetentionClassMap> classes,
+                         const BusEnergyParams &busParams,
+                         StatGroup *parent);
+
+    void start() override;
+    void onRefreshIssued(const RefreshRequest &req) override;
+    double overheadEnergy() const override { return bus_.totalEnergy(); }
+    std::string policyName() const override { return "retention-aware"; }
+
+    std::uint64_t
+    refreshesRequested() const
+    {
+        return static_cast<std::uint64_t>(requested_.value());
+    }
+
+    std::uint64_t
+    visitsSkipped() const
+    {
+        return static_cast<std::uint64_t>(skipped_.value());
+    }
+
+    const BusEnergyModel &bus() const { return bus_; }
+
+  private:
+    void step();
+
+    EventQueue &eq_;
+    std::shared_ptr<const RetentionClassMap> classes_;
+    BusEnergyModel bus_;
+    Tick spacing_ = 0;
+    Tick retention_ = 0;
+    std::uint64_t walkIndex_ = 0;
+    /** Next tick each row's refresh becomes due (flat index order). */
+    std::vector<Tick> due_;
+
+    Scalar requested_;
+    Scalar skipped_;
+};
+
+} // namespace smartref

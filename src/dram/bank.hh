@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-bank state machine and timing window bookkeeping.
+ *
+ * A bank is either precharged (no open row) or active (one open row in the
+ * sense amplifiers). The bank records the earliest tick at which each
+ * command class may legally be issued; the device model consults these to
+ * answer earliest-issue queries and updates them on every issue.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "dram/dram_config.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Timing and row state of a single DRAM bank. */
+class Bank
+{
+  public:
+    bool isOpen() const { return open_; }
+    std::uint32_t openRow() const { return openRow_; }
+
+    /** Earliest tick an ACTIVATE may issue. */
+    Tick actAllowedAt() const { return actAllowedAt_; }
+    /** Earliest tick a READ/WRITE to the open row may issue. */
+    Tick rdWrAllowedAt() const { return rdWrAllowedAt_; }
+    /** Earliest tick a PRECHARGE may issue. */
+    Tick preAllowedAt() const { return preAllowedAt_; }
+    /** Tick until which the bank is busy with a refresh. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /** Apply an ACTIVATE issued at `now`. */
+    void
+    activate(std::uint32_t row, Tick now, const DramTiming &t)
+    {
+        open_ = true;
+        openRow_ = row;
+        rdWrAllowedAt_ = now + t.tRCD;
+        preAllowedAt_ = now + t.tRAS;
+        actAllowedAt_ = now + t.tRC;
+    }
+
+    /** Apply a PRECHARGE issued at `now`. */
+    void
+    precharge(Tick now, const DramTiming &t)
+    {
+        open_ = false;
+        actAllowedAt_ = maxTick(actAllowedAt_, now + t.tRP);
+    }
+
+    /** Apply a READ burst issued at `now`. */
+    void
+    read(Tick now, const DramTiming &t)
+    {
+        preAllowedAt_ = maxTick(preAllowedAt_, now + t.tRTP);
+    }
+
+    /** Apply a WRITE burst issued at `now`. */
+    void
+    write(Tick now, const DramTiming &t)
+    {
+        preAllowedAt_ =
+            maxTick(preAllowedAt_, now + t.tCL + t.tBurst + t.tWR);
+    }
+
+    /**
+     * Apply a row refresh issued at `now`.
+     * @param closedOpenPage the refresh implicitly closed an open page,
+     *        adding a precharge before the refresh proper
+     * @return completion tick of the refresh
+     */
+    Tick
+    refresh(Tick now, const DramTiming &t, bool closedOpenPage)
+    {
+        open_ = false;
+        const Tick done =
+            now + (closedOpenPage ? t.tRP : Tick(0)) + t.tRFCrow;
+        busyUntil_ = done;
+        actAllowedAt_ = maxTick(actAllowedAt_, done);
+        return done;
+    }
+
+  private:
+    static Tick maxTick(Tick a, Tick b) { return a > b ? a : b; }
+
+    bool open_ = false;
+    std::uint32_t openRow_ = 0;
+    Tick actAllowedAt_ = 0;
+    Tick rdWrAllowedAt_ = 0;
+    Tick preAllowedAt_ = 0;
+    Tick busyUntil_ = 0;
+};
+
+} // namespace smartref

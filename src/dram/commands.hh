@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DRAM command vocabulary shared by the device model and the controller.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace smartref {
+
+/** The command set a DDR2-style device accepts. */
+enum class DramCommandType : std::uint8_t {
+    Activate,       ///< open a row into the sense amplifiers (RAS low)
+    Precharge,      ///< close the open row, writing it back
+    Read,           ///< column read burst from the open row
+    Write,          ///< column write burst into the open row
+    RefreshCbr,     ///< CAS-before-RAS refresh; row chosen by the device's
+                    ///< internal counter, no address on the bus
+    RefreshRasOnly, ///< RAS-only refresh; controller posts the row address
+};
+
+/** A single command addressed to one module. */
+struct DramCommand
+{
+    DramCommandType type = DramCommandType::Activate;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t column = 0;
+};
+
+/** Human-readable command name (for traces and error messages). */
+inline const char *
+toString(DramCommandType t)
+{
+    switch (t) {
+      case DramCommandType::Activate: return "ACT";
+      case DramCommandType::Precharge: return "PRE";
+      case DramCommandType::Read: return "RD";
+      case DramCommandType::Write: return "WR";
+      case DramCommandType::RefreshCbr: return "REF-CBR";
+      case DramCommandType::RefreshRasOnly: return "REF-RAS";
+    }
+    return "?";
+}
+
+} // namespace smartref

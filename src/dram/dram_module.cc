@@ -1,0 +1,232 @@
+#include "dram/dram_module.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+DramModule::DramModule(const DramConfig &cfg, EventQueue &eq,
+                       StatGroup *parent)
+    : StatGroup("dram." + cfg.name, parent),
+      cfg_(cfg),
+      eq_(eq),
+      power_(cfg, this),
+      retention_(cfg.org.ranks, cfg.org.banks, cfg.org.rows,
+                 cfg.timing.retention, 20 * kMicrosecond, this),
+      acts_(this, "activates", "ACTIVATE commands issued"),
+      pres_(this, "precharges", "PRECHARGE commands issued"),
+      reads_(this, "reads", "READ bursts issued"),
+      writes_(this, "writes", "WRITE bursts issued"),
+      cbrRefs_(this, "cbrRefreshes", "CBR refresh commands issued"),
+      rasRefs_(this, "rasOnlyRefreshes",
+               "RAS-only refresh commands issued"),
+      refreshesPerBank_(this, "refreshesPerBank",
+                        "refresh commands per (rank, bank)",
+                        [&cfg] {
+                            std::vector<std::string> labels;
+                            for (std::uint32_t r = 0; r < cfg.org.ranks;
+                                 ++r) {
+                                for (std::uint32_t b = 0;
+                                     b < cfg.org.banks; ++b) {
+                                    labels.push_back(
+                                        "r" + std::to_string(r) + "b" +
+                                        std::to_string(b));
+                                }
+                            }
+                            return labels;
+                        }())
+{
+    cfg_.validate();
+    ranks_.reserve(cfg_.org.ranks);
+    for (std::uint32_t r = 0; r < cfg_.org.ranks; ++r)
+        ranks_.emplace_back(cfg_.org);
+}
+
+void
+DramModule::checkAddress(const DramCommand &cmd) const
+{
+    SMARTREF_ASSERT(cmd.rank < cfg_.org.ranks, "rank ", cmd.rank,
+                    " out of range");
+    SMARTREF_ASSERT(cmd.bank < cfg_.org.banks, "bank ", cmd.bank,
+                    " out of range");
+    SMARTREF_ASSERT(cmd.row < cfg_.org.rows, "row ", cmd.row,
+                    " out of range");
+    SMARTREF_ASSERT(cmd.column < cfg_.org.columns, "column ", cmd.column,
+                    " out of range");
+}
+
+Tick
+DramModule::earliestRefresh(const Rank &rank, std::uint32_t bankIdx) const
+{
+    const Bank &bank = rank.bank(bankIdx);
+    Tick earliest = std::max(bank.actAllowedAt(), bank.busyUntil());
+    if (bank.isOpen())
+        earliest = std::max(earliest, bank.preAllowedAt());
+    return earliest;
+}
+
+Tick
+DramModule::earliestIssue(const DramCommand &cmd) const
+{
+    const Rank &rank = ranks_[cmd.rank];
+    const Bank &bank = rank.bank(cmd.bank);
+
+    switch (cmd.type) {
+      case DramCommandType::Activate:
+        return std::max({bank.actAllowedAt(), bank.busyUntil(),
+                         rank.nextActAllowed()});
+      case DramCommandType::Precharge:
+        return bank.preAllowedAt();
+      case DramCommandType::Read:
+      case DramCommandType::Write: {
+        // The data bus is busy [issue + tCL, issue + tCL + tBurst); the
+        // next burst may not start before the bus frees up.
+        const Tick busConstraint = dataBusFreeAt_ > cfg_.timing.tCL
+                                       ? dataBusFreeAt_ - cfg_.timing.tCL
+                                       : Tick(0);
+        return std::max(bank.rdWrAllowedAt(), busConstraint);
+      }
+      case DramCommandType::RefreshCbr: {
+        const auto [b, row] = rank.peekCbrTarget();
+        (void)row;
+        return earliestRefresh(rank, b);
+      }
+      case DramCommandType::RefreshRasOnly:
+        return earliestRefresh(rank, cmd.bank);
+    }
+    SMARTREF_PANIC("unknown command type");
+}
+
+Tick
+DramModule::issue(const DramCommand &cmd)
+{
+    const Tick now = eq_.now();
+    Rank &rank = ranks_[cmd.rank];
+    const Tick earliest = earliestIssue(cmd);
+    SMARTREF_ASSERT(now >= earliest, toString(cmd.type),
+                    " issued at ", now, " before earliest ", earliest);
+
+    integrateBackground(rank, now);
+
+    switch (cmd.type) {
+      case DramCommandType::Activate: {
+        checkAddress(cmd);
+        Bank &bank = rank.bank(cmd.bank);
+        SMARTREF_ASSERT(!bank.isOpen(), "ACT into open bank");
+        retention_.onActivate(cmd.rank, cmd.bank, cmd.row, now);
+        bank.activate(cmd.row, now, cfg_.timing);
+        rank.noteActivate(now, cfg_.timing);
+        power_.onActivatePair();
+        ++acts_;
+        return now + cfg_.timing.tRCD;
+      }
+      case DramCommandType::Precharge: {
+        Bank &bank = rank.bank(cmd.bank);
+        SMARTREF_ASSERT(bank.isOpen(), "PRE into precharged bank");
+        const Tick done = now + cfg_.timing.tRP;
+        retention_.onRestore(cmd.rank, cmd.bank, bank.openRow(), done);
+        bank.precharge(now, cfg_.timing);
+        rank.noteBusy(done);
+        ++pres_;
+        return done;
+      }
+      case DramCommandType::Read:
+      case DramCommandType::Write: {
+        checkAddress(cmd);
+        Bank &bank = rank.bank(cmd.bank);
+        SMARTREF_ASSERT(bank.isOpen() && bank.openRow() == cmd.row,
+                        "column access to row ", cmd.row,
+                        " but open row is ",
+                        bank.isOpen() ? bank.openRow() : ~0u);
+        const Tick done = now + cfg_.timing.tCL + cfg_.timing.tBurst;
+        dataBusFreeAt_ = done;
+        if (cmd.type == DramCommandType::Read) {
+            bank.read(now, cfg_.timing);
+            power_.onRead();
+            ++reads_;
+            rank.noteBusy(done);
+        } else {
+            bank.write(now, cfg_.timing);
+            power_.onWrite();
+            ++writes_;
+            rank.noteBusy(done + cfg_.timing.tWR);
+        }
+        return done;
+      }
+      case DramCommandType::RefreshCbr: {
+        const auto [b, row] = rank.nextCbrTarget();
+        ++cbrRefs_;
+        return issueRefresh(cmd.rank, b, row, false);
+      }
+      case DramCommandType::RefreshRasOnly: {
+        checkAddress(cmd);
+        ++rasRefs_;
+        return issueRefresh(cmd.rank, cmd.bank, cmd.row, true);
+      }
+    }
+    SMARTREF_PANIC("unknown command type");
+}
+
+Tick
+DramModule::issueRefresh(std::uint32_t rankIdx, std::uint32_t bankIdx,
+                         std::uint32_t row, bool ras)
+{
+    (void)ras;
+    const Tick now = eq_.now();
+    Rank &rank = ranks_[rankIdx];
+    Bank &bank = rank.bank(bankIdx);
+
+    const bool wasOpen = bank.isOpen();
+    if (wasOpen) {
+        // Closing the page restores the displaced row's charge.
+        retention_.onRestore(rankIdx, bankIdx, bank.openRow(),
+                             now + cfg_.timing.tRP);
+    }
+    const Tick done = bank.refresh(now, cfg_.timing, wasOpen);
+    retention_.onRefresh(rankIdx, bankIdx, row, done);
+    power_.onRowRefresh(wasOpen);
+    refreshesPerBank_[std::size_t(rankIdx) * cfg_.org.banks + bankIdx] +=
+        1.0;
+    rank.noteBusy(done);
+    return done;
+}
+
+void
+DramModule::integrateBackground(Rank &rank, Tick upTo)
+{
+    const Tick from = rank.powerIntegratedTo();
+    if (upTo <= from)
+        return;
+    rank.setPowerIntegratedTo(upTo);
+
+    if (rank.anyBankOpen()) {
+        power_.accountBackground(RankPowerState::ActiveStandby, upTo - from);
+        return;
+    }
+    if (!cfg_.allowPowerDown) {
+        power_.accountBackground(RankPowerState::PrechargeStandby,
+                                 upTo - from);
+        return;
+    }
+    // All banks precharged: the rank idles in standby for powerDownDelay
+    // after its last activity, then drops into power-down.
+    const Tick pdStart = rank.lastBusyEnd() + cfg_.timing.powerDownDelay;
+    const Tick standbyEnd = std::clamp(pdStart, from, upTo);
+    if (standbyEnd > from) {
+        power_.accountBackground(RankPowerState::PrechargeStandby,
+                                 standbyEnd - from);
+    }
+    if (upTo > standbyEnd)
+        power_.accountBackground(RankPowerState::PowerDown,
+                                 upTo - standbyEnd);
+}
+
+void
+DramModule::finalize()
+{
+    for (Rank &rank : ranks_)
+        integrateBackground(rank, eq_.now());
+}
+
+} // namespace smartref

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The DRAM module (device) model: command legality, timing enforcement,
+ * energy accounting and retention tracking for one DDR2-style module.
+ *
+ * The module is the timing *oracle*: the controller asks
+ * earliestIssue(cmd) and only calls issue() at or after that tick. issue()
+ * asserts legality, so scheduling bugs in a controller surface as panics
+ * rather than silently wrong results.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dram/commands.hh"
+#include "dram/dram_config.hh"
+#include "dram/power_model.hh"
+#include "dram/rank.hh"
+#include "dram/retention_tracker.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace smartref {
+
+/** One DRAM module with its ranks, banks, power and retention models. */
+class DramModule : public StatGroup
+{
+  public:
+    /**
+     * @param cfg    validated module configuration
+     * @param eq     event queue providing the time base
+     * @param parent stat parent (may be null for standalone use)
+     */
+    DramModule(const DramConfig &cfg, EventQueue &eq,
+               StatGroup *parent = nullptr);
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Earliest tick at which `cmd` may legally issue. */
+    Tick earliestIssue(const DramCommand &cmd) const;
+
+    /**
+     * Issue a command at the current tick.
+     * @return the completion tick (data available for reads; operation
+     *         fully done for activate/precharge/refresh)
+     */
+    Tick issue(const DramCommand &cmd);
+
+    /** @name Bank state inspection. */
+    ///@{
+    bool
+    isBankOpen(std::uint32_t rank, std::uint32_t bank) const
+    {
+        return ranks_[rank].bank(bank).isOpen();
+    }
+
+    std::uint32_t
+    openRow(std::uint32_t rank, std::uint32_t bank) const
+    {
+        return ranks_[rank].bank(bank).openRow();
+    }
+    ///@}
+
+    /** Shared data bus availability. */
+    Tick dataBusFreeAt() const { return dataBusFreeAt_; }
+
+    /**
+     * The (bank, row) a rank's CBR counter will select `lookahead`
+     * refreshes from now. Controllers use this to route queued CBR
+     * refreshes to the right bank before issue.
+     */
+    std::pair<std::uint32_t, std::uint32_t>
+    peekCbrTarget(std::uint32_t rank, std::uint64_t lookahead = 0) const
+    {
+        return ranks_[rank].peekCbrTarget(lookahead);
+    }
+
+    DramPowerModel &power() { return power_; }
+    const DramPowerModel &power() const { return power_; }
+
+    RetentionTracker &retention() { return retention_; }
+    const RetentionTracker &retention() const { return retention_; }
+
+    /** @name Command counts. */
+    ///@{
+    std::uint64_t activates() const { return asU64(acts_); }
+    std::uint64_t precharges() const { return asU64(pres_); }
+    std::uint64_t reads() const { return asU64(reads_); }
+    std::uint64_t writes() const { return asU64(writes_); }
+    std::uint64_t cbrRefreshes() const { return asU64(cbrRefs_); }
+    std::uint64_t rasOnlyRefreshes() const { return asU64(rasRefs_); }
+    std::uint64_t
+    totalRefreshes() const
+    {
+        return cbrRefreshes() + rasOnlyRefreshes();
+    }
+    ///@}
+
+    /**
+     * Integrate background power up to the current tick. Must be called
+     * once at the end of a simulation before reading energies.
+     */
+    void finalize();
+
+  private:
+    static std::uint64_t
+    asU64(const Scalar &s)
+    {
+        return static_cast<std::uint64_t>(s.value());
+    }
+
+    void checkAddress(const DramCommand &cmd) const;
+    void integrateBackground(Rank &rank, Tick upTo);
+    Tick issueRefresh(std::uint32_t rankIdx, std::uint32_t bankIdx,
+                      std::uint32_t row, bool ras);
+    Tick earliestRefresh(const Rank &rank, std::uint32_t bankIdx) const;
+
+    DramConfig cfg_;
+    EventQueue &eq_;
+    std::vector<Rank> ranks_;
+    Tick dataBusFreeAt_ = 0;
+
+    DramPowerModel power_;
+    RetentionTracker retention_;
+
+    Scalar acts_;
+    Scalar pres_;
+    Scalar reads_;
+    Scalar writes_;
+    Scalar cbrRefs_;
+    Scalar rasRefs_;
+    VectorStat refreshesPerBank_;
+
+  public:
+    /** Refreshes issued to one (rank, bank). */
+    std::uint64_t
+    refreshesToBank(std::uint32_t rank, std::uint32_t bank) const
+    {
+        return static_cast<std::uint64_t>(refreshesPerBank_.at(
+            std::size_t(rank) * cfg_.org.banks + bank));
+    }
+};
+
+} // namespace smartref

@@ -1,0 +1,112 @@
+#include "dram/power_model.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+namespace {
+
+/** Convert ticks to seconds. */
+double
+seconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+} // namespace
+
+DramPowerModel::DramPowerModel(const DramConfig &cfg, StatGroup *parent)
+    : StatGroup("power", parent),
+      actEnergy_(this, "actEnergy", "activate/precharge energy (J)"),
+      readEnergy_(this, "readEnergy", "read burst energy (J)"),
+      writeEnergy_(this, "writeEnergy", "write burst energy (J)"),
+      refreshEnergy_(this, "refreshEnergy", "refresh energy (J)"),
+      backgroundEnergy_(this, "backgroundEnergy", "standby energy (J)"),
+      overheadEnergy_(this, "overheadEnergy",
+                      "controller overhead energy: bus + counter SRAM (J)"),
+      refreshOpsClosed_(this, "refreshOpsClosed",
+                        "row refreshes into a precharged bank"),
+      refreshOpsOpen_(this, "refreshOpsOpen",
+                      "row refreshes that had to close an open page")
+{
+    const auto &p = cfg.power;
+    const auto &t = cfg.timing;
+    const double devices = cfg.org.devicesPerRank();
+
+    // Micron power methodology: the activate/precharge pair consumes
+    // IDD0 over tRC minus the standby currents that would have flowed
+    // anyway (IDD3N while the row is open, IDD2N while precharged).
+    eAct_ = (p.idd0 * seconds(t.tRC) - p.idd3n * seconds(t.tRAS) -
+             p.idd2n * seconds(t.tRC - t.tRAS)) *
+            p.vdd * devices;
+    eRead_ = (p.idd4r - p.idd3n) * p.vdd * seconds(t.tBurst) * devices;
+    eWrite_ = (p.idd4w - p.idd3n) * p.vdd * seconds(t.tBurst) * devices;
+    eRefresh_ =
+        (p.idd5r - p.idd2n) * p.vdd * seconds(t.tRFCrow) * devices;
+    // Closing an open page before refreshing costs roughly one extra
+    // restore+precharge, modelled as the IDD0 delta over tRP.
+    eRefreshOpenPenalty_ =
+        (p.idd0 - p.idd3n) * p.vdd * seconds(t.tRP) * devices;
+
+    pPowerDown_ = p.idd2p * p.vdd * devices;
+    pStandby_ = p.idd2n * p.vdd * devices;
+    pActive_ = p.idd3n * p.vdd * devices;
+
+    SMARTREF_ASSERT(eAct_ > 0 && eRefresh_ > 0,
+                    "power parameters produce non-positive energies");
+}
+
+void
+DramPowerModel::onActivatePair()
+{
+    actEnergy_ += eAct_;
+}
+
+void
+DramPowerModel::onRead()
+{
+    readEnergy_ += eRead_;
+}
+
+void
+DramPowerModel::onWrite()
+{
+    writeEnergy_ += eWrite_;
+}
+
+void
+DramPowerModel::onRowRefresh(bool bankWasOpen)
+{
+    refreshEnergy_ += eRefresh_;
+    if (bankWasOpen) {
+        refreshEnergy_ += eRefreshOpenPenalty_;
+        ++refreshOpsOpen_;
+    } else {
+        ++refreshOpsClosed_;
+    }
+}
+
+void
+DramPowerModel::accountBackground(RankPowerState state, Tick duration)
+{
+    backgroundEnergy_ += backgroundPower(state) * seconds(duration);
+}
+
+void
+DramPowerModel::addOverhead(double joules)
+{
+    overheadEnergy_ += joules;
+}
+
+double
+DramPowerModel::backgroundPower(RankPowerState state) const
+{
+    switch (state) {
+      case RankPowerState::PowerDown: return pPowerDown_;
+      case RankPowerState::PrechargeStandby: return pStandby_;
+      case RankPowerState::ActiveStandby: return pActive_;
+    }
+    return 0.0;
+}
+
+} // namespace smartref

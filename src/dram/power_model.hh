@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Micron-methodology DRAM energy model (the approach DRAMsim follows).
+ *
+ * Per-command energies are derived from datasheet IDD current deltas times
+ * VDD times the number of ganged devices; background energy is integrated
+ * over time according to each rank's standby state. All energies are in
+ * joules (double).
+ */
+
+#pragma once
+
+#include "dram/dram_config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Standby condition of a rank for background-power purposes. */
+enum class RankPowerState {
+    PowerDown,        ///< all banks precharged, CKE low (IDD2P)
+    PrechargeStandby, ///< all banks precharged, CKE high (IDD2N)
+    ActiveStandby,    ///< at least one bank open (IDD3N)
+};
+
+/** Accumulates per-component DRAM energy for one module. */
+class DramPowerModel : public StatGroup
+{
+  public:
+    DramPowerModel(const DramConfig &cfg, StatGroup *parent);
+
+    /** @name Per-event accounting (called by the device model). */
+    ///@{
+    void onActivatePair();                  ///< one ACT + eventual PRE
+    void onRead();                          ///< one read burst
+    void onWrite();                         ///< one write burst
+    /**
+     * One row refresh.
+     * @param bankWasOpen the refresh had to close an open page first,
+     *                    which costs an extra precharge-like energy
+     *                    (the non-linearity the paper describes in §7.1)
+     */
+    void onRowRefresh(bool bankWasOpen);
+    ///@}
+
+    /** Integrate background energy for one rank over a time span. */
+    void accountBackground(RankPowerState state, Tick duration);
+
+    /** Add externally-computed overhead energy (bus, counter SRAM). */
+    void addOverhead(double joules);
+
+    /** @name Energy read-out (joules). */
+    ///@{
+    double activateEnergy() const { return actEnergy_.value(); }
+    double readEnergy() const { return readEnergy_.value(); }
+    double writeEnergy() const { return writeEnergy_.value(); }
+    double refreshEnergy() const { return refreshEnergy_.value(); }
+    double backgroundEnergy() const { return backgroundEnergy_.value(); }
+    double overheadEnergy() const { return overheadEnergy_.value(); }
+
+    /** Everything except refresh and overhead. */
+    double
+    nonRefreshEnergy() const
+    {
+        return activateEnergy() + readEnergy() + writeEnergy() +
+               backgroundEnergy();
+    }
+
+    /** Total module energy including refresh and overheads. */
+    double
+    totalEnergy() const
+    {
+        return nonRefreshEnergy() + refreshEnergy() + overheadEnergy();
+    }
+    ///@}
+
+    /** @name Per-command energy constants (joules), for tests. */
+    ///@{
+    double energyPerActivatePair() const { return eAct_; }
+    double energyPerRead() const { return eRead_; }
+    double energyPerWrite() const { return eWrite_; }
+    double energyPerRowRefresh() const { return eRefresh_; }
+    double energyOpenPagePenalty() const { return eRefreshOpenPenalty_; }
+    double backgroundPower(RankPowerState state) const;
+    ///@}
+
+  private:
+    double eAct_;
+    double eRead_;
+    double eWrite_;
+    double eRefresh_;
+    double eRefreshOpenPenalty_;
+    double pPowerDown_;
+    double pStandby_;
+    double pActive_;
+
+    Scalar actEnergy_;
+    Scalar readEnergy_;
+    Scalar writeEnergy_;
+    Scalar refreshEnergy_;
+    Scalar backgroundEnergy_;
+    Scalar overheadEnergy_;
+    Scalar refreshOpsClosed_;
+    Scalar refreshOpsOpen_;
+};
+
+} // namespace smartref

@@ -1,0 +1,111 @@
+#include "dram/retention_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+RetentionTracker::RetentionTracker(std::uint32_t ranks, std::uint32_t banks,
+                                   std::uint32_t rows, Tick retention,
+                                   Tick slack, StatGroup *parent)
+    : StatGroup("retention", parent),
+      ranks_(ranks), banks_(banks), rows_(rows),
+      retention_(retention), slack_(slack),
+      lastRestore_(std::uint64_t(ranks) * banks * rows, 0),
+      violationCount_(this, "violations",
+                      "charge-age checks that exceeded the retention limit"),
+      checksPerformed_(this, "checks", "charge-age checks performed")
+{
+    SMARTREF_ASSERT(retention_ > 0, "zero retention limit");
+}
+
+void
+RetentionTracker::applyClassMultipliers(
+    const std::vector<std::uint8_t> &m)
+{
+    SMARTREF_ASSERT(m.size() == lastRestore_.size(),
+                    "class map covers ", m.size(), " rows, module has ",
+                    lastRestore_.size());
+    multipliers_ = m;
+}
+
+void
+RetentionTracker::check(std::uint64_t idx, Tick now, bool isRefresh)
+{
+    const Tick age = now - lastRestore_[idx];
+    ++checksPerformed_;
+    if (age > maxAge_)
+        maxAge_ = age;
+    if (isRefresh) {
+        if (!anyRefresh_ || age < minRefreshAge_)
+            minRefreshAge_ = age;
+        anyRefresh_ = true;
+        refreshAgeSum_ += static_cast<double>(age);
+        ++refreshAgeCount_;
+    }
+    if (age > limitOf(idx) + slack_)
+        ++violationCount_;
+}
+
+void
+RetentionTracker::onActivate(std::uint32_t rank, std::uint32_t bank,
+                             std::uint32_t row, Tick now)
+{
+    check(index(rank, bank, row), now, false);
+}
+
+void
+RetentionTracker::onRestore(std::uint32_t rank, std::uint32_t bank,
+                            std::uint32_t row, Tick now)
+{
+    lastRestore_[index(rank, bank, row)] = now;
+}
+
+void
+RetentionTracker::onRefresh(std::uint32_t rank, std::uint32_t bank,
+                            std::uint32_t row, Tick now)
+{
+    const std::uint64_t idx = index(rank, bank, row);
+    check(idx, now, true);
+    lastRestore_[idx] = now;
+}
+
+std::uint64_t
+RetentionTracker::finalCheck(Tick now)
+{
+    std::uint64_t stale = 0;
+    for (std::uint64_t idx = 0; idx < lastRestore_.size(); ++idx) {
+        // Restores are recorded at operation *completion* ticks, which
+        // may land just past the simulation horizon; those rows are
+        // fresh by construction.
+        const Tick t = lastRestore_[idx];
+        const Tick age = t >= now ? 0 : now - t;
+        if (age > maxAge_)
+            maxAge_ = age;
+        if (age > limitOf(idx) + slack_)
+            ++stale;
+    }
+    violationCount_ += static_cast<double>(stale);
+    return stale;
+}
+
+std::uint64_t
+RetentionTracker::violations() const
+{
+    return static_cast<std::uint64_t>(violationCount_.value());
+}
+
+double
+RetentionTracker::meanRefreshAge() const
+{
+    return refreshAgeCount_
+               ? refreshAgeSum_ / static_cast<double>(refreshAgeCount_)
+               : 0.0;
+}
+
+double
+RetentionTracker::measuredOptimality() const
+{
+    return meanRefreshAge() / static_cast<double>(retention_);
+}
+
+} // namespace smartref

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shadow model of DRAM cell charge age, used to *prove* refresh-policy
+ * correctness (paper Section 4.3) rather than assume it.
+ *
+ * Semantics follow the physical device:
+ *  - An ACTIVATE destructively reads a row into the sense amplifiers; the
+ *    data is only valid if the charge age at that instant is within the
+ *    retention limit. While the row is open, the amplifiers (static) hold
+ *    the data, so age does not advance for data-validity purposes.
+ *  - A PRECHARGE writes the open row back, restoring full charge.
+ *  - A REFRESH is an activate-restore of one row: it both checks the age
+ *    and restores the charge.
+ *
+ * A small configurable slack absorbs the bounded dispatch latency of the
+ * pending-refresh queue (at most queue-depth row-refresh times plus one
+ * in-flight data burst, i.e. well under the default 20 us).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Tracks last-restore time of every (rank, bank, row) in a module. */
+class RetentionTracker : public StatGroup
+{
+  public:
+    /**
+     * @param ranks/banks/rows module organization
+     * @param retention       the retention deadline in ticks
+     * @param slack           dispatch-latency allowance added to the limit
+     * @param parent          stat group parent (may be null)
+     */
+    RetentionTracker(std::uint32_t ranks, std::uint32_t banks,
+                     std::uint32_t rows, Tick retention,
+                     Tick slack = 20 * kMicrosecond,
+                     StatGroup *parent = nullptr);
+
+    /** Row is being activated (demand access): validate its charge age. */
+    void onActivate(std::uint32_t rank, std::uint32_t bank,
+                    std::uint32_t row, Tick now);
+
+    /** Row charge has been fully restored (precharge writeback). */
+    void onRestore(std::uint32_t rank, std::uint32_t bank,
+                   std::uint32_t row, Tick now);
+
+    /** Row is refreshed: validate then restore; records refresh age. */
+    void onRefresh(std::uint32_t rank, std::uint32_t bank,
+                   std::uint32_t row, Tick now);
+
+    /**
+     * Validate that every row would still be refreshable at `now`,
+     * i.e. no row's age exceeds the limit. Call at end of simulation.
+     * @return number of stale rows found (also accumulated in stats)
+     */
+    std::uint64_t finalCheck(Tick now);
+
+    /**
+     * Apply per-row retention multipliers (RAPID-style classes): row
+     * `idx`'s deadline becomes multipliers[idx] x the nominal limit.
+     * The vector is indexed by flat (rank, bank, row) order and must
+     * cover every row.
+     */
+    void applyClassMultipliers(const std::vector<std::uint8_t> &m);
+
+    /** The retention limit of one specific row. */
+    Tick
+    rowLimit(std::uint32_t rank, std::uint32_t bank,
+             std::uint32_t row) const
+    {
+        return limitOf(index(rank, bank, row));
+    }
+
+    /** Number of retention violations observed (must stay 0). */
+    std::uint64_t violations() const;
+
+    /** Largest charge age ever observed at a check (ticks). */
+    Tick maxObservedAge() const { return maxAge_; }
+
+    /** Smallest age observed at a *refresh* (ticks); 0 if none yet. */
+    Tick minRefreshAge() const { return minRefreshAge_; }
+
+    /** Mean age at refresh operations (ticks). */
+    double meanRefreshAge() const;
+
+    /**
+     * Measured refresh optimality: mean refresh age / retention limit.
+     * The paper's analytic bound is 1 - 1/2^bits for the worst case.
+     */
+    double measuredOptimality() const;
+
+    Tick retentionLimit() const { return retention_; }
+
+  private:
+    std::uint64_t
+    index(std::uint32_t rank, std::uint32_t bank, std::uint32_t row) const
+    {
+        return (std::uint64_t(rank) * banks_ + bank) * rows_ + row;
+    }
+
+    void check(std::uint64_t idx, Tick now, bool isRefresh);
+
+    Tick
+    limitOf(std::uint64_t idx) const
+    {
+        return multipliers_.empty() ? retention_
+                                    : retention_ * multipliers_[idx];
+    }
+
+    std::uint32_t ranks_, banks_, rows_;
+    Tick retention_;
+    Tick slack_;
+    std::vector<Tick> lastRestore_;
+    std::vector<std::uint8_t> multipliers_; ///< empty = uniform 1x
+
+    Tick maxAge_ = 0;
+    Tick minRefreshAge_ = 0;
+    bool anyRefresh_ = false;
+    double refreshAgeSum_ = 0.0;
+    std::uint64_t refreshAgeCount_ = 0;
+
+    Scalar violationCount_;
+    Scalar checksPerformed_;
+};
+
+} // namespace smartref

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Steady-state thermal model for die-stacked DRAM (paper Section 4.5).
+ *
+ * The paper's 32 ms experiments rest on a thermal argument: a DRAM die
+ * bonded on top of a processor absorbs the processor's heat, Annavaram
+ * et al. [14] report 90.27 C for a 64 MB stacked die, and the Micron
+ * datasheet [23] requires the refresh rate to double above 85 C. This
+ * model closes that loop: given the DRAM's own power and the heat
+ * conducted from the die below, it produces a junction temperature and
+ * the retention interval the datasheet rule then mandates. Defaults are
+ * calibrated so a 64 MB stacked die at its typical simulated power
+ * lands at the paper's 90.27 C anchor.
+ *
+ * T = ambient + theta_JA * (P_dram + P_conducted)
+ */
+
+#pragma once
+
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Package thermal parameters. */
+struct ThermalParams
+{
+    double ambientC = 45.0;        ///< in-package ambient under load
+    double thetaJA = 30.0;         ///< junction-to-ambient (C/W)
+    double conductedPowerW = 1.4;  ///< heat arriving from the CPU die;
+                                   ///< 0 for a DIMM on the board
+    double hotThresholdC = 85.0;   ///< Micron: double refresh above this
+};
+
+/** Maps DRAM power to temperature and required retention. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params = {})
+        : params_(params)
+    {
+    }
+
+    /** Junction temperature at the given DRAM power draw (W). */
+    double
+    temperatureC(double dramPowerW) const
+    {
+        return params_.ambientC +
+               params_.thetaJA * (dramPowerW + params_.conductedPowerW);
+    }
+
+    /** Whether the datasheet's doubled-refresh rule applies. */
+    bool
+    requiresFastRefresh(double dramPowerW) const
+    {
+        return temperatureC(dramPowerW) > params_.hotThresholdC;
+    }
+
+    /** The retention interval mandated at this power level. */
+    Tick
+    requiredRetention(double dramPowerW, Tick nominalRetention) const
+    {
+        return requiresFastRefresh(dramPowerW) ? nominalRetention / 2
+                                               : nominalRetention;
+    }
+
+    const ThermalParams &params() const { return params_; }
+
+    /** Thermal parameters for a conventional on-board DIMM. */
+    static ThermalParams
+    dimmParams()
+    {
+        ThermalParams p;
+        p.ambientC = 40.0;
+        p.thetaJA = 12.0;       // spread across 18 packages + airflow
+        p.conductedPowerW = 0.0; // no die stacked underneath
+        return p;
+    }
+
+  private:
+    ThermalParams params_;
+};
+
+} // namespace smartref

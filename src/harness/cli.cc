@@ -1,0 +1,70 @@
+#include "harness/cli.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+CliArgs::CliArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            SMARTREF_FATAL("unexpected argument '", arg,
+                           "' (flags are --key [value])");
+        arg = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &key,
+                   const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t
+CliArgs::getU64(const std::string &key, std::uint64_t fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+CliArgs::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+}
+
+ExperimentOptions
+CliArgs::experimentOptions() const
+{
+    ExperimentOptions opts;
+    opts.warmup = getU64("warmup-ms", 64) * kMillisecond;
+    opts.measure = getU64("measure-ms", 128) * kMillisecond;
+    opts.counterBits = static_cast<std::uint32_t>(getU64("bits", 3));
+    opts.segments = static_cast<std::uint32_t>(getU64("segments", 8));
+    opts.autoReconfigure = !has("no-auto");
+    opts.seed = getU64("seed", 42);
+    opts.verbose = has("verbose");
+    return opts;
+}
+
+} // namespace smartref

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal command-line flag parsing shared by bench and example
+ * binaries: "--key value" and "--flag" forms.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace smartref {
+
+/** Parsed "--key value" / "--flag" arguments. */
+class CliArgs
+{
+  public:
+    CliArgs(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+
+    /**
+     * Build ExperimentOptions from the standard flags:
+     * --warmup-ms N, --measure-ms N, --bits B, --segments N, --seed S,
+     * --no-auto (disable reconfiguration), --verbose.
+     */
+    ExperimentOptions experimentOptions() const;
+
+    /** Value of --csv (empty when absent). */
+    std::string csvPath() const { return getString("csv"); }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace smartref

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Closed-loop CPU system assembly: in-order cores -> private L1s ->
+ * shared L2 -> memory controller -> DRAM, matching the paper's
+ * execution-driven setup (Simics + Ruby in front of DRAMsim). Refresh
+ * interference here costs *instructions*, so policy comparisons yield a
+ * genuine speedup metric instead of only latency deltas.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cmp_hierarchy.hh"
+#include "cpu/simple_core.hh"
+#include "harness/system.hh"
+
+namespace smartref {
+
+/** Configuration of a closed-loop CPU system. */
+struct CpuSystemConfig
+{
+    DramConfig dram = ddr2_2GB();
+    ControllerConfig ctrl{};
+    PolicyKind policy = PolicyKind::Cbr;
+    SmartRefreshConfig smart{};
+    std::shared_ptr<const RetentionClassMap> retentionClasses;
+    std::uint32_t numCores = 2; ///< hierarchy is sized at construction
+    CacheConfig l1 = defaultL1();
+    CacheConfig l2 = defaultL2();
+
+    static CacheConfig
+    defaultL1()
+    {
+        CacheConfig cfg;
+        cfg.name = "L1.";
+        cfg.sizeBytes = 32 * kKiB;
+        cfg.assoc = 4;
+        cfg.hitLatency = 1 * kNanosecond;
+        return cfg;
+    }
+
+    /** Table 1's L2: 1 MB, 8-way. */
+    static CacheConfig
+    defaultL2()
+    {
+        CacheConfig cfg;
+        cfg.name = "L2";
+        cfg.sizeBytes = 1 * kMiB;
+        cfg.assoc = 8;
+        cfg.hitLatency = 6 * kNanosecond;
+        return cfg;
+    }
+};
+
+/** A CMP with a cache hierarchy in front of one DRAM module. */
+class CpuSystem : public StatGroup
+{
+  public:
+    explicit CpuSystem(const CpuSystemConfig &cfg);
+
+    /**
+     * Add one core executing the given access pattern (addresses are
+     * CPU-side; the hierarchy filters them before DRAM).
+     */
+    SimpleCore &addCore(const CoreParams &core,
+                        const WorkloadParams &pattern);
+
+    /** Advance simulated time; cores start on the first call. */
+    void run(Tick duration);
+
+    EventQueue &eventQueue() { return eq_; }
+    DramModule &dram() { return *dram_; }
+    MemoryController &controller() { return *ctrl_; }
+    CmpHierarchy &hierarchy() { return *hierarchy_; }
+    SimpleCore &core(std::uint32_t i) { return *cores_.at(i); }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    /** Aggregate instructions retired across cores. */
+    std::uint64_t totalInstructions() const;
+
+    const CpuSystemConfig &config() const { return cfg_; }
+
+  private:
+    CpuSystemConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<DramModule> dram_;
+    std::unique_ptr<MemoryController> ctrl_;
+    std::unique_ptr<RefreshPolicy> policy_;
+    std::unique_ptr<CmpHierarchy> hierarchy_;
+    std::vector<std::unique_ptr<SimpleCore>> cores_;
+    bool started_ = false;
+};
+
+} // namespace smartref

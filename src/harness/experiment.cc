@@ -1,0 +1,237 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+#include <iostream>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+EnergySnapshot
+operator-(const EnergySnapshot &b, const EnergySnapshot &a)
+{
+    EnergySnapshot d;
+    d.tick = b.tick - a.tick;
+    d.refreshes = b.refreshes - a.refreshes;
+    d.refreshEnergy = b.refreshEnergy - a.refreshEnergy;
+    d.actEnergy = b.actEnergy - a.actEnergy;
+    d.readEnergy = b.readEnergy - a.readEnergy;
+    d.writeEnergy = b.writeEnergy - a.writeEnergy;
+    d.backgroundEnergy = b.backgroundEnergy - a.backgroundEnergy;
+    d.overheadEnergy = b.overheadEnergy - a.overheadEnergy;
+    d.demandAccesses = b.demandAccesses - a.demandAccesses;
+    d.latencySumTicks = b.latencySumTicks - a.latencySumTicks;
+    d.violations = b.violations - a.violations;
+    return d;
+}
+
+EnergySnapshot
+captureSnapshot(System &sys)
+{
+    sys.dram().finalize();
+    EnergySnapshot s;
+    s.tick = sys.eventQueue().now();
+    s.refreshes = sys.dram().totalRefreshes();
+    const auto &p = sys.dram().power();
+    s.refreshEnergy = p.refreshEnergy();
+    s.actEnergy = p.activateEnergy();
+    s.readEnergy = p.readEnergy();
+    s.writeEnergy = p.writeEnergy();
+    s.backgroundEnergy = p.backgroundEnergy();
+    s.overheadEnergy = sys.refreshPolicy().overheadEnergy();
+    s.demandAccesses =
+        sys.controller().demandReads() + sys.controller().demandWrites();
+    s.latencySumTicks = sys.controller().latencySumTicks();
+    s.violations = sys.dram().retention().violations();
+    return s;
+}
+
+EnergySnapshot
+captureSnapshot(ThreeDSystem &sys)
+{
+    sys.threeDDram().finalize();
+    EnergySnapshot s;
+    s.tick = sys.eventQueue().now();
+    s.refreshes = sys.threeDDram().totalRefreshes();
+    const auto &p = sys.threeDDram().power();
+    s.refreshEnergy = p.refreshEnergy();
+    s.actEnergy = p.activateEnergy();
+    s.readEnergy = p.readEnergy();
+    s.writeEnergy = p.writeEnergy();
+    s.backgroundEnergy = p.backgroundEnergy();
+    s.overheadEnergy = sys.threeDPolicy().overheadEnergy();
+    s.demandAccesses = sys.cache().demandAccesses();
+    s.latencySumTicks = sys.cache().latencySum();
+    s.violations = sys.threeDDram().retention().violations() +
+                   sys.mainDram().retention().violations();
+    return s;
+}
+
+namespace {
+
+RunResult
+reduce(const std::string &benchmark, const std::string &suite,
+       const std::string &policy, const EnergySnapshot &delta,
+       std::size_t maxBacklog)
+{
+    RunResult r;
+    r.benchmark = benchmark;
+    r.suite = suite;
+    r.policy = policy;
+    r.simSeconds = static_cast<double>(delta.tick) /
+                   static_cast<double>(kSecond);
+    r.refreshesPerSec =
+        r.simSeconds > 0.0
+            ? static_cast<double>(delta.refreshes) / r.simSeconds
+            : 0.0;
+    r.refreshEnergyJ = delta.refreshEnergy;
+    r.totalEnergyJ = delta.totalEnergy();
+    r.overheadJ = delta.overheadEnergy;
+    r.latencySumSec = delta.latencySumTicks / static_cast<double>(kSecond);
+    r.demandAccesses = delta.demandAccesses;
+    r.avgLatencyNs =
+        delta.demandAccesses > 0
+            ? delta.latencySumTicks /
+                  static_cast<double>(delta.demandAccesses) /
+                  static_cast<double>(kNanosecond)
+            : 0.0;
+    r.violations = delta.violations;
+    r.maxRefreshBacklog = maxBacklog;
+    return r;
+}
+
+SmartRefreshConfig
+smartConfig(const ExperimentOptions &opts)
+{
+    SmartRefreshConfig sc;
+    sc.counterBits = opts.counterBits;
+    sc.segments = opts.segments;
+    sc.queueCapacity = opts.segments;
+    sc.autoReconfigure = opts.autoReconfigure;
+    return sc;
+}
+
+} // namespace
+
+RunResult
+runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
+                PolicyKind policy, const ExperimentOptions &opts,
+                double absRowScale)
+{
+    if (opts.verbose) {
+        std::cerr << "  [" << dram.name << "/" << toString(policy) << "] "
+                  << profile.name << "..." << std::endl;
+    }
+    SystemConfig cfg;
+    cfg.dram = dram;
+    cfg.policy = policy;
+    cfg.smart = smartConfig(opts);
+    System sys(cfg);
+    for (const auto &wp :
+         conventionalParams(profile, dram, absRowScale, opts.seed)) {
+        sys.addWorkload(wp);
+    }
+
+    sys.run(opts.warmup);
+    const EnergySnapshot atWarm = captureSnapshot(sys);
+    sys.run(opts.measure);
+    const EnergySnapshot atEnd = captureSnapshot(sys);
+
+    const std::uint64_t stale =
+        sys.dram().retention().finalCheck(sys.eventQueue().now());
+    EnergySnapshot delta = atEnd - atWarm;
+    delta.violations += stale;
+
+    return reduce(profile.name, profile.suite, toString(policy), delta,
+                  sys.controller().maxRefreshBacklog());
+}
+
+ComparisonResult
+compareConventional(const BenchmarkProfile &profile, const DramConfig &dram,
+                    const ExperimentOptions &opts, double absRowScale)
+{
+    ComparisonResult c;
+    c.benchmark = profile.name;
+    c.suite = profile.suite;
+    c.baseline = runConventional(profile, dram, PolicyKind::Cbr, opts,
+                                 absRowScale);
+    c.smart = runConventional(profile, dram, PolicyKind::Smart, opts,
+                              absRowScale);
+    return c;
+}
+
+RunResult
+runThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
+          PolicyKind policy, const ExperimentOptions &opts)
+{
+    if (opts.verbose) {
+        std::cerr << "  [" << threeD.name << "/" << toString(policy)
+                  << "] " << profile.name << "..." << std::endl;
+    }
+    ThreeDSystemConfig cfg;
+    cfg.threeD = threeD;
+    cfg.threeDPolicy = policy;
+    cfg.smart = smartConfig(opts);
+    ThreeDSystem sys(cfg);
+    for (const auto &wp : threeDParams(profile, threeD, opts.seed))
+        sys.addWorkload(wp);
+
+    sys.run(opts.warmup);
+    const EnergySnapshot atWarm = captureSnapshot(sys);
+    sys.run(opts.measure);
+    const EnergySnapshot atEnd = captureSnapshot(sys);
+
+    const std::uint64_t stale =
+        sys.threeDDram().retention().finalCheck(sys.eventQueue().now());
+    EnergySnapshot delta = atEnd - atWarm;
+    delta.violations += stale;
+
+    return reduce(profile.name, profile.suite, toString(policy), delta,
+                  sys.threeDController().maxRefreshBacklog());
+}
+
+ComparisonResult
+compareThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
+              const ExperimentOptions &opts)
+{
+    ComparisonResult c;
+    c.benchmark = profile.name;
+    c.suite = profile.suite;
+    c.baseline = runThreeD(profile, threeD, PolicyKind::Cbr, opts);
+    c.smart = runThreeD(profile, threeD, PolicyKind::Smart, opts);
+    return c;
+}
+
+std::vector<ComparisonResult>
+runConventionalSuite(const DramConfig &dram, const ExperimentOptions &opts,
+                     double absRowScale)
+{
+    std::vector<ComparisonResult> results;
+    for (const auto &profile : allProfiles()) {
+        results.push_back(
+            compareConventional(profile, dram, opts, absRowScale));
+    }
+    return results;
+}
+
+std::vector<ComparisonResult>
+runThreeDSuite(const DramConfig &threeD, const ExperimentOptions &opts)
+{
+    std::vector<ComparisonResult> results;
+    for (const auto &profile : allProfiles())
+        results.push_back(compareThreeD(profile, threeD, opts));
+    return results;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(std::max(v, 1e-12));
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace smartref

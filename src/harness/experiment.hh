@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Experiment runner: builds matched baseline/Smart systems for a
+ * benchmark profile, runs warmup + measurement windows, and reduces the
+ * results to the metrics the paper's figures report.
+ *
+ * Measurement uses snapshot deltas rather than statistic resets: a
+ * snapshot of all accumulating quantities is taken at the end of warmup
+ * and subtracted from the end-of-run snapshot, so transients (staggered
+ * counter initialisation, cold row buffers, cache warmup) are excluded.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+#include "harness/threed_system.hh"
+#include "trace/benchmark_profiles.hh"
+
+namespace smartref {
+
+/** Point-in-time capture of every accumulating quantity we report. */
+struct EnergySnapshot
+{
+    Tick tick = 0;
+    std::uint64_t refreshes = 0;
+    double refreshEnergy = 0.0;
+    double actEnergy = 0.0;
+    double readEnergy = 0.0;
+    double writeEnergy = 0.0;
+    double backgroundEnergy = 0.0;
+    double overheadEnergy = 0.0; ///< policy overhead: bus + counter SRAM
+    std::uint64_t demandAccesses = 0;
+    double latencySumTicks = 0.0;
+    std::uint64_t violations = 0;
+
+    double
+    totalEnergy() const
+    {
+        return refreshEnergy + actEnergy + readEnergy + writeEnergy +
+               backgroundEnergy + overheadEnergy;
+    }
+};
+
+/** Component-wise difference b - a. */
+EnergySnapshot operator-(const EnergySnapshot &b, const EnergySnapshot &a);
+
+/** Capture a conventional system's totals (finalises energies first). */
+EnergySnapshot captureSnapshot(System &sys);
+
+/** Capture the 3D module + cache-path totals of a 3D system. */
+EnergySnapshot captureSnapshot(ThreeDSystem &sys);
+
+/** Metrics of one (benchmark, policy) run over the measurement window. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string suite;
+    std::string policy;
+    double simSeconds = 0.0;
+    double refreshesPerSec = 0.0;
+    double refreshEnergyJ = 0.0;
+    double totalEnergyJ = 0.0;
+    double overheadJ = 0.0;
+    double avgLatencyNs = 0.0;
+    double latencySumSec = 0.0;
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t violations = 0;
+    std::size_t maxRefreshBacklog = 0;
+};
+
+/** Baseline-vs-Smart pairing with the figure metrics. */
+struct ComparisonResult
+{
+    std::string benchmark;
+    std::string suite;
+    RunResult baseline;
+    RunResult smart;
+
+    /** Fractional reduction in refresh operations (Figs. 6/9/12/15). */
+    double
+    refreshReduction() const
+    {
+        return baseline.refreshesPerSec > 0.0
+                   ? 1.0 - smart.refreshesPerSec / baseline.refreshesPerSec
+                   : 0.0;
+    }
+
+    /** Relative refresh-energy saving (Figs. 7/10/13/16); the Smart side
+     *  is charged its bus + counter overheads. */
+    double
+    refreshEnergySaving() const
+    {
+        const double base = baseline.refreshEnergyJ;
+        return base > 0.0
+                   ? 1.0 - (smart.refreshEnergyJ + smart.overheadJ) / base
+                   : 0.0;
+    }
+
+    /** Relative total DRAM energy saving (Figs. 8/11/14/17). */
+    double
+    totalEnergySaving() const
+    {
+        const double base = baseline.totalEnergyJ;
+        return base > 0.0 ? 1.0 - smart.totalEnergyJ / base : 0.0;
+    }
+
+    /** Performance improvement (Fig. 18): demand-stall time saved as a
+     *  fraction of execution time. */
+    double
+    perfImprovement() const
+    {
+        return baseline.simSeconds > 0.0
+                   ? (baseline.latencySumSec - smart.latencySumSec) /
+                         baseline.simSeconds
+                   : 0.0;
+    }
+};
+
+/** Shared knobs for experiment runs. */
+struct ExperimentOptions
+{
+    Tick warmup = 64 * kMillisecond;
+    Tick measure = 128 * kMillisecond;
+    std::uint32_t counterBits = 3;  ///< the paper's simulated width
+    std::uint32_t segments = 8;
+    bool autoReconfigure = true;
+    std::uint64_t seed = 42;
+    bool verbose = false;           ///< progress on stderr
+};
+
+/** Run one benchmark on a conventional module with one policy. */
+RunResult runConventional(const BenchmarkProfile &profile,
+                          const DramConfig &dram, PolicyKind policy,
+                          const ExperimentOptions &opts,
+                          double absRowScale = 1.0);
+
+/** CBR baseline vs Smart Refresh on a conventional module. */
+ComparisonResult compareConventional(const BenchmarkProfile &profile,
+                                     const DramConfig &dram,
+                                     const ExperimentOptions &opts,
+                                     double absRowScale = 1.0);
+
+/** Run one benchmark through the 3D DRAM cache with one policy. */
+RunResult runThreeD(const BenchmarkProfile &profile,
+                    const DramConfig &threeD, PolicyKind policy,
+                    const ExperimentOptions &opts);
+
+/** CBR baseline vs Smart Refresh on the 3D DRAM cache. */
+ComparisonResult compareThreeD(const BenchmarkProfile &profile,
+                               const DramConfig &threeD,
+                               const ExperimentOptions &opts);
+
+/** All 32 profiles on a conventional module. */
+std::vector<ComparisonResult>
+runConventionalSuite(const DramConfig &dram, const ExperimentOptions &opts,
+                     double absRowScale = 1.0);
+
+/** All 32 profiles through the 3D DRAM cache. */
+std::vector<ComparisonResult>
+runThreeDSuite(const DramConfig &threeD, const ExperimentOptions &opts);
+
+/** Geometric mean (values must be positive; non-positive are clamped). */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace smartref

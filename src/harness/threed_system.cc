@@ -1,0 +1,98 @@
+#include "harness/threed_system.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+ThreeDSystem::ThreeDSystem(const ThreeDSystemConfig &cfg)
+    : StatGroup("system3d"), cfg_(cfg)
+{
+    cfg_.threeD.validate();
+    cfg_.mainMem.validate();
+
+    threeDDram_ = std::make_unique<DramModule>(cfg_.threeD, eq_, this);
+    mainDram_ = std::make_unique<DramModule>(cfg_.mainMem, eq_, this);
+    threeDCtrl_ = std::make_unique<MemoryController>(*threeDDram_, eq_,
+                                                     cfg_.ctrl, this);
+    mainCtrl_ = std::make_unique<MemoryController>(*mainDram_, eq_,
+                                                   cfg_.ctrl, this);
+
+    switch (cfg_.threeDPolicy) {
+      case PolicyKind::Cbr:
+        policy_ = std::make_unique<CbrRefreshPolicy>(eq_, this);
+        break;
+      case PolicyKind::Burst:
+        policy_ = std::make_unique<BurstRefreshPolicy>(eq_, this);
+        break;
+      case PolicyKind::RasOnly:
+        policy_ = std::make_unique<RasOnlyRefreshPolicy>(
+            eq_, deriveBusParams(cfg_.bus, cfg_.threeD.org), this);
+        break;
+      case PolicyKind::Smart: {
+        SmartRefreshConfig sc = cfg_.smart;
+        sc.bus = deriveBusParams(sc.bus, cfg_.threeD.org);
+        // The stacked die hangs off die-to-die vias, not a board bus:
+        // no off-chip trace, single module load.
+        sc.bus.offChipLengthMm = 0.0;
+        sc.bus.onChipLengthMm = 12.0;
+        if (!sc.retentionClasses)
+            sc.retentionClasses = cfg_.retentionClasses;
+        auto smart = std::make_unique<SmartRefreshPolicy>(cfg_.threeD, sc,
+                                                          eq_, this);
+        smartPolicy_ = smart.get();
+        policy_ = std::move(smart);
+        break;
+      }
+      case PolicyKind::RetentionAware:
+        SMARTREF_ASSERT(cfg_.retentionClasses != nullptr,
+                        "RetentionAware policy needs retentionClasses");
+        policy_ = std::make_unique<RetentionAwarePolicy>(
+            eq_, cfg_.retentionClasses,
+            deriveBusParams(cfg_.bus, cfg_.threeD.org), this);
+        break;
+    }
+    if (cfg_.retentionClasses) {
+        std::vector<std::uint8_t> m(cfg_.retentionClasses->totalRows());
+        for (std::uint64_t i = 0; i < m.size(); ++i) {
+            m[i] = static_cast<std::uint8_t>(
+                cfg_.retentionClasses->multiplier(i));
+        }
+        threeDDram_->retention().applyClassMultipliers(m);
+    }
+    threeDCtrl_->setRefreshPolicy(policy_.get());
+
+    mainPolicy_ = std::make_unique<CbrRefreshPolicy>(eq_, this);
+    mainCtrl_->setRefreshPolicy(mainPolicy_.get());
+
+    cache_ = std::make_unique<DramCache>(*threeDCtrl_, *mainCtrl_,
+                                         cfg_.cache, eq_, this);
+}
+
+WorkloadModel &
+ThreeDSystem::addWorkload(const WorkloadParams &params)
+{
+    SMARTREF_ASSERT(!started_, "cannot add workloads after run()");
+    auto sink = [this](Addr addr, bool write) {
+        cache_->access(addr, write);
+    };
+    workloads_.push_back(std::make_unique<WorkloadModel>(
+        params, cfg_.threeD.org.rowBytes(), sink, eq_, this));
+    return *workloads_.back();
+}
+
+void
+ThreeDSystem::run(Tick duration)
+{
+    if (!started_) {
+        started_ = true;
+        for (auto &w : workloads_)
+            w->start();
+    }
+    eq_.runUntil(eq_.now() + duration);
+    threeDDram_->finalize();
+    mainDram_->finalize();
+    if (smartPolicy_)
+        smartPolicy_->syncEnergyStats();
+}
+
+} // namespace smartref

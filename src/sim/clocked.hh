@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Clock-domain helper: converts between cycles of a component clock and
+ * global ticks.
+ */
+
+#pragma once
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** A clock domain with a fixed period. */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(Tick period) : period_(period)
+    {
+        SMARTREF_ASSERT(period > 0, "clock period must be positive");
+    }
+
+    Tick period() const { return period_; }
+
+    /** Frequency in MHz (rounded down). */
+    std::uint64_t mhz() const { return kSecond / period_ / 1000000; }
+
+    /** Convert a cycle count to a tick duration. */
+    Tick toTicks(Cycles c) const { return c * period_; }
+
+    /** Cycles elapsed at `t` (rounded down). */
+    Cycles toCycles(Tick t) const { return t / period_; }
+
+    /** The first tick >= t that lies on a clock edge. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        const Tick rem = t % period_;
+        return rem == 0 ? t : t + (period_ - rem);
+    }
+
+  private:
+    Tick period_;
+};
+
+} // namespace smartref

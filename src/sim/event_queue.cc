@@ -1,0 +1,44 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+void
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    SMARTREF_ASSERT(when >= now_, "scheduling into the past: ", when,
+                    " < now ", now_);
+    heap_.push(Entry{when, static_cast<int>(prio), seq_++, std::move(cb)});
+}
+
+void
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // priority_queue::top returns const&; move out via const_cast is
+        // the standard idiom but fragile — copy the small metadata and
+        // move only the callback.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    if (now_ < limit)
+        now_ = limit;
+}
+
+} // namespace smartref

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulation core: events, the event queue, and the
+ * Simulation driver that advances time.
+ *
+ * The queue is a binary min-heap ordered by (tick, priority, sequence).
+ * The sequence number guarantees FIFO ordering among same-tick,
+ * same-priority events, which keeps simulations deterministic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Scheduling priority; lower values execute first within a tick. */
+enum class EventPriority : int {
+    ClockTick = 0,   ///< clock-domain maintenance (counter walks)
+    Default = 10,    ///< ordinary component callbacks
+    Stats = 100,     ///< end-of-window statistics sampling
+};
+
+/**
+ * The global event queue for one simulation.
+ *
+ * Callbacks are std::function; components capture `this`. Events cannot be
+ * descheduled (none of this codebase needs it); a cancelled event pattern
+ * can be implemented by the callback checking a generation counter.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * Scheduling in the past is an internal error.
+     */
+    void schedule(Tick when, Callback cb,
+                  EventPriority prio = EventPriority::Default);
+
+    /** Schedule a callback `delta` ticks from now. */
+    void
+    scheduleAfter(Tick delta, Callback cb,
+                  EventPriority prio = EventPriority::Default)
+    {
+        schedule(now_ + delta, std::move(cb), prio);
+    }
+
+    /** Execute events until the queue is empty. */
+    void run();
+
+    /**
+     * Execute events with tick <= limit, then set now() to limit.
+     * Events scheduled beyond the limit remain pending.
+     */
+    void runUntil(Tick limit);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace smartref

@@ -1,0 +1,155 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    SMARTREF_ASSERT(bound > 0, "nextBelow(0) is meaningless");
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    SMARTREF_ASSERT(lo <= hi, "bad range [", lo, ", ", hi, "]");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha)
+{
+    SMARTREF_ASSERT(n > 0, "zipf population must be positive");
+    SMARTREF_ASSERT(alpha >= 0.0, "zipf alpha must be non-negative");
+    hX1_ = hIntegral(1.5) - 1.0;
+    hN_ = hIntegral(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double logx = std::log(x);
+    // Integral of x^-alpha; the alpha==1 limit is log(x).
+    if (std::abs(1.0 - alpha_) < 1e-12)
+        return logx;
+    return (std::exp((1.0 - alpha_) * logx) - 1.0) / (1.0 - alpha_);
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    if (std::abs(1.0 - alpha_) < 1e-12)
+        return std::exp(x);
+    double t = x * (1.0 - alpha_) + 1.0;
+    if (t < 0.0)
+        t = 0.0;
+    return std::exp(std::log(t) / (1.0 - alpha_));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-alpha_ * std::log(x));
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (alpha_ == 0.0)
+        return rng.nextBelow(n_);
+    while (true) {
+        const double u = hN_ + rng.nextDouble() * (hX1_ - hN_);
+        const double x = hIntegralInverse(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd))
+            return k - 1; // shift to zero-based
+    }
+}
+
+} // namespace smartref

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic component takes an explicit Rng (or a seed) so that a
+ * given configuration replays identically run-to-run; tests rely on this.
+ * The generator is xoshiro256** seeded through splitmix64, which is fast,
+ * has a 2^256-1 period and passes BigCrush.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** xoshiro256** PRNG with convenience distributions. */
+class Rng
+{
+  public:
+    /** Seed through splitmix64 so that small seeds are well mixed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's unbiased method. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of true. */
+    bool nextBool(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double nextExponential(double mean);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n).
+ *
+ * Uses the rejection-inversion method of Hörmann & Derflinger, which is
+ * O(1) per sample and exact, so large row populations (hundreds of
+ * thousands) are cheap to sample from.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     population size (samples are in [0, n))
+     * @param alpha skew exponent; 0 reduces to uniform
+     */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw one sample. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t population() const { return n_; }
+    double alpha() const { return alpha_; }
+
+  private:
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+    double h(double x) const;
+
+    std::uint64_t n_;
+    double alpha_;
+    double hX1_;
+    double hN_;
+    double s_;
+};
+
+} // namespace smartref

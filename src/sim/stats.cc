@@ -1,0 +1,222 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    SMARTREF_ASSERT(parent != nullptr, "stat '", name_, "' needs a group");
+    parent->registerStat(this);
+}
+
+namespace {
+
+void
+printLine(std::ostream &os, const std::string &prefix,
+          const std::string &name, double value, const std::string &desc)
+{
+    std::ostringstream full;
+    full << prefix << name;
+    os << std::left << std::setw(46) << full.str() << " "
+       << std::right << std::setw(16) << std::setprecision(6) << value;
+    if (!desc.empty())
+        os << "  # " << desc;
+    os << '\n';
+}
+
+} // namespace
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), value_, desc());
+}
+
+VectorStat::VectorStat(StatGroup *parent, std::string name, std::string desc,
+                       std::vector<std::string> labels)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      labels_(std::move(labels)), values_(labels_.size(), 0.0)
+{
+}
+
+double
+VectorStat::total() const
+{
+    double t = 0.0;
+    for (double v : values_)
+        t += v;
+    return t;
+}
+
+void
+VectorStat::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        printLine(os, prefix, name() + "::" + labels_[i], values_[i], "");
+    printLine(os, prefix, name() + "::total", total(), desc());
+}
+
+void
+VectorStat::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+Histogram::Histogram(StatGroup *parent, std::string name, std::string desc,
+                     double lo, double hi, std::size_t buckets)
+    : StatBase(parent, std::move(name), std::move(desc)),
+      lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    SMARTREF_ASSERT(hi > lo && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    if (samples_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    samples_ += count;
+    sum_ += v * static_cast<double>(count);
+    sumSq_ += v * v * static_cast<double>(count);
+    if (v < lo_) {
+        underflow_ += count;
+    } else if (v >= hi_) {
+        overflow_ += count;
+    } else {
+        auto idx = static_cast<std::size_t>(
+            (v - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+        counts_[std::min(idx, counts_.size() - 1)] += count;
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+double
+Histogram::stddev() const
+{
+    if (samples_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(samples_);
+    const double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name() + "::samples",
+              static_cast<double>(samples_), desc());
+    printLine(os, prefix, name() + "::mean", mean(), "");
+    printLine(os, prefix, name() + "::min", min_, "");
+    printLine(os, prefix, name() + "::max", max_, "");
+    printLine(os, prefix, name() + "::stddev", stddev(), "");
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = sumSq_ = min_ = max_ = 0.0;
+}
+
+Formula::Formula(StatGroup *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    printLine(os, prefix, name(), value(), desc());
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->registerChild(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->unregisterChild(this);
+}
+
+std::string
+StatGroup::fullStatName() const
+{
+    if (!parent_)
+        return name_;
+    const std::string base = parent_->fullStatName();
+    return base.empty() ? name_ : base + "." + name_;
+}
+
+void
+StatGroup::dumpStats(std::ostream &os) const
+{
+    const std::string prefix =
+        fullStatName().empty() ? "" : fullStatName() + ".";
+    for (const StatBase *s : stats_)
+        s->dump(os, prefix);
+    for (const StatGroup *c : children_)
+        c->dumpStats(os);
+}
+
+void
+StatGroup::resetStats()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (StatGroup *c : children_)
+        c->resetStats();
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (const StatBase *s : stats_)
+        if (s->name() == name)
+            return s;
+    return nullptr;
+}
+
+void
+StatGroup::registerStat(StatBase *stat)
+{
+    SMARTREF_ASSERT(findStat(stat->name()) == nullptr,
+                    "duplicate stat '", stat->name(), "' in group '",
+                    name_, "'");
+    stats_.push_back(stat);
+}
+
+void
+StatGroup::registerChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::unregisterChild(StatGroup *child)
+{
+    std::erase(children_, child);
+}
+
+} // namespace smartref

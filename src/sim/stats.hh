@@ -1,0 +1,188 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's stats package.
+ *
+ * Components own typed statistics (Scalar, Vector, Histogram, Formula) and
+ * register them with a StatGroup. Groups nest; dumping a root group prints
+ * every statistic below it with fully-qualified dotted names. Formulas are
+ * evaluated lazily at dump time so derived metrics (rates, ratios) always
+ * reflect the final counter values.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smartref {
+
+class StatGroup;
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print "name value # desc" line(s) with the given prefix. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single accumulating value. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator-=(double v) { value_ -= v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A fixed-length vector of accumulating values with element labels. */
+class VectorStat : public StatBase
+{
+  public:
+    VectorStat(StatGroup *parent, std::string name, std::string desc,
+               std::vector<std::string> labels);
+
+    double &operator[](std::size_t i) { return values_.at(i); }
+    double at(std::size_t i) const { return values_.at(i); }
+    std::size_t size() const { return values_.size(); }
+    double total() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::string> labels_;
+    std::vector<double> values_;
+};
+
+/** A histogram over a fixed linear bucket range, with overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    /**
+     * @param lo      lower bound of the first bucket
+     * @param hi      upper bound of the last bucket
+     * @param buckets number of linear buckets between lo and hi
+     */
+    Histogram(StatGroup *parent, std::string name, std::string desc,
+              double lo, double hi, std::size_t buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double stddev() const;
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t underflows() const { return underflow_; }
+    std::uint64_t overflows() const { return overflow_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A lazily-evaluated derived statistic. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics and child groups.
+ *
+ * Groups form a tree; statistics register themselves with their parent at
+ * construction. Ownership of the stat objects stays with the component that
+ * declares them (they are members); the group only keeps raw pointers, so a
+ * group must outlive its registered statistics' uses of it but not the
+ * stats themselves (tests create/destroy components freely).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &statName() const { return name_; }
+
+    /** Dotted path from the root group. */
+    std::string fullStatName() const;
+
+    /** Print every statistic in this group and below. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Reset every statistic in this group and below. */
+    void resetStats();
+
+    /** Find a registered stat by name within this group only. */
+    const StatBase *findStat(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+    void registerStat(StatBase *stat);
+    void registerChild(StatGroup *child);
+    void unregisterChild(StatGroup *child);
+
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace smartref

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, addresses and unit helpers.
+ *
+ * The simulator counts time in integer picoseconds ("ticks"). One tick is
+ * small enough to represent any DRAM clock (DDR2-667 has a 1500 ps period)
+ * without rounding, and a 64-bit tick counter covers ~213 days of simulated
+ * time, far beyond any experiment in this repository.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace smartref {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** A cycle count within some clock domain. */
+using Cycles = std::uint64_t;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick kTickMax = ~Tick(0);
+
+/** @name Time unit literals (all expressed in ticks = picoseconds). */
+///@{
+constexpr Tick kPicosecond = 1;
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+///@}
+
+/** @name Capacity unit helpers. */
+///@{
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+///@}
+
+/** Convert a frequency in MHz to a clock period in ticks. */
+constexpr Tick
+periodFromMHz(std::uint64_t mhz)
+{
+    return kSecond / (mhz * 1000000);
+}
+
+} // namespace smartref

@@ -1,0 +1,54 @@
+#include "trace/address_pattern.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+AddressPattern::AddressPattern(const WorkloadParams &params,
+                               std::uint64_t rowBytes)
+    : params_(params),
+      rowBytes_(rowBytes),
+      rng_(params.seed),
+      zipf_(std::max<std::uint64_t>(params.footprintRows, 1),
+            params.zipfAlpha)
+{
+    SMARTREF_ASSERT(params.footprintRows > 0, "empty footprint");
+    SMARTREF_ASSERT(params.accessesPerVisit >= 1, "empty visits");
+    SMARTREF_ASSERT(rowBytes_ >= 64, "row smaller than a line");
+}
+
+std::uint64_t
+AddressPattern::pickRow()
+{
+    if (rng_.nextBool(params_.randomJumpProb))
+        return zipf_.sample(rng_);
+    const std::uint64_t row = scanPos_;
+    scanPos_ = (scanPos_ + 1) % params_.footprintRows;
+    return row;
+}
+
+AddressPattern::Access
+AddressPattern::next()
+{
+    Access access;
+    if (runRemaining_ == 0) {
+        ++visits_;
+        currentRow_ = pickRow();
+        currentCol_ =
+            static_cast<std::uint32_t>(rng_.nextBelow(rowBytes_ / 64));
+        runRemaining_ = params_.accessesPerVisit;
+        access.startsNewRow = true;
+    }
+    --runRemaining_;
+
+    const std::uint64_t physicalRow =
+        currentRow_ * params_.rowStride + params_.rowOffset;
+    access.addr =
+        physicalRow * rowBytes_ + (currentCol_ * 64ull) % rowBytes_;
+    ++currentCol_;
+    access.write = !rng_.nextBool(params_.readFraction);
+    ++accesses_;
+    return access;
+}
+
+} // namespace smartref

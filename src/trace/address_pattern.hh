@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Closed-loop address-stream generator.
+ *
+ * WorkloadModel drives *open-loop* traffic (accesses arrive at wall-
+ * clock rates regardless of memory backpressure) — right for the
+ * figure experiments, where the access stream is the independent
+ * variable. A CPU model needs the *same spatial behaviour* but paced by
+ * execution: AddressPattern produces one access at a time on demand,
+ * using the identical WorkloadParams vocabulary (footprint sweep with
+ * Zipf jumps, open-page run lengths, read mix, stride/offset
+ * interleaving).
+ */
+
+#pragma once
+
+#include "sim/random.hh"
+#include "trace/workload_model.hh"
+
+namespace smartref {
+
+/** Pull-based generator of the WorkloadParams access pattern. */
+class AddressPattern
+{
+  public:
+    /** One generated access. */
+    struct Access
+    {
+        Addr addr = 0;
+        bool write = false;
+        bool startsNewRow = false; ///< first access of a row visit
+    };
+
+    AddressPattern(const WorkloadParams &params, std::uint64_t rowBytes);
+
+    /** Produce the next access of the stream. */
+    Access next();
+
+    std::uint64_t rowVisits() const { return visits_; }
+    std::uint64_t accessesGenerated() const { return accesses_; }
+
+  private:
+    std::uint64_t pickRow();
+
+    WorkloadParams params_;
+    std::uint64_t rowBytes_;
+    Rng rng_;
+    ZipfSampler zipf_;
+    std::uint64_t scanPos_ = 0;
+    std::uint64_t currentRow_ = 0;
+    std::uint32_t currentCol_ = 0;
+    std::uint32_t runRemaining_ = 0;
+    std::uint64_t visits_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace smartref

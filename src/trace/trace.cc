@@ -1,0 +1,130 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'S', 'R', 'T', 'R', 'A', 'C', 'E', '1'};
+
+#pragma pack(push, 1)
+struct BinaryRecord
+{
+    std::uint64_t tick;
+    std::uint64_t addr;
+    std::uint8_t write;
+};
+#pragma pack(pop)
+
+} // namespace
+
+struct TraceWriter::Impl
+{
+    std::ofstream out;
+    TraceFormat format;
+};
+
+TraceWriter::TraceWriter(const std::string &path, TraceFormat format)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->format = format;
+    const auto mode = format == TraceFormat::Binary
+                          ? std::ios::binary | std::ios::out
+                          : std::ios::out;
+    impl_->out.open(path, mode);
+    if (!impl_->out)
+        SMARTREF_FATAL("cannot open trace file '", path, "' for writing");
+    if (format == TraceFormat::Binary)
+        impl_->out.write(kBinaryMagic, sizeof(kBinaryMagic));
+}
+
+TraceWriter::~TraceWriter() = default;
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    if (impl_->format == TraceFormat::Text) {
+        impl_->out << rec.tick << " 0x" << std::hex << rec.addr << std::dec
+                   << (rec.write ? " W" : " R") << '\n';
+    } else {
+        BinaryRecord b{rec.tick, rec.addr,
+                       static_cast<std::uint8_t>(rec.write ? 1 : 0)};
+        impl_->out.write(reinterpret_cast<const char *>(&b), sizeof(b));
+    }
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    impl_->out.close();
+}
+
+struct TraceReader::Impl
+{
+    std::ifstream in;
+};
+
+TraceReader::TraceReader(const std::string &path)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->in.open(path, std::ios::binary);
+    if (!impl_->in)
+        SMARTREF_FATAL("cannot open trace file '", path, "'");
+    char magic[sizeof(kBinaryMagic)] = {};
+    impl_->in.read(magic, sizeof(magic));
+    if (impl_->in.gcount() == sizeof(magic) &&
+        std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0) {
+        format_ = TraceFormat::Binary;
+    } else {
+        format_ = TraceFormat::Text;
+        impl_->in.clear();
+        impl_->in.seekg(0);
+    }
+}
+
+TraceReader::~TraceReader() = default;
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    if (format_ == TraceFormat::Binary) {
+        BinaryRecord b;
+        impl_->in.read(reinterpret_cast<char *>(&b), sizeof(b));
+        if (impl_->in.gcount() != sizeof(b))
+            return false;
+        rec = TraceRecord{b.tick, b.addr, b.write != 0};
+        return true;
+    }
+    std::string line;
+    while (std::getline(impl_->in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream iss(line);
+        std::string rw;
+        if (!(iss >> rec.tick >> std::hex >> rec.addr >> std::dec >> rw))
+            SMARTREF_FATAL("malformed trace line: '", line, "'");
+        rec.write = (rw == "W" || rw == "w");
+        return true;
+    }
+    return false;
+}
+
+std::vector<TraceRecord>
+TraceReader::readAll(const std::string &path)
+{
+    TraceReader reader(path);
+    std::vector<TraceRecord> out;
+    TraceRecord rec;
+    while (reader.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+} // namespace smartref

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Memory-trace records and file I/O.
+ *
+ * Traces capture the DRAM-level access stream (post-cache), one record
+ * per access. Two interchangeable encodings are provided: a line-based
+ * text format ("<tick> <hex addr> R|W") for inspection, and a packed
+ * binary format for bulk replay. Readers auto-detect the format.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** One traced memory access. */
+struct TraceRecord
+{
+    Tick tick = 0;
+    Addr addr = 0;
+    bool write = false;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return tick == o.tick && addr == o.addr && write == o.write;
+    }
+};
+
+/** Trace file encodings. */
+enum class TraceFormat { Text, Binary };
+
+/** Streams TraceRecords to a file. */
+class TraceWriter
+{
+  public:
+    TraceWriter(const std::string &path, TraceFormat format);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const TraceRecord &rec);
+    std::uint64_t recordsWritten() const { return count_; }
+    void close();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    std::uint64_t count_ = 0;
+};
+
+/** Reads TraceRecords from a file (format auto-detected). */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** @return false at end of trace. */
+    bool next(TraceRecord &rec);
+
+    TraceFormat format() const { return format_; }
+
+    /** Convenience: slurp an entire trace. */
+    static std::vector<TraceRecord> readAll(const std::string &path);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    TraceFormat format_ = TraceFormat::Text;
+};
+
+} // namespace smartref

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/activity_monitor.hh"
+
+using namespace smartref;
+
+namespace {
+constexpr std::uint64_t kRows = 10000;
+} // namespace
+
+class MonitorTest : public ::testing::Test
+{
+  protected:
+    StatGroup root{"root"};
+    ActivityMonitor mon{kRows, ActivityMonitorParams{}, &root};
+};
+
+TEST_F(MonitorTest, ThresholdsFromFractions)
+{
+    EXPECT_EQ(mon.disableThreshold(), 100u); // 1 % of 10000
+    EXPECT_EQ(mon.enableThreshold(), 200u);  // 2 %
+}
+
+TEST_F(MonitorTest, QuietWindowDisablesSmart)
+{
+    for (int i = 0; i < 50; ++i)
+        mon.recordAccess();
+    EXPECT_EQ(mon.closeWindow(true),
+              ActivityMonitor::Decision::SwitchToCbr);
+    EXPECT_EQ(mon.switchesToCbr(), 1u);
+}
+
+TEST_F(MonitorTest, BusyWindowKeepsSmart)
+{
+    for (int i = 0; i < 5000; ++i)
+        mon.recordAccess();
+    EXPECT_EQ(mon.closeWindow(true),
+              ActivityMonitor::Decision::KeepSmart);
+}
+
+TEST_F(MonitorTest, BusyWindowReenables)
+{
+    for (int i = 0; i < 300; ++i)
+        mon.recordAccess();
+    EXPECT_EQ(mon.closeWindow(false),
+              ActivityMonitor::Decision::SwitchToSmart);
+    EXPECT_EQ(mon.switchesToSmart(), 1u);
+}
+
+TEST_F(MonitorTest, HysteresisBandSticks)
+{
+    // 150 accesses: above the disable threshold, below the enable one.
+    for (int i = 0; i < 150; ++i)
+        mon.recordAccess();
+    EXPECT_EQ(mon.closeWindow(true),
+              ActivityMonitor::Decision::KeepSmart);
+    for (int i = 0; i < 150; ++i)
+        mon.recordAccess();
+    EXPECT_EQ(mon.closeWindow(false),
+              ActivityMonitor::Decision::KeepCbr);
+}
+
+TEST_F(MonitorTest, WindowCounterResetsEachWindow)
+{
+    for (int i = 0; i < 5000; ++i)
+        mon.recordAccess();
+    mon.closeWindow(true);
+    EXPECT_EQ(mon.windowAccesses(), 0u);
+    // An empty follow-up window must now trigger the fall-back.
+    EXPECT_EQ(mon.closeWindow(true),
+              ActivityMonitor::Decision::SwitchToCbr);
+}
+
+TEST_F(MonitorTest, DiscardWindowMakesNoDecision)
+{
+    for (int i = 0; i < 5000; ++i)
+        mon.recordAccess();
+    mon.discardWindow();
+    EXPECT_EQ(mon.windowAccesses(), 0u);
+    EXPECT_EQ(mon.switchesToCbr(), 0u);
+    EXPECT_EQ(mon.switchesToSmart(), 0u);
+}
+
+TEST_F(MonitorTest, ExactThresholdBoundaries)
+{
+    // Exactly at the disable threshold: NOT below -> keep smart.
+    for (std::uint64_t i = 0; i < mon.disableThreshold(); ++i)
+        mon.recordAccess();
+    EXPECT_EQ(mon.closeWindow(true),
+              ActivityMonitor::Decision::KeepSmart);
+    // Exactly at the enable threshold: NOT above -> keep CBR.
+    for (std::uint64_t i = 0; i < mon.enableThreshold(); ++i)
+        mon.recordAccess();
+    EXPECT_EQ(mon.closeWindow(false),
+              ActivityMonitor::Decision::KeepCbr);
+}
+
+TEST(MonitorConfig, RejectsInvertedThresholds)
+{
+    StatGroup root("root");
+    ActivityMonitorParams p;
+    p.disableBelowFraction = 0.05;
+    p.enableAboveFraction = 0.01;
+    EXPECT_THROW(ActivityMonitor(1000, p, &root), std::logic_error);
+}

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/address_pattern.hh"
+
+using namespace smartref;
+
+namespace {
+
+WorkloadParams
+baseParams()
+{
+    WorkloadParams wp;
+    wp.footprintRows = 16;
+    wp.accessesPerVisit = 4;
+    wp.randomJumpProb = 0.0;
+    wp.readFraction = 1.0;
+    wp.seed = 3;
+    return wp;
+}
+
+constexpr std::uint64_t kRowBytes = 1024;
+
+} // namespace
+
+TEST(AddressPattern, RunsStayWithinOneRow)
+{
+    AddressPattern p(baseParams(), kRowBytes);
+    for (int visit = 0; visit < 10; ++visit) {
+        const auto first = p.next();
+        EXPECT_TRUE(first.startsNewRow);
+        const std::uint64_t row = first.addr / kRowBytes;
+        for (std::uint32_t i = 1; i < 4; ++i) {
+            const auto a = p.next();
+            EXPECT_FALSE(a.startsNewRow);
+            EXPECT_EQ(a.addr / kRowBytes, row);
+        }
+    }
+}
+
+TEST(AddressPattern, SweepCoversFootprint)
+{
+    AddressPattern p(baseParams(), kRowBytes);
+    std::set<std::uint64_t> rows;
+    for (int i = 0; i < 16 * 4; ++i)
+        rows.insert(p.next().addr / kRowBytes);
+    EXPECT_EQ(rows.size(), 16u);
+}
+
+TEST(AddressPattern, DeterministicPerSeed)
+{
+    AddressPattern a(baseParams(), kRowBytes);
+    AddressPattern b(baseParams(), kRowBytes);
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = a.next();
+        const auto y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.write, y.write);
+    }
+}
+
+TEST(AddressPattern, ReadFractionHonoured)
+{
+    WorkloadParams wp = baseParams();
+    wp.readFraction = 0.25;
+    AddressPattern p(wp, kRowBytes);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += p.next().write;
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.75, 0.02);
+}
+
+TEST(AddressPattern, StrideOffsetInterleaving)
+{
+    WorkloadParams wp = baseParams();
+    wp.rowStride = 2;
+    wp.rowOffset = 1;
+    AddressPattern p(wp, kRowBytes);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ((p.next().addr / kRowBytes) % 2, 1u);
+}
+
+TEST(AddressPattern, CountsVisitsAndAccesses)
+{
+    AddressPattern p(baseParams(), kRowBytes);
+    for (int i = 0; i < 40; ++i)
+        p.next();
+    EXPECT_EQ(p.accessesGenerated(), 40u);
+    EXPECT_EQ(p.rowVisits(), 10u);
+}
+
+TEST(AddressPattern, ZipfJumpsStayInFootprint)
+{
+    WorkloadParams wp = baseParams();
+    wp.randomJumpProb = 1.0;
+    wp.zipfAlpha = 1.1;
+    AddressPattern p(wp, kRowBytes);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(p.next().addr / kRowBytes, 16u);
+}

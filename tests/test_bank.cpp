@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+class BankTest : public ::testing::Test
+{
+  protected:
+    DramTiming t = tcfg::tinyConfig().timing;
+    Bank bank;
+};
+
+TEST_F(BankTest, StartsPrecharged)
+{
+    EXPECT_FALSE(bank.isOpen());
+    EXPECT_EQ(bank.actAllowedAt(), 0u);
+}
+
+TEST_F(BankTest, ActivateOpensRowAndSetsWindows)
+{
+    bank.activate(42, 1000, t);
+    EXPECT_TRUE(bank.isOpen());
+    EXPECT_EQ(bank.openRow(), 42u);
+    EXPECT_EQ(bank.rdWrAllowedAt(), 1000 + t.tRCD);
+    EXPECT_EQ(bank.preAllowedAt(), 1000 + t.tRAS);
+    EXPECT_EQ(bank.actAllowedAt(), 1000 + t.tRC);
+}
+
+TEST_F(BankTest, PrechargeClosesAndDelaysActivate)
+{
+    bank.activate(1, 0, t);
+    const Tick preTick = t.tRAS;
+    bank.precharge(preTick, t);
+    EXPECT_FALSE(bank.isOpen());
+    // tRC from the activate still dominates tRP from this precharge.
+    EXPECT_EQ(bank.actAllowedAt(), std::max(t.tRC, preTick + t.tRP));
+}
+
+TEST_F(BankTest, ReadExtendsPrechargeWindow)
+{
+    bank.activate(1, 0, t);
+    const Tick rd = t.tRCD;
+    bank.read(rd, t);
+    EXPECT_GE(bank.preAllowedAt(), rd + t.tRTP);
+}
+
+TEST_F(BankTest, WriteExtendsPrechargeWindowFurther)
+{
+    bank.activate(1, 0, t);
+    const Tick wr = t.tRCD;
+    bank.write(wr, t);
+    EXPECT_EQ(bank.preAllowedAt(),
+              std::max(t.tRAS, wr + t.tCL + t.tBurst + t.tWR));
+}
+
+TEST_F(BankTest, RefreshClosedBankTakesRfcRow)
+{
+    const Tick done = bank.refresh(500, t, false);
+    EXPECT_EQ(done, 500 + t.tRFCrow);
+    EXPECT_EQ(bank.busyUntil(), done);
+    EXPECT_GE(bank.actAllowedAt(), done);
+    EXPECT_FALSE(bank.isOpen());
+}
+
+TEST_F(BankTest, RefreshOpenBankAddsPrechargeTime)
+{
+    bank.activate(3, 0, t);
+    const Tick start = t.tRAS;
+    const Tick done = bank.refresh(start, t, true);
+    EXPECT_EQ(done, start + t.tRP + t.tRFCrow);
+    EXPECT_FALSE(bank.isOpen());
+}
+
+TEST_F(BankTest, BackToBackActivatesRespectTRC)
+{
+    bank.activate(1, 0, t);
+    bank.precharge(t.tRAS, t);
+    EXPECT_GE(bank.actAllowedAt(), t.tRC);
+    bank.activate(2, bank.actAllowedAt(), t);
+    EXPECT_EQ(bank.openRow(), 2u);
+}

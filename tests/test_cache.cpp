@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace smartref;
+
+namespace {
+
+CacheConfig
+smallCache(std::uint32_t assoc = 2, ReplacementKind repl =
+                                        ReplacementKind::Lru)
+{
+    CacheConfig cfg;
+    cfg.name = "test";
+    cfg.sizeBytes = 4096;
+    cfg.assoc = assoc;
+    cfg.lineSize = 64;
+    cfg.replacement = repl;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(), &root);
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1020, false).hit); // same line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, GeometryDerived)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(), &root);
+    EXPECT_EQ(cache.config().numSets(), 32u); // 4096 / 64 / 2
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(2), &root);
+    const std::uint32_t sets = cache.config().numSets();
+    const Addr setStride = 64ull * sets;
+    // Fill both ways of set 0.
+    cache.access(0 * setStride, false);
+    cache.access(1 * setStride, false);
+    // Touch way 0 again so way 1 is LRU.
+    cache.access(0 * setStride, false);
+    // A third line evicts way 1 (the address 1*setStride line).
+    cache.access(2 * setStride, false);
+    EXPECT_TRUE(cache.contains(0 * setStride));
+    EXPECT_FALSE(cache.contains(1 * setStride));
+    EXPECT_TRUE(cache.contains(2 * setStride));
+}
+
+TEST(Cache, DirtyVictimProducesWriteback)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(1), &root); // direct mapped
+    const Addr setStride = 64ull * cache.config().numSets();
+    cache.access(0, true); // dirty
+    const auto result = cache.access(setStride, false);
+    EXPECT_FALSE(result.hit);
+    EXPECT_TRUE(result.writebackVictim);
+    EXPECT_EQ(result.victimAddr, 0u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(1), &root);
+    const Addr setStride = 64ull * cache.config().numSets();
+    cache.access(0, false);
+    const auto result = cache.access(setStride, false);
+    EXPECT_FALSE(result.writebackVictim);
+    EXPECT_EQ(cache.writebacks(), 0u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(1), &root);
+    const Addr setStride = 64ull * cache.config().numSets();
+    cache.access(0, false); // clean fill
+    cache.access(0, true);  // dirty it on a hit
+    const auto result = cache.access(setStride, false);
+    EXPECT_TRUE(result.writebackVictim);
+}
+
+TEST(Cache, InvalidateReportsDirtiness)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(), &root);
+    cache.access(0x40, true);
+    cache.access(0x80, false);
+    EXPECT_TRUE(cache.invalidate(0x40));
+    EXPECT_FALSE(cache.invalidate(0x80));
+    EXPECT_FALSE(cache.invalidate(0xc0)); // absent
+    EXPECT_FALSE(cache.contains(0x40));
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(), &root);
+    for (Addr a = 0; a < 2048; a += 64)
+        cache.access(a, true);
+    cache.flush();
+    for (Addr a = 0; a < 2048; a += 64)
+        EXPECT_FALSE(cache.contains(a));
+}
+
+TEST(Cache, HitRate)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(), &root);
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(0, false);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.75);
+}
+
+class CacheAssocTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheAssocTest, WorkingSetWithinAssocAlwaysHitsAfterFill)
+{
+    const std::uint32_t assoc = GetParam();
+    StatGroup root("root");
+    Cache cache(smallCache(assoc), &root);
+    const Addr setStride = 64ull * cache.config().numSets();
+    // Touch exactly `assoc` lines mapping to set 0.
+    for (std::uint32_t i = 0; i < assoc; ++i)
+        cache.access(i * setStride, false);
+    // They all still hit (no premature eviction).
+    for (std::uint32_t i = 0; i < assoc; ++i)
+        EXPECT_TRUE(cache.access(i * setStride, false).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheAssocTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Replacement, FifoIgnoresAccessRecency)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(2, ReplacementKind::Fifo), &root);
+    const Addr setStride = 64ull * cache.config().numSets();
+    cache.access(0 * setStride, false); // filled first
+    cache.access(1 * setStride, false);
+    cache.access(0 * setStride, false); // recency must not matter
+    cache.access(2 * setStride, false); // evicts the first fill
+    EXPECT_FALSE(cache.contains(0 * setStride));
+    EXPECT_TRUE(cache.contains(1 * setStride));
+}
+
+TEST(Replacement, RandomIsDeterministicPerSeed)
+{
+    StatGroup rootA("a"), rootB("b");
+    CacheConfig cfg = smallCache(4, ReplacementKind::Random);
+    cfg.seed = 77;
+    Cache cacheA(cfg, &rootA);
+    Cache cacheB(cfg, &rootB);
+    const Addr setStride = 64ull * cacheA.config().numSets();
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        const auto ra = cacheA.access(i * setStride, false);
+        const auto rb = cacheB.access(i * setStride, false);
+        EXPECT_EQ(ra.hit, rb.hit);
+        EXPECT_EQ(ra.writebackVictim, rb.writebackVictim);
+        EXPECT_EQ(ra.victimAddr, rb.victimAddr);
+    }
+}
+
+TEST(Replacement, FactoryCreatesAllKinds)
+{
+    EXPECT_NE(ReplacementPolicy::create(ReplacementKind::Lru, 4, 2),
+              nullptr);
+    EXPECT_NE(ReplacementPolicy::create(ReplacementKind::Fifo, 4, 2),
+              nullptr);
+    EXPECT_NE(ReplacementPolicy::create(ReplacementKind::Random, 4, 2),
+              nullptr);
+}
+
+TEST(Cache, PaperL2Configuration)
+{
+    // Table 1: 1 MB, 8-way L2.
+    StatGroup root("root");
+    CacheConfig cfg;
+    cfg.name = "L2";
+    cfg.sizeBytes = 1 * kMiB;
+    cfg.assoc = 8;
+    Cache cache(cfg, &root);
+    EXPECT_EQ(cache.config().numSets(), 2048u);
+}
+
+class CacheLineSizeTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheLineSizeTest, LineGranularityRespected)
+{
+    const std::uint32_t lineSize = GetParam();
+    StatGroup root("root");
+    CacheConfig cfg = smallCache(2);
+    cfg.lineSize = lineSize;
+    Cache cache(cfg, &root);
+    cache.access(0, false);
+    // Same line: hit right up to the boundary, miss just past it.
+    EXPECT_TRUE(cache.access(lineSize - 1, false).hit);
+    EXPECT_FALSE(cache.access(lineSize, false).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(LineSizes, CacheLineSizeTest,
+                         ::testing::Values(32u, 64u, 128u, 256u));
+
+TEST(Cache, VictimAddressIsLineAligned)
+{
+    StatGroup root("root");
+    Cache cache(smallCache(1), &root);
+    const Addr setStride = 64ull * cache.config().numSets();
+    cache.access(0x29, true); // unaligned address, dirty line 0
+    const auto r = cache.access(0x29 + setStride, false);
+    ASSERT_TRUE(r.writebackVictim);
+    EXPECT_EQ(r.victimAddr % 64, 0u);
+    EXPECT_EQ(r.victimAddr, 0u);
+}

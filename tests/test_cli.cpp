@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/cli.hh"
+
+using namespace smartref;
+
+namespace {
+
+CliArgs
+parse(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::string progname = "prog";
+    argv.push_back(progname.data());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Cli, KeyValuePairs)
+{
+    auto args = parse({"--measure-ms", "32", "--csv", "/tmp/x.csv"});
+    EXPECT_EQ(args.getU64("measure-ms", 0), 32u);
+    EXPECT_EQ(args.getString("csv"), "/tmp/x.csv");
+    EXPECT_EQ(args.csvPath(), "/tmp/x.csv");
+}
+
+TEST(Cli, BareFlags)
+{
+    auto args = parse({"--verbose", "--no-auto"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_TRUE(args.has("no-auto"));
+    EXPECT_FALSE(args.has("csv"));
+}
+
+TEST(Cli, Fallbacks)
+{
+    auto args = parse({});
+    EXPECT_EQ(args.getU64("bits", 3), 3u);
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 1.5), 1.5);
+    EXPECT_EQ(args.getString("csv", "none"), "none");
+}
+
+TEST(Cli, ExperimentOptionsDefaults)
+{
+    auto opts = parse({}).experimentOptions();
+    EXPECT_EQ(opts.warmup, 64 * kMillisecond);
+    EXPECT_EQ(opts.measure, 128 * kMillisecond);
+    EXPECT_EQ(opts.counterBits, 3u);
+    EXPECT_EQ(opts.segments, 8u);
+    EXPECT_TRUE(opts.autoReconfigure);
+    EXPECT_FALSE(opts.verbose);
+}
+
+TEST(Cli, ExperimentOptionsOverrides)
+{
+    auto opts = parse({"--warmup-ms", "8", "--measure-ms", "16", "--bits",
+                       "2", "--segments", "4", "--seed", "7", "--no-auto",
+                       "--verbose"})
+                    .experimentOptions();
+    EXPECT_EQ(opts.warmup, 8 * kMillisecond);
+    EXPECT_EQ(opts.measure, 16 * kMillisecond);
+    EXPECT_EQ(opts.counterBits, 2u);
+    EXPECT_EQ(opts.segments, 4u);
+    EXPECT_EQ(opts.seed, 7u);
+    EXPECT_FALSE(opts.autoReconfigure);
+    EXPECT_TRUE(opts.verbose);
+}
+
+TEST(Cli, RejectsPositionalArguments)
+{
+    EXPECT_THROW(parse({"positional"}), std::runtime_error);
+}
+
+TEST(Cli, DoubleParsing)
+{
+    auto args = parse({"--scale", "2.5"});
+    EXPECT_DOUBLE_EQ(args.getDouble("scale", 0.0), 2.5);
+}

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/clocked.hh"
+
+using namespace smartref;
+
+TEST(ClockDomain, Conversions)
+{
+    ClockDomain clk(1500); // DDR2-667: 1.5 ns
+    EXPECT_EQ(clk.period(), 1500u);
+    EXPECT_EQ(clk.toTicks(10), 15000u);
+    EXPECT_EQ(clk.toCycles(15000), 10u);
+    EXPECT_EQ(clk.toCycles(15001), 10u); // rounds down
+}
+
+TEST(ClockDomain, NextEdge)
+{
+    ClockDomain clk(1000);
+    EXPECT_EQ(clk.nextEdge(0), 0u);
+    EXPECT_EQ(clk.nextEdge(1), 1000u);
+    EXPECT_EQ(clk.nextEdge(999), 1000u);
+    EXPECT_EQ(clk.nextEdge(1000), 1000u);
+    EXPECT_EQ(clk.nextEdge(1001), 2000u);
+}
+
+TEST(ClockDomain, Mhz)
+{
+    EXPECT_EQ(ClockDomain(1000).mhz(), 1000u);
+    EXPECT_EQ(ClockDomain(2000).mhz(), 500u);
+}
+
+TEST(ClockDomain, ZeroPeriodPanics)
+{
+    EXPECT_THROW(ClockDomain(0), std::logic_error);
+}

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "cache/cmp_hierarchy.hh"
+
+using namespace smartref;
+
+namespace {
+
+CmpHierarchy
+makeCmp(StatGroup *root, std::uint32_t cores = 2)
+{
+    CacheConfig l1;
+    l1.name = "L1.";
+    l1.sizeBytes = 1024;
+    l1.assoc = 2;
+    l1.hitLatency = 1 * kNanosecond;
+    CacheConfig l2;
+    l2.name = "L2";
+    l2.sizeBytes = 8192;
+    l2.assoc = 4;
+    l2.hitLatency = 5 * kNanosecond;
+    return CmpHierarchy(cores, l1, l2, root);
+}
+
+} // namespace
+
+TEST(CmpHierarchy, PrivateL1sAreIndependent)
+{
+    StatGroup root("root");
+    auto h = makeCmp(&root);
+    h.access(0, 0x1000, false); // core 0 fills its L1 + shared L2
+    // Core 1 misses its own L1 but hits the shared L2.
+    const auto r = h.access(1, 0x1000, false);
+    EXPECT_EQ(r.hitLevel, 2);
+    EXPECT_EQ(h.l1(0).hits() + h.l1(0).misses(), 1u);
+    EXPECT_EQ(h.l1(1).misses(), 1u);
+}
+
+TEST(CmpHierarchy, CoreHitsItsOwnL1)
+{
+    StatGroup root("root");
+    auto h = makeCmp(&root);
+    h.access(0, 0x40, false);
+    const auto r = h.access(0, 0x40, false);
+    EXPECT_EQ(r.hitLevel, 1);
+    EXPECT_EQ(r.cacheLatency, 1 * kNanosecond);
+}
+
+TEST(CmpHierarchy, SharedL2MissReachesMemory)
+{
+    StatGroup root("root");
+    auto h = makeCmp(&root);
+    const auto r = h.access(1, 0x9000, true);
+    EXPECT_EQ(r.hitLevel, 0);
+    ASSERT_GE(r.memOps.size(), 1u);
+    EXPECT_EQ(r.memOps[0].addr, 0x9000u);
+    EXPECT_FALSE(r.memOps[0].write); // the fill read
+}
+
+TEST(CmpHierarchy, DirtyL1VictimReachesSharedL2)
+{
+    StatGroup root("root");
+    auto h = makeCmp(&root);
+    // L1: 8 sets, stride 512. Dirty a line, then push it out of core
+    // 0's L1 with two conflicting clean lines.
+    h.access(0, 0, true);
+    h.access(0, 512, false);
+    h.access(0, 1024, false);
+    // The dirty victim was written through into the shared L2, so core
+    // 1 (cold L1) finds it there.
+    EXPECT_EQ(h.access(1, 0, false).hitLevel, 2);
+}
+
+TEST(CmpHierarchy, OutOfRangeCorePanics)
+{
+    StatGroup root("root");
+    auto h = makeCmp(&root, 2);
+    EXPECT_THROW(h.access(2, 0, false), std::logic_error);
+}
+
+TEST(CmpHierarchy, MemoryFractionAggregatesCores)
+{
+    StatGroup root("root");
+    auto h = makeCmp(&root);
+    h.access(0, 0, false);  // miss
+    h.access(0, 0, false);  // L1 hit
+    h.access(1, 64, false); // miss
+    h.access(1, 64, false); // L1 hit
+    EXPECT_DOUBLE_EQ(h.memoryAccessFraction(), 0.5);
+    EXPECT_EQ(h.numCores(), 2u);
+}

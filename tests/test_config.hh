@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared miniature configurations for fast unit/property tests.
+ */
+
+#pragma once
+
+#include "dram/dram_config.hh"
+
+namespace smartref::tcfg {
+
+/**
+ * A tiny module: 1 rank x 2 banks x 64 rows x 64 columns, 4 ms
+ * retention. Small enough that property tests sweep multiple retention
+ * intervals in milliseconds of simulated time.
+ */
+inline DramConfig
+tinyConfig()
+{
+    DramConfig c;
+    c.name = "tiny";
+    c.org.ranks = 1;
+    c.org.banks = 2;
+    c.org.rows = 64;
+    c.org.columns = 64;
+    c.org.dataWidthBits = 72;
+    c.org.deviceWidthBits = 8;
+    c.timing.retention = 4 * kMillisecond;
+    return c;
+}
+
+/** tinyConfig with two ranks and four banks (128 x 4 rows). */
+inline DramConfig
+smallConfig()
+{
+    DramConfig c = tinyConfig();
+    c.name = "small";
+    c.org.ranks = 2;
+    c.org.banks = 4;
+    c.org.rows = 128;
+    c.timing.retention = 8 * kMillisecond;
+    return c;
+}
+
+} // namespace smartref::tcfg

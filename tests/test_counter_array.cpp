@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/counter_array.hh"
+
+using namespace smartref;
+
+TEST(CounterArray, StartsAtZero)
+{
+    CounterArray c(16, 3);
+    for (std::uint64_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(c.peek(i), 0);
+}
+
+TEST(CounterArray, MaxValueMatchesWidth)
+{
+    EXPECT_EQ(CounterArray(4, 2).maxValue(), 3);
+    EXPECT_EQ(CounterArray(4, 3).maxValue(), 7);
+    EXPECT_EQ(CounterArray(4, 4).maxValue(), 15);
+}
+
+TEST(CounterArray, ResetSetsMax)
+{
+    CounterArray c(8, 3);
+    c.reset(5);
+    EXPECT_EQ(c.peek(5), 7);
+    EXPECT_EQ(c.sramWrites(), 1u);
+    EXPECT_EQ(c.sramReads(), 0u);
+}
+
+TEST(CounterArray, TouchDecrementsUntilZero)
+{
+    CounterArray c(4, 2);
+    c.reset(0); // value 3
+    EXPECT_FALSE(c.touch(0)); // 2
+    EXPECT_FALSE(c.touch(0)); // 1
+    EXPECT_FALSE(c.touch(0)); // 0
+    EXPECT_TRUE(c.touch(0));  // expired: reset to max
+    EXPECT_EQ(c.peek(0), 3);
+}
+
+TEST(CounterArray, TouchOfFreshZeroExpiresImmediately)
+{
+    CounterArray c(4, 3);
+    EXPECT_TRUE(c.touch(2));
+    EXPECT_EQ(c.peek(2), 7);
+}
+
+TEST(CounterArray, SramTrafficAccounting)
+{
+    // The paper counts one read and one write per walked counter, plus
+    // one write per demand reset.
+    CounterArray c(8, 3);
+    c.touch(0);
+    c.touch(1);
+    c.reset(2);
+    EXPECT_EQ(c.sramReads(), 2u);
+    EXPECT_EQ(c.sramWrites(), 3u);
+}
+
+TEST(CounterArray, InitDoesNotCountTraffic)
+{
+    CounterArray c(8, 2);
+    c.init(0, 3);
+    EXPECT_EQ(c.peek(0), 3);
+    EXPECT_EQ(c.sramReads(), 0u);
+    EXPECT_EQ(c.sramWrites(), 0u);
+}
+
+TEST(CounterArray, InitRejectsOverflow)
+{
+    CounterArray c(8, 2);
+    EXPECT_THROW(c.init(0, 4), std::logic_error);
+}
+
+TEST(CounterArray, RejectsBadWidths)
+{
+    EXPECT_THROW(CounterArray(8, 0), std::logic_error);
+    EXPECT_THROW(CounterArray(8, 9), std::logic_error);
+    EXPECT_THROW(CounterArray(0, 3), std::logic_error);
+}
+
+TEST(CounterArray, StorageBits)
+{
+    EXPECT_EQ(CounterArray(131072, 3).storageBits(), 131072u * 3u);
+}
+
+TEST(CounterAreaFormula, PaperAnchors)
+{
+    // Section 4.7: 4 banks x 2 ranks x 16384 rows x 3 bits = 48 KB.
+    EXPECT_DOUBLE_EQ(counterAreaKB(4, 2, 16384, 3), 48.0);
+    // A 32 GB-capable controller needs 16x that: 768 KB.
+    EXPECT_DOUBLE_EQ(counterAreaKB(4, 2, 16384, 3) * 16, 768.0);
+    // 2-bit variant of the same module: 32 KB.
+    EXPECT_DOUBLE_EQ(counterAreaKB(4, 2, 16384, 2), 32.0);
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "harness/cpu_system.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+namespace {
+
+CpuSystemConfig
+tinyCpuSystem(PolicyKind policy, std::uint32_t cores = 2)
+{
+    CpuSystemConfig cfg;
+    cfg.dram = tcfg::tinyConfig();
+    cfg.policy = policy;
+    cfg.smart.autoReconfigure = false;
+    cfg.numCores = cores;
+    cfg.l1.sizeBytes = 4 * kKiB;
+    cfg.l2.sizeBytes = 16 * kKiB;
+    return cfg;
+}
+
+CoreParams
+core(const std::string &name)
+{
+    CoreParams p;
+    p.name = name;
+    p.frequencyGHz = 2.0;
+    p.baseIpc = 1.0;
+    p.accessesPerKiloInstr = 50.0;
+    return p;
+}
+
+WorkloadParams
+corePattern(const DramConfig &dram, std::uint64_t offset,
+            std::uint64_t seed)
+{
+    WorkloadParams wp;
+    // A footprint far larger than L2 so DRAM sees steady traffic.
+    wp.footprintRows = dram.org.totalRows() / 2;
+    wp.accessesPerVisit = 2;
+    wp.randomJumpProb = 0.1;
+    wp.readFraction = 0.8;
+    wp.rowStride = 2;
+    wp.rowOffset = offset;
+    wp.seed = seed;
+    return wp;
+}
+
+} // namespace
+
+TEST(CpuSystem, CoresMakeProgressAndDramStaysSafe)
+{
+    CpuSystem sys(tinyCpuSystem(PolicyKind::Smart));
+    sys.addCore(core("c0"), corePattern(sys.config().dram, 0, 1));
+    sys.addCore(core("c1"), corePattern(sys.config().dram, 1, 2));
+    sys.run(3 * sys.config().dram.timing.retention);
+
+    EXPECT_GT(sys.core(0).instructionsRetired(), 100000u);
+    EXPECT_GT(sys.core(1).instructionsRetired(), 100000u);
+    EXPECT_GT(sys.dram().reads() + sys.dram().writes(), 0u);
+    EXPECT_EQ(sys.dram().retention().violations(), 0u);
+    EXPECT_EQ(sys.dram().retention().finalCheck(sys.eventQueue().now()),
+              0u);
+}
+
+TEST(CpuSystem, CacheHitsKeepIpcAboveMemoryBound)
+{
+    // A tiny footprint lives in L1: IPC approaches the base rate.
+    CpuSystem sys(tinyCpuSystem(PolicyKind::Cbr, 1));
+    WorkloadParams wp = corePattern(sys.config().dram, 0, 3);
+    wp.footprintRows = 1;
+    wp.rowStride = 1;
+    wp.randomJumpProb = 0.0;
+    sys.addCore(core("c0"), wp);
+    sys.run(kMillisecond);
+    EXPECT_GT(sys.core(0).effectiveIpc(sys.eventQueue().now()), 0.9);
+}
+
+TEST(CpuSystem, RefusesTooManyCores)
+{
+    CpuSystem sys(tinyCpuSystem(PolicyKind::Cbr, 1));
+    sys.addCore(core("c0"), corePattern(sys.config().dram, 0, 1));
+    EXPECT_THROW(
+        sys.addCore(core("c1"), corePattern(sys.config().dram, 1, 2)),
+        std::logic_error);
+}
+
+TEST(CpuSystem, DeterministicInstructionCounts)
+{
+    auto run = [] {
+        CpuSystem sys(tinyCpuSystem(PolicyKind::Smart));
+        sys.addCore(core("c0"), corePattern(sys.config().dram, 0, 1));
+        sys.addCore(core("c1"), corePattern(sys.config().dram, 1, 2));
+        sys.run(2 * sys.config().dram.timing.retention);
+        return sys.totalInstructions();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(CpuSystem, SmartRefreshDoesNotSlowExecution)
+{
+    // The paper's Fig. 18 claim in closed loop: Smart Refresh never
+    // hurts, and usually helps slightly (fewer refresh stalls).
+    auto instructions = [](PolicyKind kind) {
+        CpuSystem sys(tinyCpuSystem(kind));
+        sys.addCore(core("c0"), corePattern(sys.config().dram, 0, 1));
+        sys.addCore(core("c1"), corePattern(sys.config().dram, 1, 2));
+        sys.run(4 * sys.config().dram.timing.retention);
+        EXPECT_EQ(sys.dram().retention().violations(), 0u);
+        return sys.totalInstructions();
+    };
+    const std::uint64_t cbr = instructions(PolicyKind::Cbr);
+    const std::uint64_t smart = instructions(PolicyKind::Smart);
+    // Allow a whisker of noise, but no real slowdown.
+    EXPECT_GE(static_cast<double>(smart),
+              static_cast<double>(cbr) * 0.999);
+}
+
+TEST(CpuSystem, SharedL2SeesBothCores)
+{
+    CpuSystem sys(tinyCpuSystem(PolicyKind::Cbr));
+    sys.addCore(core("c0"), corePattern(sys.config().dram, 0, 1));
+    sys.addCore(core("c1"), corePattern(sys.config().dram, 1, 2));
+    sys.run(kMillisecond);
+    EXPECT_GT(sys.hierarchy().sharedL2().hits() +
+                  sys.hierarchy().sharedL2().misses(),
+              0u);
+    EXPECT_GT(sys.hierarchy().l1(0).misses(), 0u);
+    EXPECT_GT(sys.hierarchy().l1(1).misses(), 0u);
+}

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "cache/dram_cache.hh"
+#include "ctrl/cbr_refresh.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+namespace {
+
+/** A 3D-cache rig: tiny stacked module in front of a small main one. */
+struct CacheRig
+{
+    CacheRig()
+        : root("root"),
+          threeD(makeThreeD(), eq, &root),
+          mainMem(tcfg::smallConfig(), eq, &root),
+          threeDCtrl(threeD, eq, ControllerConfig{}, &root),
+          mainCtrl(mainMem, eq, ControllerConfig{}, &root),
+          threeDPolicy(eq, &root),
+          mainPolicy(eq, &root),
+          cache(threeDCtrl, mainCtrl, DramCacheConfig{}, eq, &root)
+    {
+        threeDCtrl.setRefreshPolicy(&threeDPolicy);
+        mainCtrl.setRefreshPolicy(&mainPolicy);
+    }
+
+    static DramConfig
+    makeThreeD()
+    {
+        DramConfig c = tcfg::tinyConfig();
+        c.name = "tiny3d";
+        c.allowPowerDown = false;
+        // Die-to-die vias: the stacked array is faster than the DIMM.
+        c.timing.tRCD = 9 * kNanosecond;
+        c.timing.tCL = 9 * kNanosecond;
+        c.timing.tRP = 9 * kNanosecond;
+        c.timing.tRAS = 27 * kNanosecond;
+        c.timing.tRC = 36 * kNanosecond;
+        return c;
+    }
+
+    EventQueue eq;
+    StatGroup root;
+    DramModule threeD;
+    DramModule mainMem;
+    MemoryController threeDCtrl;
+    MemoryController mainCtrl;
+    CbrRefreshPolicy threeDPolicy;
+    CbrRefreshPolicy mainPolicy;
+    DramCache cache;
+};
+
+} // namespace
+
+TEST(DramCache, GeometryFromModule)
+{
+    CacheRig rig;
+    // tiny: 2 banks x 64 rows x 64 cols x 8 B = 64 KiB; 64 B lines.
+    EXPECT_EQ(rig.cache.numLines(), 1024u);
+}
+
+TEST(DramCache, ColdMissFetchesFromMainAndFills)
+{
+    CacheRig rig;
+    rig.cache.access(0x100, false);
+    rig.eq.runUntil(10 * kMicrosecond);
+    EXPECT_EQ(rig.cache.misses(), 1u);
+    EXPECT_EQ(rig.cache.hits(), 0u);
+    // Main memory served the demand; the 3D module got the fill write.
+    EXPECT_GE(rig.mainMem.reads(), 1u);
+    EXPECT_GE(rig.threeD.writes(), 1u);
+}
+
+TEST(DramCache, SecondAccessHitsInStackedDram)
+{
+    CacheRig rig;
+    rig.cache.access(0x100, false);
+    rig.eq.runUntil(10 * kMicrosecond);
+    const auto mainReadsBefore = rig.mainMem.reads();
+    rig.cache.access(0x100, false);
+    rig.eq.runUntil(20 * kMicrosecond);
+    EXPECT_EQ(rig.cache.hits(), 1u);
+    EXPECT_EQ(rig.mainMem.reads(), mainReadsBefore); // no new main read
+    EXPECT_GE(rig.threeD.reads(), 1u);               // served by 3D
+}
+
+TEST(DramCache, ConflictingLineEvicts)
+{
+    CacheRig rig;
+    const Addr stride = 64ull * rig.cache.numLines();
+    rig.cache.access(0, true); // dirty line
+    rig.eq.runUntil(10 * kMicrosecond);
+    rig.cache.access(stride, false); // same index, different tag
+    rig.eq.runUntil(20 * kMicrosecond);
+    EXPECT_EQ(rig.cache.misses(), 2u);
+    EXPECT_EQ(rig.cache.writebacks(), 1u);
+    // The dirty victim went back to main memory.
+    EXPECT_GE(rig.mainMem.writes(), 1u);
+}
+
+TEST(DramCache, CleanEvictionSkipsWriteback)
+{
+    CacheRig rig;
+    const Addr stride = 64ull * rig.cache.numLines();
+    rig.cache.access(0, false);
+    rig.eq.runUntil(10 * kMicrosecond);
+    rig.cache.access(stride, false);
+    rig.eq.runUntil(20 * kMicrosecond);
+    EXPECT_EQ(rig.cache.writebacks(), 0u);
+}
+
+TEST(DramCache, LatencyHitLowerThanMiss)
+{
+    CacheRig rig;
+    Tick missDone = 0, hitDone = 0;
+    const Tick start = rig.eq.now();
+    rig.cache.access(0x200, false,
+                     [&](const MemRequest &, Tick d) { missDone = d; });
+    rig.eq.runUntil(50 * kMicrosecond);
+    const Tick hitStart = rig.eq.now();
+    rig.cache.access(0x200, false,
+                     [&](const MemRequest &, Tick d) { hitDone = d; });
+    rig.eq.runUntil(100 * kMicrosecond);
+    EXPECT_GT(missDone - start, hitDone - hitStart);
+    EXPECT_EQ(rig.cache.demandAccesses(), 2u);
+    EXPECT_GT(rig.cache.avgLatency(), 0.0);
+}
+
+TEST(DramCache, WriteHitDirtiesLine)
+{
+    CacheRig rig;
+    const Addr stride = 64ull * rig.cache.numLines();
+    rig.cache.access(0x40, false); // clean fill
+    rig.eq.runUntil(10 * kMicrosecond);
+    rig.cache.access(0x40, true); // dirty on hit
+    rig.eq.runUntil(20 * kMicrosecond);
+    rig.cache.access(0x40 + stride, false); // evict
+    rig.eq.runUntil(30 * kMicrosecond);
+    EXPECT_EQ(rig.cache.writebacks(), 1u);
+}
+
+TEST(DramCache, TagEnergyAccumulates)
+{
+    CacheRig rig;
+    rig.cache.access(0, false);
+    rig.cache.access(64, false);
+    EXPECT_GT(rig.cache.tagEnergy(), 0.0);
+}
+
+TEST(DramCache, HitRateConvergesForResidentSet)
+{
+    CacheRig rig;
+    // Touch 32 lines repeatedly; after the first sweep everything hits.
+    for (int pass = 0; pass < 4; ++pass) {
+        for (Addr line = 0; line < 32; ++line) {
+            rig.eq.scheduleAfter(kMicrosecond, [&rig, line] {
+                rig.cache.access(line * 64, false);
+            });
+            rig.eq.runUntil(rig.eq.now() + 2 * kMicrosecond);
+        }
+    }
+    rig.eq.runUntil(rig.eq.now() + 100 * kMicrosecond);
+    EXPECT_EQ(rig.cache.misses(), 32u);
+    EXPECT_EQ(rig.cache.hits(), 3u * 32u);
+}

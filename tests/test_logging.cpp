@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+using namespace smartref;
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(SMARTREF_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(SMARTREF_FATAL("bad config ", "x"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(SMARTREF_ASSERT(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(SMARTREF_ASSERT(false, "must fail"), std::logic_error);
+}
+
+TEST(Logging, PanicMessageContainsArguments)
+{
+    try {
+        SMARTREF_PANIC("value=", 123, " name=", "abc");
+        FAIL() << "expected panic";
+    } catch (const std::logic_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("value=123"), std::string::npos);
+        EXPECT_NE(msg.find("name=abc"), std::string::npos);
+    }
+}
+
+TEST(Logging, LogLevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}

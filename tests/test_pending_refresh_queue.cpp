@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/pending_refresh_queue.hh"
+
+using namespace smartref;
+
+namespace {
+RefreshRequest
+req(std::uint32_t rank, std::uint32_t bank, std::uint32_t row)
+{
+    RefreshRequest r;
+    r.rank = rank;
+    r.bank = bank;
+    r.row = row;
+    return r;
+}
+} // namespace
+
+TEST(PendingQueue, StartsEmpty)
+{
+    StatGroup root("root");
+    PendingRefreshQueue q(8, &root);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.depth(), 0u);
+    EXPECT_EQ(q.capacity(), 8u);
+}
+
+TEST(PendingQueue, PushPopTracksDepth)
+{
+    StatGroup root("root");
+    PendingRefreshQueue q(8, &root);
+    q.push(req(0, 0, 1));
+    q.push(req(0, 1, 2));
+    EXPECT_EQ(q.depth(), 2u);
+    EXPECT_TRUE(q.markIssued(req(0, 0, 1)));
+    EXPECT_EQ(q.depth(), 1u);
+    EXPECT_EQ(q.maxDepth(), 2u);
+}
+
+TEST(PendingQueue, MarkIssuedOutOfOrder)
+{
+    StatGroup root("root");
+    PendingRefreshQueue q(8, &root);
+    q.push(req(0, 0, 1));
+    q.push(req(0, 1, 2));
+    q.push(req(1, 0, 3));
+    // Bank engines drain independently: the middle entry issues first.
+    EXPECT_TRUE(q.markIssued(req(0, 1, 2)));
+    EXPECT_TRUE(q.markIssued(req(1, 0, 3)));
+    EXPECT_TRUE(q.markIssued(req(0, 0, 1)));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(PendingQueue, MarkIssuedUnknownReturnsFalse)
+{
+    StatGroup root("root");
+    PendingRefreshQueue q(8, &root);
+    q.push(req(0, 0, 1));
+    EXPECT_FALSE(q.markIssued(req(0, 0, 99)));
+    EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(PendingQueue, OverflowIsRecordedNotDropped)
+{
+    StatGroup root("root");
+    PendingRefreshQueue q(2, &root);
+    q.push(req(0, 0, 0));
+    q.push(req(0, 0, 1));
+    EXPECT_EQ(q.overflows(), 0u);
+    q.push(req(0, 0, 2)); // arrives at a full queue
+    EXPECT_EQ(q.overflows(), 1u);
+    EXPECT_EQ(q.depth(), 3u); // still accepted (observability choice)
+    EXPECT_EQ(q.maxDepth(), 3u);
+}
+
+TEST(PendingQueue, DuplicateCoordinatesRemoveOneAtATime)
+{
+    StatGroup root("root");
+    PendingRefreshQueue q(8, &root);
+    q.push(req(0, 0, 5));
+    q.push(req(0, 0, 5));
+    EXPECT_TRUE(q.markIssued(req(0, 0, 5)));
+    EXPECT_EQ(q.depth(), 1u);
+    EXPECT_TRUE(q.markIssued(req(0, 0, 5)));
+    EXPECT_TRUE(q.empty());
+}

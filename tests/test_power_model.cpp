@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "dram/power_model.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    DramConfig cfg = ddr2_2GB();
+    StatGroup root{"root"};
+    DramPowerModel power{cfg, &root};
+};
+
+TEST_F(PowerModelTest, PerCommandEnergiesMatchMicronFormulas)
+{
+    const auto &p = cfg.power;
+    const auto &t = cfg.timing;
+    const double dev = cfg.org.devicesPerRank();
+    const double sec = 1e-12;
+
+    const double eAct =
+        (p.idd0 * t.tRC * sec - p.idd3n * t.tRAS * sec -
+         p.idd2n * (t.tRC - t.tRAS) * sec) *
+        p.vdd * dev;
+    EXPECT_NEAR(power.energyPerActivatePair(), eAct, eAct * 1e-9);
+
+    const double eRef =
+        (p.idd5r - p.idd2n) * p.vdd * t.tRFCrow * sec * dev;
+    EXPECT_NEAR(power.energyPerRowRefresh(), eRef, eRef * 1e-9);
+
+    EXPECT_GT(power.energyPerRead(), 0.0);
+    EXPECT_GT(power.energyPerWrite(), power.energyPerRead());
+    EXPECT_GT(power.energyOpenPagePenalty(), 0.0);
+}
+
+TEST_F(PowerModelTest, EventAccountingAccumulates)
+{
+    power.onActivatePair();
+    power.onActivatePair();
+    power.onRead();
+    power.onWrite();
+    power.onRowRefresh(false);
+    EXPECT_DOUBLE_EQ(power.activateEnergy(),
+                     2 * power.energyPerActivatePair());
+    EXPECT_DOUBLE_EQ(power.readEnergy(), power.energyPerRead());
+    EXPECT_DOUBLE_EQ(power.writeEnergy(), power.energyPerWrite());
+    EXPECT_DOUBLE_EQ(power.refreshEnergy(), power.energyPerRowRefresh());
+}
+
+TEST_F(PowerModelTest, OpenPageRefreshCostsMore)
+{
+    power.onRowRefresh(true);
+    EXPECT_DOUBLE_EQ(power.refreshEnergy(),
+                     power.energyPerRowRefresh() +
+                         power.energyOpenPagePenalty());
+}
+
+TEST_F(PowerModelTest, BackgroundPowerOrdering)
+{
+    EXPECT_LT(power.backgroundPower(RankPowerState::PowerDown),
+              power.backgroundPower(RankPowerState::PrechargeStandby));
+    EXPECT_LT(power.backgroundPower(RankPowerState::PrechargeStandby),
+              power.backgroundPower(RankPowerState::ActiveStandby));
+}
+
+TEST_F(PowerModelTest, BackgroundIntegration)
+{
+    power.accountBackground(RankPowerState::PrechargeStandby, kSecond);
+    const double expected =
+        power.backgroundPower(RankPowerState::PrechargeStandby);
+    EXPECT_NEAR(power.backgroundEnergy(), expected, expected * 1e-9);
+}
+
+TEST_F(PowerModelTest, TotalsSumComponents)
+{
+    power.onActivatePair();
+    power.onRead();
+    power.onRowRefresh(false);
+    power.accountBackground(RankPowerState::PowerDown, kMillisecond);
+    power.addOverhead(1e-6);
+    const double expected = power.activateEnergy() + power.readEnergy() +
+                            power.writeEnergy() + power.refreshEnergy() +
+                            power.backgroundEnergy() +
+                            power.overheadEnergy();
+    EXPECT_DOUBLE_EQ(power.totalEnergy(), expected);
+    EXPECT_DOUBLE_EQ(power.overheadEnergy(), 1e-6);
+}
+
+TEST_F(PowerModelTest, RefreshShareIsSignificantForLowPowerBaseline)
+{
+    // The ITSY observation: in a low-power (power-down) baseline, row
+    // refresh at the baseline rate must be a significant share of
+    // total power. Refresh power at 2.048 M rows/s vs power-down
+    // standby of both ranks:
+    const double refreshPower =
+        2048000.0 * power.energyPerRowRefresh();
+    const double pdPower =
+        2.0 * power.backgroundPower(RankPowerState::PowerDown);
+    const double share = refreshPower / (refreshPower + pdPower);
+    EXPECT_GT(share, 0.20);
+    EXPECT_LT(share, 0.60);
+}
+
+TEST(PowerModel3D, RefreshDominatesStackedDie)
+{
+    // Section 4.5: refresh is a major overhead for the hot stacked die.
+    StatGroup root("root");
+    const DramConfig cfg = dram3d_64MB();
+    DramPowerModel power(cfg, &root);
+    const double refreshPower =
+        cfg.baselineRefreshesPerSecond() * power.energyPerRowRefresh();
+    const double standby =
+        power.backgroundPower(RankPowerState::PrechargeStandby);
+    EXPECT_GT(refreshPower / (refreshPower + standby), 0.35);
+}
+
+TEST(PowerModelValidation, TinyConfigHasPositiveEnergies)
+{
+    StatGroup root("root");
+    DramPowerModel power(smartref::tcfg::tinyConfig(), &root);
+    EXPECT_GT(power.energyPerActivatePair(), 0.0);
+    EXPECT_GT(power.energyPerRowRefresh(), 0.0);
+}

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/random.hh"
+
+using namespace smartref;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1048576ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform)
+{
+    Rng rng(13);
+    const int buckets = 10, samples = 100000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < samples; ++i)
+        ++counts[rng.nextBelow(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, samples / buckets * 0.9);
+        EXPECT_LT(c, samples / buckets * 1.1);
+    }
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(17);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        sawLo |= (v == 5);
+        sawHi |= (v == 9);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(23);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(29);
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Zipf, UniformWhenAlphaZero)
+{
+    Rng rng(37);
+    ZipfSampler z(16, 0.0);
+    std::vector<int> counts(16, 0);
+    const int n = 64000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 16, n / 16 * 0.2);
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewTest, SamplesStayInRangeAndSkewTowardHead)
+{
+    const double alpha = GetParam();
+    Rng rng(41);
+    const std::uint64_t n = 1000;
+    ZipfSampler z(n, alpha);
+    std::uint64_t headHits = 0;
+    const int samples = 50000;
+    for (int i = 0; i < samples; ++i) {
+        const std::uint64_t v = z.sample(rng);
+        ASSERT_LT(v, n);
+        headHits += (v < n / 10);
+    }
+    // Any positive alpha must over-represent the first decile.
+    EXPECT_GT(static_cast<double>(headHits) / samples, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2));
+
+TEST(Zipf, HigherAlphaMoreSkew)
+{
+    Rng r1(43), r2(43);
+    ZipfSampler low(1000, 0.5), high(1000, 1.2);
+    std::uint64_t lowHead = 0, highHead = 0;
+    for (int i = 0; i < 50000; ++i) {
+        lowHead += (low.sample(r1) < 10);
+        highHead += (high.sample(r2) < 10);
+    }
+    EXPECT_GT(highHead, lowHead);
+}
+
+TEST(Zipf, SingleElementPopulation)
+{
+    Rng rng(47);
+    ZipfSampler z(1, 1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}

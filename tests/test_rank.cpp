@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/rank.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+class RankTest : public ::testing::Test
+{
+  protected:
+    DramConfig cfg = tcfg::tinyConfig(); // 2 banks x 64 rows
+    Rank rank{cfg.org};
+};
+
+TEST_F(RankTest, AnyBankOpenReflectsBanks)
+{
+    EXPECT_FALSE(rank.anyBankOpen());
+    rank.bank(1).activate(5, 0, cfg.timing);
+    EXPECT_TRUE(rank.anyBankOpen());
+    rank.bank(1).precharge(cfg.timing.tRAS, cfg.timing);
+    EXPECT_FALSE(rank.anyBankOpen());
+}
+
+TEST_F(RankTest, CbrWalkAlternatesBanksFirst)
+{
+    auto [b0, r0] = rank.nextCbrTarget();
+    auto [b1, r1] = rank.nextCbrTarget();
+    auto [b2, r2] = rank.nextCbrTarget();
+    EXPECT_EQ(b0, 0u);
+    EXPECT_EQ(b1, 1u);
+    EXPECT_EQ(b2, 0u);
+    EXPECT_EQ(r0, 0u);
+    EXPECT_EQ(r1, 0u);
+    EXPECT_EQ(r2, 1u);
+}
+
+TEST_F(RankTest, CbrWalkCoversEveryBankRowPairExactlyOnce)
+{
+    const std::uint64_t total =
+        std::uint64_t(cfg.org.banks) * cfg.org.rows;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    for (std::uint64_t i = 0; i < total; ++i)
+        seen.insert(rank.nextCbrTarget());
+    EXPECT_EQ(seen.size(), total);
+}
+
+TEST_F(RankTest, CbrWalkWrapsAround)
+{
+    const std::uint64_t total =
+        std::uint64_t(cfg.org.banks) * cfg.org.rows;
+    const auto first = rank.peekCbrTarget();
+    for (std::uint64_t i = 0; i < total; ++i)
+        rank.nextCbrTarget();
+    EXPECT_EQ(rank.peekCbrTarget(), first);
+}
+
+TEST_F(RankTest, PeekLookaheadMatchesFutureWalk)
+{
+    const auto ahead3 = rank.peekCbrTarget(3);
+    rank.nextCbrTarget();
+    rank.nextCbrTarget();
+    rank.nextCbrTarget();
+    EXPECT_EQ(rank.peekCbrTarget(), ahead3);
+}
+
+TEST_F(RankTest, PeekDoesNotAdvance)
+{
+    const auto a = rank.peekCbrTarget();
+    const auto b = rank.peekCbrTarget();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(rank.cbrCounter(), 0u);
+}
+
+TEST_F(RankTest, ActivateTracksRrdAndBusy)
+{
+    rank.noteActivate(1000, cfg.timing);
+    EXPECT_EQ(rank.nextActAllowed(), 1000 + cfg.timing.tRRD);
+    EXPECT_EQ(rank.lastBusyEnd(), 1000 + cfg.timing.tRC);
+}
+
+TEST_F(RankTest, NoteBusyKeepsMaximum)
+{
+    rank.noteBusy(500);
+    rank.noteBusy(300);
+    EXPECT_EQ(rank.lastBusyEnd(), 500u);
+}
+
+TEST_F(RankTest, PowerIntegrationBookkeeping)
+{
+    EXPECT_EQ(rank.powerIntegratedTo(), 0u);
+    rank.setPowerIntegratedTo(12345);
+    EXPECT_EQ(rank.powerIntegratedTo(), 12345u);
+}

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "cpu/simple_core.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+namespace {
+
+CoreParams
+fastCore()
+{
+    CoreParams p;
+    p.frequencyGHz = 2.0;
+    p.baseIpc = 1.0;
+    p.accessesPerKiloInstr = 100.0; // access every 10 instructions
+    return p;
+}
+
+WorkloadParams
+pattern()
+{
+    WorkloadParams wp;
+    wp.footprintRows = 32;
+    wp.accessesPerVisit = 2;
+    wp.readFraction = 1.0; // all loads: every access blocks
+    wp.seed = 11;
+    return wp;
+}
+
+} // namespace
+
+TEST(SimpleCore, PerfectMemoryReachesBaseIpc)
+{
+    EventQueue eq;
+    StatGroup root("root");
+    // Zero-latency memory: data returns instantly.
+    SimpleCore core(
+        fastCore(), pattern(), 1024,
+        [&eq](Addr, bool, std::function<void(Tick)> done) {
+            done(eq.now());
+        },
+        eq, &root);
+    core.start();
+    eq.runUntil(kMillisecond);
+    EXPECT_NEAR(core.effectiveIpc(eq.now()), 1.0, 0.02);
+    EXPECT_GT(core.instructionsRetired(), 1000000u);
+    EXPECT_DOUBLE_EQ(core.stallTicks(), 0.0);
+}
+
+TEST(SimpleCore, MemoryLatencyCostsIpc)
+{
+    EventQueue eq;
+    StatGroup root("root");
+    // 100 ns flat load latency; compute gap is 5 ns (10 instr @ 2 GHz).
+    SimpleCore core(
+        fastCore(), pattern(), 1024,
+        [&eq](Addr, bool, std::function<void(Tick)> done) {
+            done(eq.now() + 100 * kNanosecond);
+        },
+        eq, &root);
+    core.start();
+    eq.runUntil(kMillisecond);
+    // Each 10-instruction quantum takes 5 + 100 ns -> IPC ~ 10/(105*2).
+    EXPECT_NEAR(core.effectiveIpc(eq.now()), 10.0 / 210.0, 0.005);
+    EXPECT_GT(core.stallTicks(), 0.0);
+}
+
+TEST(SimpleCore, StoresDoNotBlock)
+{
+    EventQueue eq;
+    StatGroup root("root");
+    WorkloadParams wp = pattern();
+    wp.readFraction = 0.0; // all stores
+    SimpleCore core(
+        fastCore(), wp, 1024,
+        [&eq](Addr, bool write, std::function<void(Tick)> done) {
+            EXPECT_TRUE(write);
+            done(eq.now() + kMillisecond); // huge latency, but posted
+        },
+        eq, &root);
+    core.start();
+    eq.runUntil(kMillisecond);
+    EXPECT_NEAR(core.effectiveIpc(eq.now()), 1.0, 0.02);
+    EXPECT_DOUBLE_EQ(core.stallTicks(), 0.0);
+    EXPECT_EQ(core.memoryAccesses(),
+              static_cast<std::uint64_t>(core.instructionsRetired() / 10));
+}
+
+TEST(SimpleCore, StopHaltsRetirement)
+{
+    EventQueue eq;
+    StatGroup root("root");
+    SimpleCore core(
+        fastCore(), pattern(), 1024,
+        [&eq](Addr, bool, std::function<void(Tick)> done) {
+            done(eq.now());
+        },
+        eq, &root);
+    core.start();
+    eq.runUntil(kMillisecond / 2);
+    core.stop();
+    const auto instrs = core.instructionsRetired();
+    eq.runUntil(kMillisecond);
+    EXPECT_EQ(core.instructionsRetired(), instrs);
+}
+
+TEST(SimpleCore, RejectsNonsenseParams)
+{
+    EventQueue eq;
+    StatGroup root("root");
+    CoreParams bad = fastCore();
+    bad.baseIpc = 0.0;
+    EXPECT_THROW(SimpleCore(bad, pattern(), 1024,
+                            [](Addr, bool, std::function<void(Tick)>) {},
+                            eq, &root),
+                 std::logic_error);
+}

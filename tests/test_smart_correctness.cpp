@@ -1,0 +1,350 @@
+/**
+ * @file
+ * The paper's Section 4.3 correctness claim, checked as a property:
+ * under *arbitrary* access patterns, every row's charge age stays within
+ * the retention deadline. The RetentionTracker shadow model observes
+ * every activate/restore/refresh; any late refresh is a violation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/smart_refresh.hh"
+#include "ctrl/memory_controller.hh"
+#include "sim/random.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+namespace {
+
+struct Rig
+{
+    Rig(const DramConfig &cfg, std::uint32_t bits)
+        : config(cfg), root("root"), dram(cfg, eq, &root),
+          ctrl(dram, eq, ControllerConfig{}, &root),
+          policy(cfg, makeConfig(bits), eq, &root)
+    {
+        ctrl.setRefreshPolicy(&policy);
+    }
+
+    static SmartRefreshConfig
+    makeConfig(std::uint32_t bits)
+    {
+        SmartRefreshConfig sc;
+        sc.counterBits = bits;
+        sc.autoReconfigure = false;
+        return sc;
+    }
+
+    Addr
+    addrOf(std::uint64_t blockRow, std::uint64_t offset = 0) const
+    {
+        return blockRow * config.org.rowBytes() + offset;
+    }
+
+    void
+    expectSafe()
+    {
+        EXPECT_EQ(dram.retention().violations(), 0u);
+        EXPECT_EQ(dram.retention().finalCheck(eq.now()), 0u);
+        EXPECT_EQ(ctrl.refreshBacklog(), 0u);
+    }
+
+    DramConfig config;
+    EventQueue eq;
+    StatGroup root;
+    DramModule dram;
+    MemoryController ctrl;
+    SmartRefreshPolicy policy;
+};
+
+} // namespace
+
+/** Sweep counter widths x retention intervals with random traffic. */
+class CorrectnessSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, Tick>>
+{
+};
+
+TEST_P(CorrectnessSweep, RandomTrafficNeverViolatesRetention)
+{
+    const auto [bits, retention] = GetParam();
+    DramConfig cfg = tcfg::tinyConfig();
+    cfg.timing.retention = retention;
+    Rig rig(cfg, bits);
+
+    Rng rng(bits * 1000 + retention);
+    const std::uint64_t totalRows = cfg.org.totalRows();
+
+    // Poisson-ish random traffic at a rate that touches roughly half
+    // the rows per interval.
+    const double rate = 0.5 * static_cast<double>(totalRows) /
+                        (static_cast<double>(retention) /
+                         static_cast<double>(kSecond));
+    const Tick meanGap =
+        static_cast<Tick>(static_cast<double>(kSecond) / rate);
+    std::function<void()> access = [&] {
+        rig.ctrl.access(rig.addrOf(rng.nextBelow(totalRows)),
+                        rng.nextBool(0.3));
+        rig.eq.scheduleAfter(
+            1 + static_cast<Tick>(rng.nextExponential(
+                    static_cast<double>(meanGap))),
+            access);
+    };
+    rig.eq.schedule(0, access);
+
+    rig.eq.runUntil(6 * retention);
+    rig.expectSafe();
+    // Traffic must actually have skipped some refreshes.
+    EXPECT_LT(rig.dram.totalRefreshes(), 6 * totalRows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndRetention, CorrectnessSweep,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u),
+                       ::testing::Values(Tick(2) * kMillisecond,
+                                         Tick(4) * kMillisecond)));
+
+TEST(SmartCorrectness, AdversarialTouchJustBeforeExpiry)
+{
+    // Paper Figure 4, Case 1: a row touched D before its counter is
+    // decremented must still be refreshed within 64 ms of the touch.
+    DramConfig cfg = tcfg::tinyConfig();
+    Rig rig(cfg, 3);
+    const Tick period = rig.policy.stagger().counterAccessPeriod();
+
+    // Re-touch one row at (counter period - epsilon) cadence: the
+    // counter keeps being reset just before decrement.
+    std::function<void()> touch = [&] {
+        rig.ctrl.access(rig.addrOf(0), false);
+        rig.eq.scheduleAfter(period - 10 * kMicrosecond, touch);
+    };
+    rig.eq.schedule(0, touch);
+    rig.eq.runUntil(8 * cfg.timing.retention);
+    rig.expectSafe();
+}
+
+TEST(SmartCorrectness, AdversarialTouchJustAfterDecrement)
+{
+    // Paper Figure 4, Case 2: a row touched D *after* its counter is
+    // decremented is refreshed at (retention - D) after the touch.
+    DramConfig cfg = tcfg::tinyConfig();
+    Rig rig(cfg, 3);
+    const Tick period = rig.policy.stagger().counterAccessPeriod();
+
+    // Re-touch at (period + epsilon) cadence: each touch lands just
+    // after a decrement, drifting the phase across the whole period.
+    std::function<void()> touch = [&] {
+        rig.ctrl.access(rig.addrOf(3), false);
+        rig.eq.scheduleAfter(period + 10 * kMicrosecond, touch);
+    };
+    rig.eq.schedule(0, touch);
+    rig.eq.runUntil(8 * cfg.timing.retention);
+    rig.expectSafe();
+}
+
+TEST(SmartCorrectness, BurstsOfHotTraffic)
+{
+    // Alternating phases: hammer a quarter of the rows, then go idle.
+    DramConfig cfg = tcfg::tinyConfig();
+    Rig rig(cfg, 3);
+    Rng rng(99);
+    const std::uint64_t totalRows = cfg.org.totalRows();
+    const Tick retention = cfg.timing.retention;
+
+    std::function<void(int)> phase = [&](int n) {
+        const bool hot = (n % 2 == 0);
+        if (hot) {
+            for (int i = 0; i < 200; ++i) {
+                rig.eq.scheduleAfter(
+                    rng.nextBelow(retention / 2),
+                    [&rig, &rng, totalRows] {
+                        rig.ctrl.access(
+                            rig.addrOf(rng.nextBelow(totalRows / 4)),
+                            false);
+                    });
+            }
+        }
+        rig.eq.scheduleAfter(retention / 2, [&phase, n] { phase(n + 1); });
+    };
+    rig.eq.schedule(0, [&phase] { phase(0); });
+
+    rig.eq.runUntil(8 * retention);
+    rig.expectSafe();
+}
+
+TEST(SmartCorrectness, EveryRowHammeredSimultaneously)
+{
+    // All counters get reset together repeatedly: the stagger must not
+    // collapse into a deadline-missing burst (Section 4.2's point).
+    DramConfig cfg = tcfg::tinyConfig();
+    Rig rig(cfg, 2);
+    const Tick retention = cfg.timing.retention;
+    const std::uint64_t totalRows = cfg.org.totalRows();
+
+    std::function<void()> sweep = [&] {
+        for (std::uint64_t r = 0; r < totalRows; ++r) {
+            rig.eq.scheduleAfter(1 + r * 2 * kMicrosecond, [&rig, r] {
+                rig.ctrl.access(rig.addrOf(r), false);
+            });
+        }
+        rig.eq.scheduleAfter(retention * 3 / 4, sweep);
+    };
+    rig.eq.schedule(0, sweep);
+
+    rig.eq.runUntil(8 * retention);
+    rig.expectSafe();
+    EXPECT_LE(rig.policy.pendingQueue().maxDepth(),
+              rig.policy.pendingQueue().capacity());
+}
+
+TEST(SmartCorrectness, SingleRowMonopoly)
+{
+    // One row gets all the traffic; every other row must still be
+    // refreshed on schedule.
+    DramConfig cfg = tcfg::tinyConfig();
+    Rig rig(cfg, 3);
+    std::function<void()> hammer = [&] {
+        rig.ctrl.access(rig.addrOf(7), false);
+        rig.eq.scheduleAfter(50 * kMicrosecond, hammer);
+    };
+    rig.eq.schedule(0, hammer);
+    rig.eq.runUntil(6 * cfg.timing.retention);
+    rig.expectSafe();
+}
+
+TEST(SmartCorrectness, WritesRestoreLikeReads)
+{
+    DramConfig cfg = tcfg::tinyConfig();
+    Rig rig(cfg, 3);
+    Rng rng(7);
+    const std::uint64_t totalRows = cfg.org.totalRows();
+    std::function<void()> access = [&] {
+        rig.ctrl.access(rig.addrOf(rng.nextBelow(totalRows)), true);
+        rig.eq.scheduleAfter(20 * kMicrosecond, access);
+    };
+    rig.eq.schedule(0, access);
+    rig.eq.runUntil(5 * cfg.timing.retention);
+    rig.expectSafe();
+}
+
+TEST(SmartCorrectness, TwoRankModule)
+{
+    DramConfig cfg = tcfg::smallConfig(); // 2 ranks x 4 banks x 128 rows
+    Rig rig(cfg, 3);
+    Rng rng(21);
+    const std::uint64_t totalRows = cfg.org.totalRows();
+    std::function<void()> access = [&] {
+        rig.ctrl.access(rig.addrOf(rng.nextBelow(totalRows)),
+                        rng.nextBool(0.5));
+        rig.eq.scheduleAfter(
+            1 + static_cast<Tick>(rng.nextExponential(30000.0)), access);
+    };
+    rig.eq.schedule(0, access);
+    rig.eq.runUntil(4 * cfg.timing.retention);
+    rig.expectSafe();
+}
+
+/** Sweep segment counts: the queue bound and safety hold for any N. */
+class SegmentSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SegmentSweep, SafetyAndQueueBoundHold)
+{
+    const std::uint32_t segments = GetParam();
+    DramConfig cfg = tcfg::tinyConfig();
+    EventQueue eq;
+    StatGroup root("root");
+    DramModule dram(cfg, eq, &root);
+    MemoryController ctrl(dram, eq, ControllerConfig{}, &root);
+    SmartRefreshConfig sc;
+    sc.counterBits = 3;
+    sc.segments = segments;
+    sc.queueCapacity = segments;
+    sc.autoReconfigure = false;
+    SmartRefreshPolicy policy(cfg, sc, eq, &root);
+    ctrl.setRefreshPolicy(&policy);
+
+    Rng rng(segments);
+    const std::uint64_t totalRows = cfg.org.totalRows();
+    std::function<void()> access = [&] {
+        ctrl.access(rng.nextBelow(totalRows) * cfg.org.rowBytes(),
+                    rng.nextBool(0.3));
+        eq.scheduleAfter(1 + static_cast<Tick>(rng.nextExponential(4e4)),
+                         access);
+    };
+    eq.schedule(0, access);
+    eq.runUntil(5 * cfg.timing.retention);
+
+    EXPECT_EQ(dram.retention().violations(), 0u);
+    EXPECT_EQ(dram.retention().finalCheck(eq.now()), 0u);
+    EXPECT_LE(policy.pendingQueue().maxDepth(),
+              policy.pendingQueue().capacity());
+    EXPECT_EQ(policy.pendingQueue().overflows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, SegmentSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+TEST(SmartCorrectness, ShortRetentionEdramScale)
+{
+    // eDRAM-scale retention (the introduction's 4 ms figure) on the
+    // tiny module: the deadline machinery must hold at 16x the refresh
+    // pressure too.
+    DramConfig cfg = tcfg::tinyConfig();
+    cfg.timing.retention = 1 * kMillisecond;
+    Rig rig(cfg, 3);
+    Rng rng(3);
+    const std::uint64_t totalRows = cfg.org.totalRows();
+    std::function<void()> access = [&] {
+        rig.ctrl.access(rig.addrOf(rng.nextBelow(totalRows)), false);
+        rig.eq.scheduleAfter(1 + rng.nextBelow(20 * kMicrosecond),
+                             access);
+    };
+    rig.eq.schedule(0, access);
+    rig.eq.runUntil(10 * cfg.timing.retention);
+    rig.expectSafe();
+}
+
+TEST(SmartCorrectness, RandomTrafficWithRetentionClasses)
+{
+    // Multi-rate counters under random traffic: per-class deadlines,
+    // checked per-row by the shadow model.
+    DramConfig cfg = tcfg::tinyConfig();
+    EventQueue eq;
+    StatGroup root("root");
+    DramModule dram(cfg, eq, &root);
+    MemoryController ctrl(dram, eq, ControllerConfig{}, &root);
+
+    RetentionClassParams cp;
+    cp.seed = 99;
+    auto classes =
+        std::make_shared<RetentionClassMap>(cfg.org.totalRows(), cp);
+    std::vector<std::uint8_t> mults(classes->totalRows());
+    for (std::uint64_t i = 0; i < mults.size(); ++i)
+        mults[i] = static_cast<std::uint8_t>(classes->multiplier(i));
+    dram.retention().applyClassMultipliers(mults);
+
+    SmartRefreshConfig sc;
+    sc.autoReconfigure = false;
+    sc.retentionClasses = classes;
+    SmartRefreshPolicy policy(cfg, sc, eq, &root);
+    ctrl.setRefreshPolicy(&policy);
+
+    Rng rng(17);
+    const std::uint64_t totalRows = cfg.org.totalRows();
+    std::function<void()> access = [&] {
+        ctrl.access(rng.nextBelow(totalRows) * cfg.org.rowBytes(),
+                    rng.nextBool(0.4));
+        eq.scheduleAfter(1 + static_cast<Tick>(rng.nextExponential(5e4)),
+                         access);
+    };
+    eq.schedule(0, access);
+    eq.runUntil(12 * cfg.timing.retention);
+
+    EXPECT_EQ(dram.retention().violations(), 0u);
+    EXPECT_EQ(dram.retention().finalCheck(eq.now()), 0u);
+}

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/stats.hh"
+
+using namespace smartref;
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup root("root");
+    Scalar s(&root, "count", "a counter");
+    s += 5.0;
+    ++s;
+    s -= 2.0;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s = 10.0;
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, VectorTotalsAndLabels)
+{
+    StatGroup root("root");
+    VectorStat v(&root, "perBank", "per bank", {"b0", "b1", "b2"});
+    v[0] = 1.0;
+    v[1] += 2.0;
+    v[2] = 3.0;
+    EXPECT_DOUBLE_EQ(v.total(), 6.0);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at(1), 2.0);
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.total(), 0.0);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    StatGroup root("root");
+    Histogram h(&root, "lat", "latency", 0.0, 100.0, 10);
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        h.sample(x);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+    EXPECT_DOUBLE_EQ(h.min(), 10.0);
+    EXPECT_DOUBLE_EQ(h.max(), 40.0);
+    EXPECT_NEAR(h.stddev(), 12.909944, 1e-5);
+}
+
+TEST(Stats, HistogramOverUnderflow)
+{
+    StatGroup root("root");
+    Histogram h(&root, "h", "", 0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(5.0);
+    h.sample(100.0);
+    EXPECT_EQ(h.underflows(), 1u);
+    EXPECT_EQ(h.overflows(), 1u);
+    EXPECT_EQ(h.samples(), 3u);
+}
+
+TEST(Stats, HistogramWeightedSamples)
+{
+    StatGroup root("root");
+    Histogram h(&root, "h", "", 0.0, 10.0, 5);
+    h.sample(4.0, 3);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    StatGroup root("root");
+    Scalar a(&root, "a", "");
+    Formula f(&root, "double_a", "", [&a] { return a.value() * 2.0; });
+    a = 21.0;
+    EXPECT_DOUBLE_EQ(f.value(), 42.0);
+    a = 1.0;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Stats, GroupHierarchyNames)
+{
+    StatGroup root("sys");
+    StatGroup child("dram", &root);
+    StatGroup grand("bank0", &child);
+    EXPECT_EQ(grand.fullStatName(), "sys.dram.bank0");
+}
+
+TEST(Stats, DumpContainsQualifiedNames)
+{
+    StatGroup root("sys");
+    StatGroup child("mem", &root);
+    Scalar s(&child, "reads", "read count");
+    s = 7.0;
+    std::ostringstream oss;
+    root.dumpStats(oss);
+    EXPECT_NE(oss.str().find("sys.mem.reads"), std::string::npos);
+    EXPECT_NE(oss.str().find("read count"), std::string::npos);
+}
+
+TEST(Stats, ResetRecursesThroughChildren)
+{
+    StatGroup root("sys");
+    StatGroup child("mem", &root);
+    Scalar a(&root, "a", "");
+    Scalar b(&child, "b", "");
+    a = 1.0;
+    b = 2.0;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.value(), 0.0);
+}
+
+TEST(Stats, DuplicateNameInGroupPanics)
+{
+    StatGroup root("sys");
+    Scalar a(&root, "x", "");
+    EXPECT_THROW(Scalar(&root, "x", ""), std::logic_error);
+}
+
+TEST(Stats, FindStat)
+{
+    StatGroup root("sys");
+    Scalar a(&root, "hits", "");
+    EXPECT_EQ(root.findStat("hits"), &a);
+    EXPECT_EQ(root.findStat("misses"), nullptr);
+}
+
+TEST(Stats, ChildUnregistersOnDestruction)
+{
+    StatGroup root("sys");
+    {
+        StatGroup child("temp", &root);
+        Scalar s(&child, "v", "");
+        s = 1.0;
+    }
+    std::ostringstream oss;
+    root.dumpStats(oss); // must not touch the destroyed child
+    EXPECT_EQ(oss.str().find("temp"), std::string::npos);
+}
+
+TEST(Stats, HistogramBucketCounts)
+{
+    StatGroup root("root");
+    Histogram h(&root, "h", "", 0.0, 10.0, 5); // buckets of width 2
+    h.sample(1.0);
+    h.sample(1.5);
+    h.sample(9.9);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(Stats, VectorDumpShowsLabelsAndTotal)
+{
+    StatGroup root("root");
+    VectorStat v(&root, "perBank", "spread", {"b0", "b1"});
+    v[0] = 3.0;
+    v[1] = 4.0;
+    std::ostringstream oss;
+    root.dumpStats(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("perBank::b0"), std::string::npos);
+    EXPECT_NE(out.find("perBank::b1"), std::string::npos);
+    EXPECT_NE(out.find("perBank::total"), std::string::npos);
+}
+
+TEST(Stats, FormulaSurvivesReset)
+{
+    StatGroup root("root");
+    Scalar a(&root, "a", "");
+    Formula f(&root, "fa", "", [&a] { return a.value() + 1.0; });
+    a = 5.0;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(f.value(), 1.0); // reads the reset scalar
+}

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * End-to-end integration tests on a conventional system: baseline
+ * anchors, Smart-vs-CBR comparisons, energy conservation, determinism
+ * and the snapshot-delta measurement machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+namespace {
+
+SystemConfig
+tinySystem(PolicyKind policy)
+{
+    SystemConfig cfg;
+    cfg.dram = tcfg::tinyConfig();
+    cfg.policy = policy;
+    cfg.smart.autoReconfigure = false;
+    return cfg;
+}
+
+WorkloadParams
+halfCoverageWorkload(const DramConfig &dram)
+{
+    WorkloadParams wp;
+    wp.name = "half";
+    wp.footprintRows = dram.org.totalRows() / 2;
+    wp.rowVisitsPerSecond =
+        static_cast<double>(wp.footprintRows) /
+        (static_cast<double>(dram.timing.retention) /
+         static_cast<double>(kSecond)) *
+        2.0;
+    wp.accessesPerVisit = 2;
+    wp.randomJumpProb = 0.0;
+    wp.readFraction = 0.7;
+    wp.interArrivalJitter = 0.3;
+    wp.seed = 9;
+    return wp;
+}
+
+} // namespace
+
+TEST(SystemIntegration, CbrBaselineAnchorsToGeometry)
+{
+    System sys(tinySystem(PolicyKind::Cbr));
+    const Tick retention = sys.config().dram.timing.retention;
+    sys.run(retention);
+    EnergySnapshot warm = captureSnapshot(sys);
+    sys.run(2 * retention);
+    EnergySnapshot end = captureSnapshot(sys);
+    const EnergySnapshot d = end - warm;
+    EXPECT_EQ(d.refreshes, 2 * sys.config().dram.org.totalRows());
+    EXPECT_EQ(d.violations, 0u);
+}
+
+TEST(SystemIntegration, SmartReducesRefreshesUnderLoad)
+{
+    auto runPolicy = [](PolicyKind kind) {
+        System sys(tinySystem(kind));
+        sys.addWorkload(halfCoverageWorkload(sys.config().dram));
+        const Tick retention = sys.config().dram.timing.retention;
+        sys.run(retention);
+        EnergySnapshot warm = captureSnapshot(sys);
+        sys.run(3 * retention);
+        EnergySnapshot end = captureSnapshot(sys);
+        EXPECT_EQ(sys.dram().retention().violations(), 0u);
+        return end - warm;
+    };
+
+    const EnergySnapshot cbr = runPolicy(PolicyKind::Cbr);
+    const EnergySnapshot smart = runPolicy(PolicyKind::Smart);
+
+    // Roughly half the rows are kept alive: expect a 35-60 % reduction.
+    const double reduction = 1.0 - static_cast<double>(smart.refreshes) /
+                                       static_cast<double>(cbr.refreshes);
+    EXPECT_GT(reduction, 0.35);
+    EXPECT_LT(reduction, 0.65);
+    // And refresh energy (with overheads) must drop too.
+    EXPECT_LT(smart.refreshEnergy + smart.overheadEnergy,
+              cbr.refreshEnergy);
+    EXPECT_LT(smart.totalEnergy(), cbr.totalEnergy());
+}
+
+TEST(SystemIntegration, SnapshotDeltaArithmetic)
+{
+    EnergySnapshot a, b;
+    a.tick = 100;
+    a.refreshes = 5;
+    a.refreshEnergy = 1.0;
+    a.backgroundEnergy = 2.0;
+    b.tick = 300;
+    b.refreshes = 12;
+    b.refreshEnergy = 3.5;
+    b.backgroundEnergy = 6.0;
+    const EnergySnapshot d = b - a;
+    EXPECT_EQ(d.tick, 200u);
+    EXPECT_EQ(d.refreshes, 7u);
+    EXPECT_DOUBLE_EQ(d.refreshEnergy, 2.5);
+    EXPECT_DOUBLE_EQ(d.totalEnergy(), 2.5 + 4.0);
+}
+
+TEST(SystemIntegration, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        System sys(tinySystem(PolicyKind::Smart));
+        sys.addWorkload(halfCoverageWorkload(sys.config().dram));
+        sys.run(3 * sys.config().dram.timing.retention);
+        EnergySnapshot s = captureSnapshot(sys);
+        return s;
+    };
+    const EnergySnapshot a = run();
+    const EnergySnapshot b = run();
+    EXPECT_EQ(a.refreshes, b.refreshes);
+    EXPECT_EQ(a.demandAccesses, b.demandAccesses);
+    EXPECT_DOUBLE_EQ(a.refreshEnergy, b.refreshEnergy);
+    EXPECT_DOUBLE_EQ(a.latencySumTicks, b.latencySumTicks);
+}
+
+TEST(SystemIntegration, BurstPolicyWorksEndToEnd)
+{
+    System sys(tinySystem(PolicyKind::Burst));
+    sys.run(3 * sys.config().dram.timing.retention +
+            sys.config().dram.timing.retention / 4);
+    EXPECT_EQ(sys.dram().retention().violations(), 0u);
+    EXPECT_GE(sys.dram().totalRefreshes(),
+              3 * sys.config().dram.org.totalRows());
+}
+
+TEST(SystemIntegration, RasOnlyPaysBusEnergy)
+{
+    System cbrSys(tinySystem(PolicyKind::Cbr));
+    System rasSys(tinySystem(PolicyKind::RasOnly));
+    const Tick retention = cbrSys.config().dram.timing.retention;
+    cbrSys.run(2 * retention);
+    rasSys.run(2 * retention);
+    const EnergySnapshot cbr = captureSnapshot(cbrSys);
+    const EnergySnapshot ras = captureSnapshot(rasSys);
+    EXPECT_EQ(cbr.refreshes, ras.refreshes);
+    EXPECT_DOUBLE_EQ(cbr.overheadEnergy, 0.0);
+    EXPECT_GT(ras.overheadEnergy, 0.0);
+    EXPECT_GT(ras.totalEnergy(), cbr.totalEnergy());
+}
+
+TEST(SystemIntegration, PolicyKindNames)
+{
+    EXPECT_STREQ(toString(PolicyKind::Cbr), "cbr");
+    EXPECT_STREQ(toString(PolicyKind::Burst), "burst");
+    EXPECT_STREQ(toString(PolicyKind::RasOnly), "ras-only");
+    EXPECT_STREQ(toString(PolicyKind::Smart), "smart");
+}
+
+TEST(SystemIntegration, SmartPolicyAccessorNullForBaselines)
+{
+    System cbr(tinySystem(PolicyKind::Cbr));
+    EXPECT_EQ(cbr.smartPolicy(), nullptr);
+    System smart(tinySystem(PolicyKind::Smart));
+    EXPECT_NE(smart.smartPolicy(), nullptr);
+}
+
+TEST(SystemIntegration, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 4.0, 4.0}), 4.0);
+    EXPECT_NEAR(geometricMean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(SystemIntegration, MultipleWorkloadsCompose)
+{
+    System sys(tinySystem(PolicyKind::Smart));
+    WorkloadParams a = halfCoverageWorkload(sys.config().dram);
+    a.name = "a";
+    a.rowStride = 2;
+    a.rowOffset = 0;
+    a.footprintRows /= 2;
+    WorkloadParams b = a;
+    b.name = "b";
+    b.rowOffset = 1;
+    b.seed = 17;
+    sys.addWorkload(a);
+    sys.addWorkload(b);
+    sys.run(3 * sys.config().dram.timing.retention);
+    EXPECT_EQ(sys.dram().retention().violations(), 0u);
+    EXPECT_GT(sys.controller().demandReads() +
+                  sys.controller().demandWrites(),
+              0u);
+}
+
+class SchemeSweep : public ::testing::TestWithParam<AddressScheme>
+{
+};
+
+TEST_P(SchemeSweep, SmartRefreshSafeUnderEveryMapping)
+{
+    SystemConfig cfg = tinySystem(PolicyKind::Smart);
+    cfg.ctrl.scheme = GetParam();
+    System sys(cfg);
+    sys.addWorkload(halfCoverageWorkload(cfg.dram));
+    sys.run(4 * cfg.dram.timing.retention);
+    EXPECT_EQ(sys.dram().retention().violations(), 0u);
+    EXPECT_EQ(sys.dram().retention().finalCheck(sys.eventQueue().now()),
+              0u);
+    // The workload still causes refresh skipping under any scheme.
+    EXPECT_LT(sys.dram().totalRefreshes(),
+              4 * cfg.dram.org.totalRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SchemeSweep,
+    ::testing::Values(AddressScheme::RowRankBankColumn,
+                      AddressScheme::RowBankRankColumn,
+                      AddressScheme::RankBankRowColumn));
+
+TEST(SystemIntegration, EnergyComponentsAllPositiveUnderLoad)
+{
+    System sys(tinySystem(PolicyKind::Smart));
+    sys.addWorkload(halfCoverageWorkload(sys.config().dram));
+    sys.run(2 * sys.config().dram.timing.retention);
+    const EnergySnapshot s = captureSnapshot(sys);
+    EXPECT_GT(s.refreshEnergy, 0.0);
+    EXPECT_GT(s.actEnergy, 0.0);
+    EXPECT_GT(s.readEnergy, 0.0);
+    EXPECT_GT(s.writeEnergy, 0.0);
+    EXPECT_GT(s.backgroundEnergy, 0.0);
+    EXPECT_GT(s.overheadEnergy, 0.0);
+    // Background cannot exceed full active-standby power for the span.
+    const double activePower =
+        sys.dram().power().backgroundPower(RankPowerState::ActiveStandby);
+    const double spanSec =
+        static_cast<double>(s.tick) / static_cast<double>(kSecond);
+    EXPECT_LE(s.backgroundEnergy,
+              activePower * spanSec *
+                  sys.config().dram.org.ranks * 1.0001);
+}
+
+TEST(SystemIntegration, IdlePrechargeTimeoutAffectsEnergyNotSafety)
+{
+    auto run = [](Tick timeout) {
+        SystemConfig cfg = tinySystem(PolicyKind::Cbr);
+        cfg.ctrl.idlePrechargeAfter = timeout;
+        System sys(cfg);
+        sys.addWorkload(halfCoverageWorkload(cfg.dram));
+        sys.run(3 * cfg.dram.timing.retention);
+        EXPECT_EQ(sys.dram().retention().violations(), 0u);
+        return captureSnapshot(sys).totalEnergy();
+    };
+    // Pages held open forever burn more background energy.
+    EXPECT_GT(run(0), run(200 * kNanosecond));
+}

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "dram/thermal_model.hh"
+
+using namespace smartref;
+
+TEST(Thermal, PaperTemperatureAnchor)
+{
+    // Annavaram et al. [14]: a 64 MB stacked die runs at 90.27 C. With
+    // the default package parameters and the stacked module's typical
+    // simulated power draw (~0.11 W) the model reproduces that anchor.
+    ThermalModel model;
+    EXPECT_NEAR(model.temperatureC(0.109), 90.27, 0.5);
+}
+
+TEST(Thermal, StackedDieExceedsMicronThreshold)
+{
+    ThermalModel model;
+    EXPECT_TRUE(model.requiresFastRefresh(0.11));
+    EXPECT_GT(model.temperatureC(0.11), 85.0);
+}
+
+TEST(Thermal, DimmStaysCool)
+{
+    ThermalModel dimm{ThermalModel::dimmParams()};
+    // A DIMM at ~0.7 W with no conducted heat stays far below 85 C.
+    EXPECT_FALSE(dimm.requiresFastRefresh(0.7));
+    EXPECT_LT(dimm.temperatureC(0.7), 60.0);
+}
+
+TEST(Thermal, RetentionRuleHalvesWhenHot)
+{
+    ThermalModel hot;
+    EXPECT_EQ(hot.requiredRetention(0.11, 64 * kMillisecond),
+              32 * kMillisecond);
+    ThermalModel cool{ThermalModel::dimmParams()};
+    EXPECT_EQ(cool.requiredRetention(0.7, 64 * kMillisecond),
+              64 * kMillisecond);
+}
+
+TEST(Thermal, TemperatureMonotoneInPower)
+{
+    ThermalModel model;
+    EXPECT_LT(model.temperatureC(0.05), model.temperatureC(0.10));
+    EXPECT_LT(model.temperatureC(0.10), model.temperatureC(0.20));
+}
+
+TEST(Thermal, ThresholdBoundaryIsStrict)
+{
+    ThermalParams p;
+    p.ambientC = 85.0;
+    p.thetaJA = 1.0;
+    p.conductedPowerW = 0.0;
+    ThermalModel model(p);
+    EXPECT_FALSE(model.requiresFastRefresh(0.0)); // exactly 85: not over
+    EXPECT_TRUE(model.requiresFastRefresh(0.01));
+}

@@ -1,0 +1,32 @@
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace smartref;
+
+TEST(Types, UnitRelations)
+{
+    EXPECT_EQ(kNanosecond, 1000u * kPicosecond);
+    EXPECT_EQ(kMicrosecond, 1000u * kNanosecond);
+    EXPECT_EQ(kMillisecond, 1000u * kMicrosecond);
+    EXPECT_EQ(kSecond, 1000u * kMillisecond);
+}
+
+TEST(Types, PeriodFromMHz)
+{
+    EXPECT_EQ(periodFromMHz(1000), 1000u);       // 1 GHz -> 1 ns
+    EXPECT_EQ(periodFromMHz(500), 2000u);        // 500 MHz -> 2 ns
+    EXPECT_EQ(periodFromMHz(667), 1499u);        // DDR2-667 data rate
+}
+
+TEST(Types, CapacityHelpers)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024u);
+    EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Types, TickMaxIsNever)
+{
+    EXPECT_GT(kTickMax, kSecond * 3600u * 24u * 365u);
+}

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "trace/workload_model.hh"
+#include "test_config.hh"
+
+using namespace smartref;
+
+namespace {
+
+struct Capture
+{
+    std::vector<Addr> addrs;
+    std::vector<bool> writes;
+
+    WorkloadModel::Sink
+    sink()
+    {
+        return [this](Addr a, bool w) {
+            addrs.push_back(a);
+            writes.push_back(w);
+        };
+    }
+};
+
+WorkloadParams
+baseParams()
+{
+    WorkloadParams wp;
+    wp.name = "test";
+    wp.rowVisitsPerSecond = 1e6;
+    wp.footprintRows = 32;
+    wp.accessesPerVisit = 1;
+    wp.randomJumpProb = 0.0;
+    wp.readFraction = 1.0;
+    wp.interArrivalJitter = 0.0;
+    wp.seed = 3;
+    return wp;
+}
+
+constexpr std::uint64_t kRowBytes = 1024;
+
+} // namespace
+
+TEST(Workload, DeterministicForSameSeed)
+{
+    Capture capA, capB;
+    EventQueue eqA, eqB;
+    StatGroup rootA("a"), rootB("b");
+    WorkloadModel a(baseParams(), kRowBytes, capA.sink(), eqA, &rootA);
+    WorkloadModel b(baseParams(), kRowBytes, capB.sink(), eqB, &rootB);
+    a.start();
+    b.start();
+    eqA.runUntil(kMillisecond);
+    eqB.runUntil(kMillisecond);
+    EXPECT_EQ(capA.addrs, capB.addrs);
+    EXPECT_EQ(capA.writes, capB.writes);
+}
+
+TEST(Workload, RateIsApproximatelyRespected)
+{
+    Capture cap;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadParams wp = baseParams();
+    wp.rowVisitsPerSecond = 1e6; // 1000 visits per ms
+    WorkloadModel w(wp, kRowBytes, cap.sink(), eq, &root);
+    w.start();
+    eq.runUntil(10 * kMillisecond);
+    EXPECT_NEAR(static_cast<double>(w.rowVisits()), 10000.0, 500.0);
+}
+
+TEST(Workload, SequentialSweepCoversFootprint)
+{
+    Capture cap;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadModel w(baseParams(), kRowBytes, cap.sink(), eq, &root);
+    w.start();
+    eq.runUntil(kMillisecond); // ~1000 visits over 32 rows
+    std::set<std::uint64_t> rows;
+    for (Addr a : cap.addrs)
+        rows.insert(a / kRowBytes);
+    EXPECT_EQ(rows.size(), 32u);
+    // All rows inside the footprint.
+    for (std::uint64_t r : rows)
+        EXPECT_LT(r, 32u);
+}
+
+TEST(Workload, AccessesPerVisitMultiplies)
+{
+    Capture cap;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadParams wp = baseParams();
+    wp.accessesPerVisit = 4;
+    WorkloadModel w(wp, kRowBytes, cap.sink(), eq, &root);
+    w.start();
+    eq.runUntil(kMillisecond);
+    EXPECT_NEAR(static_cast<double>(w.accessesIssued()),
+                4.0 * static_cast<double>(w.rowVisits()), 8.0);
+    // The run stays within one row: consecutive same-visit accesses
+    // share the row index.
+    ASSERT_GE(cap.addrs.size(), 4u);
+}
+
+TEST(Workload, ReadFractionHonoured)
+{
+    Capture cap;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadParams wp = baseParams();
+    wp.readFraction = 0.25;
+    wp.rowVisitsPerSecond = 2e6;
+    WorkloadModel w(wp, kRowBytes, cap.sink(), eq, &root);
+    w.start();
+    eq.runUntil(10 * kMillisecond);
+    std::uint64_t writes = 0;
+    for (bool isW : cap.writes)
+        writes += isW;
+    EXPECT_NEAR(static_cast<double>(writes) /
+                    static_cast<double>(cap.writes.size()),
+                0.75, 0.05);
+}
+
+TEST(Workload, StrideAndOffsetPartitionFootprints)
+{
+    Capture capA, capB;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadParams a = baseParams();
+    a.rowStride = 2;
+    a.rowOffset = 0;
+    WorkloadParams b = baseParams();
+    b.rowStride = 2;
+    b.rowOffset = 1;
+    b.seed = 11;
+    WorkloadModel wa(a, kRowBytes, capA.sink(), eq, &root);
+    StatGroup root2("r2");
+    WorkloadModel wb(b, kRowBytes, capB.sink(), eq, &root2);
+    wa.start();
+    wb.start();
+    eq.runUntil(kMillisecond);
+    for (Addr addr : capA.addrs)
+        EXPECT_EQ((addr / kRowBytes) % 2, 0u);
+    for (Addr addr : capB.addrs)
+        EXPECT_EQ((addr / kRowBytes) % 2, 1u);
+}
+
+TEST(Workload, ZipfJumpsStayInsideFootprint)
+{
+    Capture cap;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadParams wp = baseParams();
+    wp.randomJumpProb = 1.0;
+    wp.zipfAlpha = 1.0;
+    WorkloadModel w(wp, kRowBytes, cap.sink(), eq, &root);
+    w.start();
+    eq.runUntil(kMillisecond);
+    for (Addr a : cap.addrs)
+        EXPECT_LT(a / kRowBytes, 32u);
+    EXPECT_GT(w.rowVisits(), 100u);
+}
+
+TEST(Workload, StopHaltsGeneration)
+{
+    Capture cap;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadModel w(baseParams(), kRowBytes, cap.sink(), eq, &root);
+    w.start();
+    eq.runUntil(kMillisecond);
+    const auto count = cap.addrs.size();
+    w.stop();
+    eq.runUntil(2 * kMillisecond);
+    EXPECT_EQ(cap.addrs.size(), count);
+}
+
+TEST(Workload, JitterChangesArrivalPattern)
+{
+    Capture capA, capB;
+    EventQueue eqA, eqB;
+    StatGroup rootA("a"), rootB("b");
+    WorkloadParams regular = baseParams();
+    WorkloadParams jittered = baseParams();
+    jittered.interArrivalJitter = 1.0;
+    WorkloadModel wa(regular, kRowBytes, capA.sink(), eqA, &rootA);
+    WorkloadModel wb(jittered, kRowBytes, capB.sink(), eqB, &rootB);
+    wa.start();
+    wb.start();
+    eqA.runUntil(10 * kMillisecond);
+    eqB.runUntil(10 * kMillisecond);
+    // Means agree within 15 %...
+    EXPECT_NEAR(static_cast<double>(wb.rowVisits()),
+                static_cast<double>(wa.rowVisits()),
+                0.15 * static_cast<double>(wa.rowVisits()));
+}
+
+TEST(Workload, RejectsBadParams)
+{
+    Capture cap;
+    EventQueue eq;
+    StatGroup root("r");
+    WorkloadParams wp = baseParams();
+    wp.footprintRows = 0;
+    EXPECT_THROW(WorkloadModel(wp, kRowBytes, cap.sink(), eq, &root),
+                 std::logic_error);
+    wp = baseParams();
+    wp.rowVisitsPerSecond = 0.0;
+    EXPECT_THROW(WorkloadModel(wp, kRowBytes, cap.sink(), eq, &root),
+                 std::logic_error);
+    wp = baseParams();
+    wp.accessesPerVisit = 0;
+    EXPECT_THROW(WorkloadModel(wp, kRowBytes, cap.sink(), eq, &root),
+                 std::logic_error);
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * smartref_sim — the standalone simulator frontend.
+ *
+ * Runs one (configuration, refresh policy, workload) combination and
+ * prints a summary plus, optionally, the full statistics tree. The
+ * workload can be a named benchmark profile, the idle/light special
+ * profiles, or a recorded trace file (DRAMsim-style trace-driven mode).
+ *
+ * Usage:
+ *   smartref_sim [--config 2gb|4gb|3d64|3d64-32ms|3d32|edram]
+ *                [--policy cbr|burst|ras-only|smart|retention-aware]
+ *                [--classes]           RAPID-style retention classes
+ *                [--benchmark NAME | --idle | --light | --trace FILE]
+ *                [--threed]            use the 3D cache system assembly
+ *                [--warmup-ms N] [--measure-ms N]
+ *                [--bits B] [--segments N] [--no-auto] [--seed S]
+ *                [--scheme row-rank-bank|row-bank-rank|rank-bank-row]
+ *                [--stats-out FILE]    dump the full statistics tree
+ *                [--list]              list benchmark profiles and exit
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "harness/cli.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "trace/trace.hh"
+
+using namespace smartref;
+
+namespace {
+
+DramConfig
+configByName(const std::string &name)
+{
+    if (name == "2gb")
+        return ddr2_2GB();
+    if (name == "4gb")
+        return ddr2_4GB();
+    if (name == "3d64")
+        return dram3d_64MB();
+    if (name == "3d64-32ms")
+        return dram3d_64MB_32ms();
+    if (name == "3d32")
+        return dram3d_32MB();
+    if (name == "edram")
+        return edram_16MB();
+    SMARTREF_FATAL("unknown config '", name,
+                   "' (2gb, 4gb, 3d64, 3d64-32ms, 3d32, edram)");
+}
+
+PolicyKind
+policyByName(const std::string &name)
+{
+    if (name == "cbr")
+        return PolicyKind::Cbr;
+    if (name == "burst")
+        return PolicyKind::Burst;
+    if (name == "ras-only")
+        return PolicyKind::RasOnly;
+    if (name == "smart")
+        return PolicyKind::Smart;
+    if (name == "retention-aware")
+        return PolicyKind::RetentionAware;
+    SMARTREF_FATAL("unknown policy '", name,
+                   "' (cbr, burst, ras-only, smart, retention-aware)");
+}
+
+AddressScheme
+schemeByName(const std::string &name)
+{
+    if (name == "row-rank-bank")
+        return AddressScheme::RowRankBankColumn;
+    if (name == "row-bank-rank")
+        return AddressScheme::RowBankRankColumn;
+    if (name == "rank-bank-row")
+        return AddressScheme::RankBankRowColumn;
+    SMARTREF_FATAL("unknown scheme '", name, "'");
+}
+
+void
+listProfiles()
+{
+    ReportTable table({"benchmark", "suite", "2GB coverage",
+                       "3D coverage", "reads", "run length"});
+    for (const auto &p : allProfiles()) {
+        table.addRow({p.name, p.suite, fmtPercent(p.reduction2gb),
+                      fmtPercent(p.reduction3d),
+                      fmtPercent(p.readFraction),
+                      std::to_string(p.accessesPerVisit)});
+    }
+    table.print(std::cout);
+}
+
+void
+printSummary(const std::string &label, const EnergySnapshot &d,
+             std::size_t backlog, double hitRate, bool isCache)
+{
+    const double seconds =
+        static_cast<double>(d.tick) / static_cast<double>(kSecond);
+    ReportTable table({"metric", "value"});
+    table.addRow({"measured window (ms)", fmtDouble(seconds * 1e3, 1)});
+    table.addRow({"refreshes/s",
+                  fmtMillions(static_cast<double>(d.refreshes) / seconds) +
+                      " M"});
+    table.addRow({"demand accesses", std::to_string(d.demandAccesses)});
+    if (isCache)
+        table.addRow({"cache hit rate", fmtPercent(hitRate)});
+    table.addRow(
+        {"avg demand latency (ns)",
+         fmtDouble(d.demandAccesses
+                       ? d.latencySumTicks /
+                             static_cast<double>(d.demandAccesses) / 1e3
+                       : 0.0,
+                   1)});
+    table.addRow({"refresh energy (mJ)", fmtDouble(d.refreshEnergy * 1e3)});
+    table.addRow({"activate energy (mJ)", fmtDouble(d.actEnergy * 1e3)});
+    table.addRow({"read/write energy (mJ)",
+                  fmtDouble((d.readEnergy + d.writeEnergy) * 1e3)});
+    table.addRow(
+        {"background energy (mJ)", fmtDouble(d.backgroundEnergy * 1e3)});
+    table.addRow(
+        {"policy overhead (mJ)", fmtDouble(d.overheadEnergy * 1e3)});
+    table.addRow({"total energy (mJ)", fmtDouble(d.totalEnergy() * 1e3)});
+    table.addRow({"max refresh backlog", std::to_string(backlog)});
+    table.addRow({"retention violations", std::to_string(d.violations)});
+    std::cout << "\n=== " << label << " ===\n";
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    if (args.has("list")) {
+        listProfiles();
+        return 0;
+    }
+
+    const ExperimentOptions opts = args.experimentOptions();
+    const DramConfig dram = configByName(args.getString("config", "2gb"));
+    const PolicyKind policy =
+        policyByName(args.getString("policy", "smart"));
+    const std::string tracePath = args.getString("trace");
+    const std::string statsOut = args.getString("stats-out");
+    const bool threed = args.has("threed");
+
+    SmartRefreshConfig smart;
+    smart.counterBits = opts.counterBits;
+    smart.segments = opts.segments;
+    smart.queueCapacity = opts.segments;
+    smart.autoReconfigure = opts.autoReconfigure;
+
+    std::uint64_t violations = 0;
+
+    if (threed) {
+        ThreeDSystemConfig cfg;
+        cfg.threeD = dram;
+        cfg.threeDPolicy = policy;
+        cfg.smart = smart;
+        ThreeDSystem sys(cfg);
+        const std::string benchName =
+            args.getString("benchmark", "mummer");
+        for (const auto &wp : threeDParams(findProfile(benchName), dram,
+                                           opts.seed))
+            sys.addWorkload(wp);
+
+        sys.run(opts.warmup);
+        const EnergySnapshot warm = captureSnapshot(sys);
+        sys.run(opts.measure);
+        EnergySnapshot d = captureSnapshot(sys) - warm;
+        d.violations += sys.threeDDram().retention().finalCheck(
+            sys.eventQueue().now());
+        violations = d.violations;
+        printSummary(dram.name + " / " + toString(policy) + " / " +
+                         benchName,
+                     d, sys.threeDController().maxRefreshBacklog(),
+                     sys.cache().hitRate(), true);
+        if (!statsOut.empty()) {
+            std::ofstream out(statsOut);
+            sys.dumpStats(out);
+            std::cout << "full statistics written to " << statsOut
+                      << "\n";
+        }
+    } else {
+        SystemConfig cfg;
+        cfg.dram = dram;
+        cfg.policy = policy;
+        cfg.smart = smart;
+        cfg.ctrl.scheme =
+            schemeByName(args.getString("scheme", "row-rank-bank"));
+        if (args.has("classes")) {
+            // RAPID-style retention classes (see DESIGN.md section 9).
+            RetentionClassParams cp;
+            cp.seed = opts.seed;
+            cfg.retentionClasses = std::make_shared<RetentionClassMap>(
+                dram.org.totalRows(), cp);
+        }
+        System sys(cfg);
+
+        std::string label;
+        if (!tracePath.empty()) {
+            label = "trace:" + tracePath;
+            // Trace-driven: inject records as simulated time advances.
+            TraceReader reader(tracePath);
+            TraceRecord rec;
+            Tick last = 0;
+            sys.run(0);
+            while (reader.next(rec)) {
+                if (rec.tick > last) {
+                    sys.run(rec.tick - last);
+                    last = rec.tick;
+                }
+                sys.controller().access(rec.addr, rec.write);
+            }
+            sys.run(opts.measure);
+            EnergySnapshot d = captureSnapshot(sys);
+            d.violations += sys.dram().retention().finalCheck(
+                sys.eventQueue().now());
+            violations = d.violations;
+            printSummary(dram.name + " / " + toString(policy) + " / " +
+                             label,
+                         d, sys.controller().maxRefreshBacklog(), 0.0,
+                         false);
+        } else {
+            if (args.has("idle")) {
+                label = "idle-os";
+                sys.addWorkload(idleParams(dram, opts.seed));
+            } else if (args.has("light")) {
+                label = "light-activity";
+                sys.addWorkload(lightParams(dram, opts.seed));
+            } else {
+                label = args.getString("benchmark", "mummer");
+                for (const auto &wp : conventionalParams(
+                         findProfile(label), dram, 1.0, opts.seed))
+                    sys.addWorkload(wp);
+            }
+            sys.run(opts.warmup);
+            const EnergySnapshot warm = captureSnapshot(sys);
+            sys.run(opts.measure);
+            EnergySnapshot d = captureSnapshot(sys) - warm;
+            d.violations += sys.dram().retention().finalCheck(
+                sys.eventQueue().now());
+            violations = d.violations;
+            printSummary(dram.name + " / " + toString(policy) + " / " +
+                             label,
+                         d, sys.controller().maxRefreshBacklog(), 0.0,
+                         false);
+        }
+        if (!statsOut.empty()) {
+            std::ofstream out(statsOut);
+            sys.dumpStats(out);
+            std::cout << "full statistics written to " << statsOut
+                      << "\n";
+        }
+    }
+
+    return violations == 0 ? 0 : 1;
+}
