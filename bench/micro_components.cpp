@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <sstream>
+
 #include "cache/cache.hh"
 #include "core/counter_array.hh"
 #include "core/stagger_scheduler.hh"
@@ -16,6 +19,7 @@
 #include "dram/dram_module.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/tracer.hh"
 
 using namespace smartref;
 
@@ -139,6 +143,47 @@ BM_ZipfSample(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ZipfSample);
+
+void
+BM_TraceMacroDisabled(benchmark::State &state)
+{
+    // The cost instrumented hot paths pay when no sink is attached:
+    // one branch on the category mask per SMARTREF_TRACE site.
+    globalTracer().reset();
+    globalTracer().setCategories(TraceCategory::None);
+    Tick t = 0;
+    for (auto _ : state) {
+        SMARTREF_TRACE(TraceCategory::Dram, t, "ACT", 0, 1, 2);
+        benchmark::DoNotOptimize(t);
+        ++t;
+    }
+    globalTracer().reset();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceMacroDisabled);
+
+void
+BM_TraceEmitChromeSink(benchmark::State &state)
+{
+    // Full emission cost with an in-memory Chrome JSON sink attached.
+    globalTracer().reset();
+    auto sinkStream = std::make_unique<std::ostringstream>();
+    globalTracer().addSink(
+        std::make_unique<ChromeTraceSink>(*sinkStream));
+    Tick t = 0;
+    for (auto _ : state) {
+        SMARTREF_TRACE(TraceCategory::Dram, t, "ACT", 0, 1, 2);
+        ++t;
+        if (sinkStream->tellp() > 64 * 1024 * 1024) {
+            state.PauseTiming();
+            sinkStream->str("");
+            state.ResumeTiming();
+        }
+    }
+    globalTracer().reset();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitChromeSink);
 
 void
 BM_DramRowCycle(benchmark::State &state)

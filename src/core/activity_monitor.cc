@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -25,32 +26,57 @@ ActivityMonitor::ActivityMonitor(std::uint64_t totalRows,
                   static_cast<double>(totalRows)));
 }
 
-void
-ActivityMonitor::discardWindow()
+namespace {
+
+[[maybe_unused]] const char *
+toString(ActivityMonitor::Decision d)
 {
+    switch (d) {
+      case ActivityMonitor::Decision::KeepSmart: return "keepSmart";
+      case ActivityMonitor::Decision::KeepCbr: return "keepCbr";
+      case ActivityMonitor::Decision::SwitchToCbr: return "switchToCbr";
+      case ActivityMonitor::Decision::SwitchToSmart:
+        return "switchToSmart";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+ActivityMonitor::discardWindow(Tick now)
+{
+    (void)now; // only read when tracing is compiled in
     ++windows_;
+    SMARTREF_TRACE(TraceCategory::Monitor, now, "windowDiscard", -1, -1,
+                   -1, static_cast<double>(windowAccesses_), 0,
+                   "transition in flight");
     windowAccesses_ = 0;
 }
 
 ActivityMonitor::Decision
-ActivityMonitor::closeWindow(bool smartCurrentlyOn)
+ActivityMonitor::closeWindow(bool smartCurrentlyOn, Tick now)
 {
+    (void)now; // only read when tracing is compiled in
     ++windows_;
     const std::uint64_t accesses = windowAccesses_;
     windowAccesses_ = 0;
 
+    Decision decision;
     if (smartCurrentlyOn) {
-        if (accesses < disableThreshold_) {
-            ++toCbr_;
-            return Decision::SwitchToCbr;
-        }
-        return Decision::KeepSmart;
+        decision = accesses < disableThreshold_ ? Decision::SwitchToCbr
+                                                : Decision::KeepSmart;
+    } else {
+        decision = accesses > enableThreshold_ ? Decision::SwitchToSmart
+                                               : Decision::KeepCbr;
     }
-    if (accesses > enableThreshold_) {
+    if (decision == Decision::SwitchToCbr)
+        ++toCbr_;
+    else if (decision == Decision::SwitchToSmart)
         ++toSmart_;
-        return Decision::SwitchToSmart;
-    }
-    return Decision::KeepCbr;
+    SMARTREF_TRACE(TraceCategory::Monitor, now, "windowClose", -1, -1, -1,
+                   static_cast<double>(accesses), 0, toString(decision));
+    return decision;
 }
 
 } // namespace smartref

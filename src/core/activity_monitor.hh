@@ -42,14 +42,15 @@ class ActivityMonitor : public StatGroup
     /**
      * Close the current window and decide the mode for the next one.
      * @param smartCurrentlyOn whether Smart Refresh is active now
+     * @param now simulated time, used to timestamp the trace event
      */
-    Decision closeWindow(bool smartCurrentlyOn);
+    Decision closeWindow(bool smartCurrentlyOn, Tick now = 0);
 
     /**
      * Close the current window without making a decision (used while a
      * mode transition is already in flight).
      */
-    void discardWindow();
+    void discardWindow(Tick now = 0);
 
     std::uint64_t windowAccesses() const { return windowAccesses_; }
     std::uint64_t disableThreshold() const { return disableThreshold_; }

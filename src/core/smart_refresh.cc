@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -110,7 +111,7 @@ SmartRefreshPolicy::doStep(std::uint64_t generation)
     // never slams all banks with simultaneous refreshes.
     const Tick slot = stagger_->stepInterval() / stagger_->segments();
     std::uint32_t expired = 0;
-    stagger_->step([this, &expired, slot](std::uint64_t idx) {
+    stagger_->step(eq_.now(), [this, &expired, slot](std::uint64_t idx) {
         const Tick delay = Tick(expired) * slot;
         ++expired;
         if (delay == 0) {
@@ -136,6 +137,8 @@ SmartRefreshPolicy::emitSmartRefresh(std::uint64_t counterIndex)
     req.cbr = false;
     req.created = eq_.now();
     ++smartRequested_;
+    SMARTREF_TRACE(TraceCategory::Counter, eq_.now(), "counterExpiry",
+                   req.rank, req.bank, req.row);
     pending_.push(req);
     ctrl_->pushRefresh(req);
 }
@@ -159,6 +162,8 @@ SmartRefreshPolicy::doCbr(std::uint64_t generation)
     req.created = eq_.now();
     nextCbrRank_ = (nextCbrRank_ + 1) % org_.ranks;
     ++cbrRequested_;
+    SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(), "smartCbrRequested",
+                   req.rank);
     ctrl_->pushRefresh(req);
     scheduleCbr();
 }
@@ -174,9 +179,10 @@ void
 SmartRefreshPolicy::closeWindow()
 {
     if (mode_ == Mode::EnableOverlap || mode_ == Mode::DisableOverlap) {
-        monitor_.discardWindow();
+        monitor_.discardWindow(eq_.now());
     } else {
-        const auto decision = monitor_.closeWindow(mode_ == Mode::Smart);
+        const auto decision =
+            monitor_.closeWindow(mode_ == Mode::Smart, eq_.now());
         switch (decision) {
           case ActivityMonitor::Decision::SwitchToCbr:
             beginDisable();
@@ -200,6 +206,8 @@ SmartRefreshPolicy::beginDisable()
     mode_ = Mode::DisableOverlap;
     cbrActive_ = true;
     ++cbrGen_;
+    SMARTREF_TRACE(TraceCategory::Monitor, eq_.now(), "modeDisableOverlap",
+                   -1, -1, -1, 0.0, 0, "smart+cbr");
     scheduleCbr();
     eq_.scheduleAfter(retention_, [this] {
         if (mode_ != Mode::DisableOverlap)
@@ -207,6 +215,8 @@ SmartRefreshPolicy::beginDisable()
         countersActive_ = false;
         ++stepGen_;
         mode_ = Mode::Cbr;
+        SMARTREF_TRACE(TraceCategory::Monitor, eq_.now(), "modeCbr", -1,
+                       -1, -1, 0.0, 0, "counters off");
     });
 }
 
@@ -219,6 +229,8 @@ SmartRefreshPolicy::beginEnable()
     mode_ = Mode::EnableOverlap;
     countersActive_ = true;
     ++stepGen_;
+    SMARTREF_TRACE(TraceCategory::Monitor, eq_.now(), "modeEnableOverlap",
+                   -1, -1, -1, 0.0, 0, "smart+cbr");
     stagger_->initialiseStaggered();
     scheduleStep();
     eq_.scheduleAfter(retention_, [this] {
@@ -227,6 +239,8 @@ SmartRefreshPolicy::beginEnable()
         cbrActive_ = false;
         ++cbrGen_;
         mode_ = Mode::Smart;
+        SMARTREF_TRACE(TraceCategory::Monitor, eq_.now(), "modeSmart", -1,
+                       -1, -1, 0.0, 0, "cbr off");
     });
 }
 
@@ -235,8 +249,11 @@ SmartRefreshPolicy::onRowActivated(std::uint32_t rank, std::uint32_t bank,
                                    std::uint32_t row)
 {
     monitor_.recordAccess();
-    if (countersActive_)
+    if (countersActive_) {
         counters_->reset(counterIndex(rank, bank, row));
+        SMARTREF_TRACE(TraceCategory::Counter, eq_.now(),
+                       "counterReset.activate", rank, bank, row);
+    }
 }
 
 void
@@ -245,8 +262,11 @@ SmartRefreshPolicy::onRowClosed(std::uint32_t rank, std::uint32_t bank,
 {
     // Closing a page writes it back, which restores the charge exactly
     // like a refresh (Section 4.1), so the counter resets again.
-    if (countersActive_)
+    if (countersActive_) {
         counters_->reset(counterIndex(rank, bank, row));
+        SMARTREF_TRACE(TraceCategory::Counter, eq_.now(),
+                       "counterReset.close", rank, bank, row);
+    }
 }
 
 void
@@ -255,8 +275,12 @@ SmartRefreshPolicy::onRefreshIssued(const RefreshRequest &req)
     if (req.cbr) {
         // A fallback/overlap CBR refresh restored this row; if the
         // counters are live they must learn about it.
-        if (countersActive_)
+        if (countersActive_) {
             counters_->reset(counterIndex(req.rank, req.bank, req.row));
+            SMARTREF_TRACE(TraceCategory::Counter, eq_.now(),
+                           "counterReset.cbr", req.rank, req.bank,
+                           req.row);
+        }
         return;
     }
     bus_.recordAccesses(1);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -47,14 +48,21 @@ StaggerScheduler::initialiseStaggered()
 }
 
 void
-StaggerScheduler::step(const RefreshFn &refresh)
+StaggerScheduler::step(Tick now, const RefreshFn &refresh)
 {
+    (void)now; // only read when tracing is compiled in
+    std::uint32_t expired = 0;
     for (std::uint32_t s = 0; s < segments_; ++s) {
         const std::uint64_t idx =
             std::uint64_t(s) * perSegment_ + position_;
-        if (counters_.touch(idx))
+        if (counters_.touch(idx)) {
+            ++expired;
             refresh(idx);
+        }
     }
+    SMARTREF_TRACE(TraceCategory::Counter, now, "counterWalkStep", -1, -1,
+                   static_cast<std::int64_t>(position_),
+                   static_cast<double>(expired));
     position_ = (position_ + 1) % perSegment_;
     ++steps_;
 }

@@ -68,7 +68,13 @@ class StaggerScheduler
      * Execute one step: touch one counter in each segment, invoking
      * `refresh` for every expired one (at most `segments` calls).
      */
-    void step(const RefreshFn &refresh);
+    void step(const RefreshFn &refresh) { step(0, refresh); }
+
+    /**
+     * As above, with the current simulated time so the walk step can be
+     * traced (category `counter`).
+     */
+    void step(Tick now, const RefreshFn &refresh);
 
     /** Number of steps executed so far. */
     std::uint64_t stepsExecuted() const { return steps_; }

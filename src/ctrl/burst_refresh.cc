@@ -1,6 +1,7 @@
 #include "ctrl/burst_refresh.hh"
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -24,6 +25,11 @@ void
 BurstRefreshPolicy::burst()
 {
     const auto &org = ctrl_->dram().config().org;
+    // One summary event per rank burst: per-request events would emit
+    // banks*rows lines for a single instant.
+    SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(), "burstRequested",
+                   -1, -1, -1,
+                   static_cast<double>(org.ranks) * org.banks * org.rows);
     for (std::uint32_t r = 0; r < org.ranks; ++r) {
         for (std::uint32_t n = 0; n < org.banks * org.rows; ++n) {
             RefreshRequest req;

@@ -1,6 +1,7 @@
 #include "ctrl/cbr_refresh.hh"
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -29,6 +30,8 @@ CbrRefreshPolicy::step()
     req.created = eq_.now();
     nextRank_ = (nextRank_ + 1) % ctrl_->dram().config().org.ranks;
     ++requested_;
+    SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(), "cbrRequested",
+                   req.rank);
     ctrl_->pushRefresh(req);
 
     eq_.scheduleAfter(spacing_, [this] { step(); },

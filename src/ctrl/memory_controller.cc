@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -81,6 +82,9 @@ MemoryController::pushRefresh(const RefreshRequest &req)
     ++refreshesForwarded_;
     ++refreshBacklog_;
     maxRefreshBacklog_ = std::max(maxRefreshBacklog_, refreshBacklog_);
+    SMARTREF_TRACE_COUNTER(TraceCategory::Queue, eq_.now(),
+                           "refreshBacklog",
+                           static_cast<double>(refreshBacklog_));
 
     const std::size_t idx = engineIndex(req.rank, item.ref.bank);
     engines_[idx].queue.push_back(std::move(item));
@@ -199,11 +203,15 @@ MemoryController::runDemand(std::size_t engineIdx, Item item)
     if (dram_.isBankOpen(c.rank, c.bank)) {
         if (dram_.openRow(c.rank, c.bank) == c.row) {
             ++rowHits_;
+            SMARTREF_TRACE(TraceCategory::RowBuffer, eq_.now(), "rowHit",
+                           c.rank, c.bank, c.row);
             issueColumn(engineIdx, std::move(item));
             return;
         }
         // Row conflict: close the open page, then activate ours.
         ++rowConflicts_;
+        SMARTREF_TRACE(TraceCategory::RowBuffer, eq_.now(), "rowConflict",
+                       c.rank, c.bank, c.row);
         const std::uint32_t victim = dram_.openRow(c.rank, c.bank);
         DramCommand pre{DramCommandType::Precharge, c.rank, c.bank, 0, 0};
         issueWhenReady(pre, [this, engineIdx, victim,
@@ -227,6 +235,8 @@ MemoryController::runDemand(std::size_t engineIdx, Item item)
 
     // Bank closed: plain row miss.
     ++rowMisses_;
+    SMARTREF_TRACE(TraceCategory::RowBuffer, eq_.now(), "rowMiss", c.rank,
+                   c.bank, c.row);
     DramCommand act{DramCommandType::Activate, c.rank, c.bank, c.row, 0};
     issueWhenReady(act,
                    [this, engineIdx, item = std::move(item)](Tick) mutable {
@@ -287,6 +297,13 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
         --refreshBacklog_;
         maxRefreshDelay_ = std::max(maxRefreshDelay_,
                                     eq_.now() - req.created);
+        SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(),
+                       req.cbr ? "refreshIssuedCbr" : "refreshIssuedRas",
+                       req.rank, req.bank, req.row,
+                       static_cast<double>(eq_.now() - req.created));
+        SMARTREF_TRACE_COUNTER(TraceCategory::Queue, eq_.now(),
+                               "refreshBacklog",
+                               static_cast<double>(refreshBacklog_));
         if (policy_) {
             if (closedPage->first)
                 policy_->onRowClosed(req.rank, req.bank,

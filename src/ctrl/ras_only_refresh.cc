@@ -1,6 +1,7 @@
 #include "ctrl/ras_only_refresh.hh"
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -39,6 +40,8 @@ RasOnlyRefreshPolicy::step()
     req.cbr = false;
     req.created = eq_.now();
     ++requested_;
+    SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(), "rasOnlyRequested",
+                   req.rank, req.bank, req.row);
     ctrl_->pushRefresh(req);
 
     eq_.scheduleAfter(spacing_, [this] { step(); },

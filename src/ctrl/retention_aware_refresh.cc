@@ -1,6 +1,7 @@
 #include "ctrl/retention_aware_refresh.hh"
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -60,9 +61,13 @@ RetentionAwarePolicy::step()
         req.cbr = false;
         req.created = eq_.now();
         ++requested_;
+        SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(),
+                       "retentionAwareRequested", rank, bank, row, mult);
         ctrl_->pushRefresh(req);
     } else {
         ++skipped_;
+        SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(),
+                       "retentionAwareSkipped", rank, bank, row);
     }
 
     eq_.scheduleAfter(spacing_, [this] { step(); },

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/tracer.hh"
 
 namespace smartref {
 
@@ -119,6 +120,8 @@ DramModule::issue(const DramCommand &cmd)
         rank.noteActivate(now, cfg_.timing);
         power_.onActivatePair();
         ++acts_;
+        SMARTREF_TRACE(TraceCategory::Dram, now, "ACT", cmd.rank,
+                       cmd.bank, cmd.row, 0.0, cfg_.timing.tRCD);
         return now + cfg_.timing.tRCD;
       }
       case DramCommandType::Precharge: {
@@ -126,6 +129,8 @@ DramModule::issue(const DramCommand &cmd)
         SMARTREF_ASSERT(bank.isOpen(), "PRE into precharged bank");
         const Tick done = now + cfg_.timing.tRP;
         retention_.onRestore(cmd.rank, cmd.bank, bank.openRow(), done);
+        SMARTREF_TRACE(TraceCategory::Dram, now, "PRE", cmd.rank,
+                       cmd.bank, bank.openRow(), 0.0, cfg_.timing.tRP);
         bank.precharge(now, cfg_.timing);
         rank.noteBusy(done);
         ++pres_;
@@ -141,6 +146,10 @@ DramModule::issue(const DramCommand &cmd)
                         bank.isOpen() ? bank.openRow() : ~0u);
         const Tick done = now + cfg_.timing.tCL + cfg_.timing.tBurst;
         dataBusFreeAt_ = done;
+        SMARTREF_TRACE(TraceCategory::Dram, now,
+                       cmd.type == DramCommandType::Read ? "RD" : "WR",
+                       cmd.rank, cmd.bank, cmd.row, cmd.column,
+                       done - now);
         if (cmd.type == DramCommandType::Read) {
             bank.read(now, cfg_.timing);
             power_.onRead();
@@ -172,7 +181,7 @@ Tick
 DramModule::issueRefresh(std::uint32_t rankIdx, std::uint32_t bankIdx,
                          std::uint32_t row, bool ras)
 {
-    (void)ras;
+    (void)ras; // only read when tracing is compiled in
     const Tick now = eq_.now();
     Rank &rank = ranks_[rankIdx];
     Bank &bank = rank.bank(bankIdx);
@@ -186,6 +195,9 @@ DramModule::issueRefresh(std::uint32_t rankIdx, std::uint32_t bankIdx,
     const Tick done = bank.refresh(now, cfg_.timing, wasOpen);
     retention_.onRefresh(rankIdx, bankIdx, row, done);
     power_.onRowRefresh(wasOpen);
+    SMARTREF_TRACE(TraceCategory::Dram, now,
+                   ras ? "REF.ras" : "REF.cbr", rankIdx, bankIdx, row,
+                   wasOpen ? 1.0 : 0.0, done - now);
     refreshesPerBank_[std::size_t(rankIdx) * cfg_.org.banks + bankIdx] +=
         1.0;
     rank.noteBusy(done);

@@ -64,6 +64,11 @@ CliArgs::experimentOptions() const
     opts.autoReconfigure = !has("no-auto");
     opts.seed = getU64("seed", 42);
     opts.verbose = has("verbose");
+    opts.logLevel = parseLogLevel(getString("log-level", "warn"));
+    // --verbose predates --log-level and stays as an alias for debug;
+    // an explicit --log-level wins when both appear.
+    if (opts.verbose && !has("log-level"))
+        opts.logLevel = LogLevel::Debug;
     return opts;
 }
 

@@ -30,12 +30,44 @@ class CliArgs
     /**
      * Build ExperimentOptions from the standard flags:
      * --warmup-ms N, --measure-ms N, --bits B, --segments N, --seed S,
-     * --no-auto (disable reconfiguration), --verbose.
+     * --no-auto (disable reconfiguration),
+     * --log-level {silent,warn,info,debug}, --verbose (alias for
+     * --log-level debug).
      */
     ExperimentOptions experimentOptions() const;
 
     /** Value of --csv (empty when absent). */
     std::string csvPath() const { return getString("csv"); }
+
+    /** Value of --trace-out: Chrome trace_event JSON path. */
+    std::string traceOutPath() const { return getString("trace-out"); }
+
+    /** Value of --trace-csv: compact CSV timeline path. */
+    std::string traceCsvPath() const { return getString("trace-csv"); }
+
+    /** Value of --trace-categories (comma-separated; default "all"). */
+    std::string
+    traceCategories() const
+    {
+        return getString("trace-categories", "all");
+    }
+
+    /** Value of --stats-json: machine-readable statistics dump path. */
+    std::string statsJsonPath() const { return getString("stats-json"); }
+
+    /** Value of --stats-interval-ms (0 disables interval sampling). */
+    std::uint64_t
+    statsIntervalMs() const
+    {
+        return getU64("stats-interval-ms", 0);
+    }
+
+    /** Value of --stats-interval-out (per-interval CSV path). */
+    std::string
+    statsIntervalPath() const
+    {
+        return getString("stats-interval-out");
+    }
 
   private:
     std::map<std::string, std::string> values_;

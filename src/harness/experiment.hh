@@ -18,6 +18,7 @@
 
 #include "harness/system.hh"
 #include "harness/threed_system.hh"
+#include "sim/logging.hh"
 #include "trace/benchmark_profiles.hh"
 
 namespace smartref {
@@ -130,6 +131,7 @@ struct ExperimentOptions
     bool autoReconfigure = true;
     std::uint64_t seed = 42;
     bool verbose = false;           ///< progress on stderr
+    LogLevel logLevel = LogLevel::Warn; ///< runtime log verbosity
 };
 
 /** Run one benchmark on a conventional module with one policy. */

@@ -65,21 +65,42 @@ ReportTable::print(std::ostream &os) const
     }
 }
 
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string quoted = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+ReportTable::writeCsv(std::ostream &os) const
+{
+    auto writeRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << csvEscape(row[c]);
+        os << '\n';
+    };
+    writeRow(header_);
+    for (const auto &row : rows_)
+        if (!row.empty())
+            writeRow(row);
+}
+
 void
 ReportTable::writeCsv(const std::string &path) const
 {
     std::ofstream out(path);
     if (!out)
         SMARTREF_FATAL("cannot write CSV '", path, "'");
-    auto writeRow = [&](const std::vector<std::string> &row) {
-        for (std::size_t c = 0; c < row.size(); ++c)
-            out << (c ? "," : "") << row[c];
-        out << '\n';
-    };
-    writeRow(header_);
-    for (const auto &row : rows_)
-        if (!row.empty())
-            writeRow(row);
+    writeCsv(out);
 }
 
 std::string

@@ -27,13 +27,23 @@ class ReportTable
     /** Print with column alignment to stdout. */
     void print(std::ostream &os) const;
 
-    /** Write as CSV (separators skipped). */
+    /** Write as RFC 4180 CSV (separators skipped). */
     void writeCsv(const std::string &path) const;
+
+    /** Write the CSV to a caller-owned stream. */
+    void writeCsv(std::ostream &os) const;
 
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_; // empty row = separator
 };
+
+/**
+ * Quote a CSV field per RFC 4180: fields containing commas, double
+ * quotes or line breaks are wrapped in double quotes, with embedded
+ * quotes doubled. Other fields pass through unchanged.
+ */
+std::string csvEscape(const std::string &field);
 
 /** @name Formatting helpers. */
 ///@{

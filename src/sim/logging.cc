@@ -22,6 +22,33 @@ logLevel()
     return g_level;
 }
 
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "silent")
+        return LogLevel::Silent;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    SMARTREF_FATAL("unknown log level '", name,
+                   "' (silent, warn, info, debug)");
+}
+
+const char *
+toString(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent: return "silent";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
 namespace detail {
 
 void

@@ -30,6 +30,12 @@ void setLogLevel(LogLevel level);
 /** Current global log verbosity. */
 LogLevel logLevel();
 
+/** Parse "silent", "warn", "info" or "debug"; fatal on anything else. */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Lower-case name of a level, inverse of parseLogLevel(). */
+const char *toString(LogLevel level);
+
 namespace detail {
 
 /** Concatenate arbitrary streamable arguments into one string. */

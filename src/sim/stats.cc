@@ -198,6 +198,33 @@ StatGroup::findStat(const std::string &name) const
     return nullptr;
 }
 
+const StatBase *
+StatGroup::resolveStat(const std::string &path) const
+{
+    // Stat names never contain dots, so a whole-path match is a stat in
+    // this very group.
+    if (const StatBase *s = findStat(path))
+        return s;
+
+    // Accept an absolute path that still carries this group's own name.
+    if (path.size() > name_.size() + 1 &&
+        path.compare(0, name_.size(), name_) == 0 &&
+        path[name_.size()] == '.') {
+        if (const StatBase *s = resolveStat(path.substr(name_.size() + 1)))
+            return s;
+    }
+
+    for (const StatGroup *c : children_) {
+        const std::string &n = c->statName();
+        if (path.size() > n.size() + 1 && path.compare(0, n.size(), n) == 0 &&
+            path[n.size()] == '.') {
+            if (const StatBase *s = c->resolveStat(path.substr(n.size() + 1)))
+                return s;
+        }
+    }
+    return nullptr;
+}
+
 void
 StatGroup::registerStat(StatBase *stat)
 {

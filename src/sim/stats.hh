@@ -77,6 +77,7 @@ class VectorStat : public StatBase
     double &operator[](std::size_t i) { return values_.at(i); }
     double at(std::size_t i) const { return values_.at(i); }
     std::size_t size() const { return values_.size(); }
+    const std::string &label(std::size_t i) const { return labels_.at(i); }
     double total() const;
 
     void dump(std::ostream &os, const std::string &prefix) const override;
@@ -109,6 +110,9 @@ class Histogram : public StatBase
     std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
     std::uint64_t underflows() const { return underflow_; }
     std::uint64_t overflows() const { return overflow_; }
+    double bucketLo() const { return lo_; }
+    double bucketHi() const { return hi_; }
+    std::size_t numBuckets() const { return counts_.size(); }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
@@ -172,6 +176,23 @@ class StatGroup
 
     /** Find a registered stat by name within this group only. */
     const StatBase *findStat(const std::string &name) const;
+
+    /**
+     * Resolve a dotted path ("ctrl.demandReads") to a stat anywhere in
+     * this group's subtree. Group names may themselves contain dots
+     * ("dram.ddr2-2gb"), so resolution greedily matches child names
+     * rather than splitting on every dot. A leading "<this group>."
+     * prefix is accepted, so paths copied from a dump (or the JSON
+     * export) resolve from the root group directly.
+     * @return nullptr when no stat matches
+     */
+    const StatBase *resolveStat(const std::string &path) const;
+
+    /** Stats registered directly in this group, in registration order. */
+    const std::vector<StatBase *> &stats() const { return stats_; }
+
+    /** Child groups, in registration order. */
+    const std::vector<StatGroup *> &children() const { return children_; }
 
   private:
     friend class StatBase;

@@ -1,0 +1,166 @@
+#include "sim/stats_json.hh"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                os << ' '; // control characters never appear in descs
+            else
+                os << ch;
+        }
+    }
+}
+
+/** JSON has no NaN/Infinity literals; emit null for non-finite values. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+void
+writeStat(std::ostream &os, const std::string &fullName,
+          const StatBase &stat)
+{
+    os << "    \"";
+    jsonEscape(os, fullName);
+    os << "\": {";
+
+    auto field = [&os, first = true](const char *key) mutable
+        -> std::ostream & {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << key << "\": ";
+        return os;
+    };
+
+    if (const auto *s = dynamic_cast<const Scalar *>(&stat)) {
+        field("kind") << "\"scalar\"";
+        jsonNumber(field("value"), s->value());
+    } else if (const auto *v = dynamic_cast<const VectorStat *>(&stat)) {
+        field("kind") << "\"vector\"";
+        field("labels") << "[";
+        for (std::size_t i = 0; i < v->size(); ++i) {
+            os << (i ? ", " : "") << "\"";
+            jsonEscape(os, v->label(i));
+            os << "\"";
+        }
+        os << "]";
+        field("values") << "[";
+        for (std::size_t i = 0; i < v->size(); ++i) {
+            os << (i ? ", " : "");
+            jsonNumber(os, v->at(i));
+        }
+        os << "]";
+        jsonNumber(field("total"), v->total());
+    } else if (const auto *h = dynamic_cast<const Histogram *>(&stat)) {
+        field("kind") << "\"histogram\"";
+        field("samples") << h->samples();
+        jsonNumber(field("mean"), h->mean());
+        jsonNumber(field("stddev"), h->stddev());
+        jsonNumber(field("min"), h->min());
+        jsonNumber(field("max"), h->max());
+        jsonNumber(field("lo"), h->bucketLo());
+        jsonNumber(field("hi"), h->bucketHi());
+        field("underflows") << h->underflows();
+        field("overflows") << h->overflows();
+        field("buckets") << "[";
+        for (std::size_t i = 0; i < h->numBuckets(); ++i)
+            os << (i ? ", " : "") << h->bucketCount(i);
+        os << "]";
+    } else if (const auto *f = dynamic_cast<const Formula *>(&stat)) {
+        field("kind") << "\"formula\"";
+        jsonNumber(field("value"), f->value());
+    } else {
+        SMARTREF_PANIC("unknown stat kind for '", fullName, "'");
+    }
+
+    if (!stat.desc().empty()) {
+        field("desc") << "\"";
+        jsonEscape(os, stat.desc());
+        os << "\"";
+    }
+    os << "}";
+}
+
+void
+walk(std::ostream &os, const StatGroup &root, const StatGroup &group,
+     const std::string &prefix, bool &first)
+{
+    for (const StatBase *stat : group.stats()) {
+        const std::string name = prefix + stat->name();
+        // Every exported key must resolve back to the stat it names:
+        // this pins resolveStat() and the export format to each other.
+        SMARTREF_ASSERT(root.resolveStat(name) == stat,
+                        "stat path '", name, "' does not resolve");
+        os << (first ? "" : ",\n");
+        first = false;
+        writeStat(os, name, *stat);
+    }
+    for (const StatGroup *child : group.children())
+        walk(os, root, *child, prefix + child->statName() + ".", first);
+}
+
+} // namespace
+
+double
+statValue(const StatBase &stat)
+{
+    if (const auto *s = dynamic_cast<const Scalar *>(&stat))
+        return s->value();
+    if (const auto *v = dynamic_cast<const VectorStat *>(&stat))
+        return v->total();
+    if (const auto *h = dynamic_cast<const Histogram *>(&stat))
+        return static_cast<double>(h->samples());
+    if (const auto *f = dynamic_cast<const Formula *>(&stat))
+        return f->value();
+    return 0.0;
+}
+
+void
+writeStatsJson(const StatGroup &root, std::ostream &os)
+{
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "{\n  \"root\": \"";
+    jsonEscape(os, root.statName());
+    os << "\",\n  \"stats\": {\n";
+    bool first = true;
+    const std::string prefix =
+        root.statName().empty() ? "" : root.statName() + ".";
+    walk(os, root, root, prefix, first);
+    os << "\n  }\n}\n";
+}
+
+void
+writeStatsJson(const StatGroup &root, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        SMARTREF_FATAL("cannot write stats JSON '", path, "'");
+    writeStatsJson(root, out);
+}
+
+} // namespace smartref

@@ -71,6 +71,59 @@ TEST(Cli, ExperimentOptionsOverrides)
     EXPECT_TRUE(opts.verbose);
 }
 
+TEST(Cli, LogLevelDefaultsToWarn)
+{
+    auto opts = parse({}).experimentOptions();
+    EXPECT_EQ(opts.logLevel, LogLevel::Warn);
+}
+
+TEST(Cli, LogLevelParsesEveryName)
+{
+    EXPECT_EQ(parse({"--log-level", "silent"}).experimentOptions().logLevel,
+              LogLevel::Silent);
+    EXPECT_EQ(parse({"--log-level", "warn"}).experimentOptions().logLevel,
+              LogLevel::Warn);
+    EXPECT_EQ(parse({"--log-level", "info"}).experimentOptions().logLevel,
+              LogLevel::Info);
+    EXPECT_EQ(parse({"--log-level", "debug"}).experimentOptions().logLevel,
+              LogLevel::Debug);
+}
+
+TEST(Cli, VerboseIsAnAliasForDebug)
+{
+    auto opts = parse({"--verbose"}).experimentOptions();
+    EXPECT_EQ(opts.logLevel, LogLevel::Debug);
+    // An explicit --log-level wins over the alias.
+    opts = parse({"--verbose", "--log-level", "info"}).experimentOptions();
+    EXPECT_EQ(opts.logLevel, LogLevel::Info);
+    EXPECT_TRUE(opts.verbose);
+}
+
+TEST(Cli, UnknownLogLevelIsFatal)
+{
+    EXPECT_THROW(parse({"--log-level", "chatty"}).experimentOptions(),
+                 std::runtime_error);
+}
+
+TEST(Cli, ObservabilityFlagAccessors)
+{
+    auto args = parse({"--trace-out", "t.json", "--trace-csv", "t.csv",
+                       "--trace-categories", "refresh,counter",
+                       "--stats-json", "s.json", "--stats-interval-ms",
+                       "5", "--stats-interval-out", "iv.csv"});
+    EXPECT_EQ(args.traceOutPath(), "t.json");
+    EXPECT_EQ(args.traceCsvPath(), "t.csv");
+    EXPECT_EQ(args.traceCategories(), "refresh,counter");
+    EXPECT_EQ(args.statsJsonPath(), "s.json");
+    EXPECT_EQ(args.statsIntervalMs(), 5u);
+    EXPECT_EQ(args.statsIntervalPath(), "iv.csv");
+
+    auto none = parse({});
+    EXPECT_EQ(none.traceOutPath(), "");
+    EXPECT_EQ(none.traceCategories(), "all");
+    EXPECT_EQ(none.statsIntervalMs(), 0u);
+}
+
 TEST(Cli, RejectsPositionalArguments)
 {
     EXPECT_THROW(parse({"positional"}), std::runtime_error);

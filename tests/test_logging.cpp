@@ -45,3 +45,19 @@ TEST(Logging, LogLevelRoundTrip)
     EXPECT_EQ(logLevel(), LogLevel::Debug);
     setLogLevel(before);
 }
+
+TEST(Logging, ParseLogLevelNames)
+{
+    EXPECT_EQ(parseLogLevel("silent"), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_THROW(parseLogLevel("shout"), std::runtime_error);
+}
+
+TEST(Logging, LogLevelNamesRoundTrip)
+{
+    for (LogLevel l : {LogLevel::Silent, LogLevel::Warn, LogLevel::Info,
+                       LogLevel::Debug})
+        EXPECT_EQ(parseLogLevel(toString(l)), l);
+}

@@ -73,6 +73,31 @@ TEST(ReportTable, CsvRoundTrip)
     EXPECT_EQ(lines[2], "y,2");
 }
 
+TEST(CsvEscape, QuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape(""), "");
+    EXPECT_EQ(csvEscape("3.14"), "3.14");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvEscape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(ReportTable, CsvEscapesSpecialCells)
+{
+    ReportTable t({"name", "note"});
+    t.addRow({"with,comma", "a \"quoted\" word"});
+    std::ostringstream oss;
+    t.writeCsv(oss);
+    std::istringstream lines(oss.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, "name,note");
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line, "\"with,comma\",\"a \"\"quoted\"\" word\"");
+}
+
 TEST(Formatting, Percent)
 {
     EXPECT_EQ(fmtPercent(0.525), "52.5%");

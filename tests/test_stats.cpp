@@ -141,6 +141,35 @@ TEST(Stats, ChildUnregistersOnDestruction)
     EXPECT_EQ(oss.str().find("temp"), std::string::npos);
 }
 
+TEST(Stats, ResolveStatDottedPath)
+{
+    StatGroup root("sys");
+    StatGroup child("mem", &root);
+    StatGroup grand("bank0", &child);
+    Scalar top(&root, "ticks", "");
+    Scalar deep(&grand, "reads", "");
+    EXPECT_EQ(root.resolveStat("ticks"), &top);
+    EXPECT_EQ(root.resolveStat("mem.bank0.reads"), &deep);
+    // The root's own name may be carried as a prefix (absolute form).
+    EXPECT_EQ(root.resolveStat("sys.mem.bank0.reads"), &deep);
+    EXPECT_EQ(root.resolveStat("mem.bank0.writes"), nullptr);
+    EXPECT_EQ(root.resolveStat("nosuch.reads"), nullptr);
+    EXPECT_EQ(child.resolveStat("bank0.reads"), &deep);
+}
+
+TEST(Stats, ResolveStatDottedGroupName)
+{
+    // Group names themselves may contain dots ("dram.ddr2-2gb",
+    // "refresh.smart"); resolution must match child names greedily
+    // instead of splitting on every dot.
+    StatGroup root("sys");
+    StatGroup policy("refresh.smart", &root);
+    Scalar s(&policy, "touchesDeferred", "");
+    EXPECT_EQ(root.resolveStat("refresh.smart.touchesDeferred"), &s);
+    EXPECT_EQ(policy.resolveStat("refresh.smart.touchesDeferred"), &s);
+    EXPECT_EQ(root.resolveStat("refresh.touchesDeferred"), nullptr);
+}
+
 TEST(Stats, HistogramBucketCounts)
 {
     StatGroup root("root");

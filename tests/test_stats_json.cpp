@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mini_json.hh"
+#include "sim/stats.hh"
+#include "sim/stats_json.hh"
+
+using namespace smartref;
+
+namespace {
+
+/** Build a tree exercising every stat kind, export it, parse it back. */
+struct ExportedTree
+{
+    StatGroup root{"sys"};
+    StatGroup mem{"mem", &root};
+    Scalar reads{&mem, "reads", "read count"};
+    VectorStat perBank{&mem, "perBank", "per-bank spread", {"b0", "b1"}};
+    Histogram latency{&mem, "latency", "access latency", 0.0, 100.0, 4};
+    Formula ratio{&root, "ratio", "reads per bucket",
+                  [this] { return reads.value() / 4.0; }};
+
+    minijson::Value
+    exportAndParse()
+    {
+        std::ostringstream oss;
+        writeStatsJson(root, oss);
+        return minijson::parse(oss.str());
+    }
+};
+
+} // namespace
+
+TEST(StatsJson, RoundTripsEveryStatKind)
+{
+    ExportedTree t;
+    t.reads = 12.0;
+    t.perBank[0] = 3.0;
+    t.perBank[1] = 4.0;
+    t.latency.sample(-5.0);  // underflow
+    t.latency.sample(10.0);  // bucket 0
+    t.latency.sample(60.0);  // bucket 2
+    t.latency.sample(250.0); // overflow
+
+    const minijson::Value doc = t.exportAndParse();
+    EXPECT_EQ(doc.at("root").str, "sys");
+    const minijson::Value &stats = doc.at("stats");
+    ASSERT_TRUE(stats.isObject());
+
+    const minijson::Value &scalar = stats.at("sys.mem.reads");
+    EXPECT_EQ(scalar.at("kind").str, "scalar");
+    EXPECT_DOUBLE_EQ(scalar.at("value").number, 12.0);
+    EXPECT_EQ(scalar.at("desc").str, "read count");
+
+    const minijson::Value &vec = stats.at("sys.mem.perBank");
+    EXPECT_EQ(vec.at("kind").str, "vector");
+    ASSERT_EQ(vec.at("labels").array.size(), 2u);
+    EXPECT_EQ(vec.at("labels").at(0).str, "b0");
+    EXPECT_EQ(vec.at("labels").at(1).str, "b1");
+    EXPECT_DOUBLE_EQ(vec.at("values").at(0).number, 3.0);
+    EXPECT_DOUBLE_EQ(vec.at("values").at(1).number, 4.0);
+    EXPECT_DOUBLE_EQ(vec.at("total").number, 7.0);
+
+    const minijson::Value &hist = stats.at("sys.mem.latency");
+    EXPECT_EQ(hist.at("kind").str, "histogram");
+    EXPECT_EQ(hist.at("samples").number, 4.0);
+    EXPECT_EQ(hist.at("underflows").number, 1.0);
+    EXPECT_EQ(hist.at("overflows").number, 1.0);
+    EXPECT_DOUBLE_EQ(hist.at("lo").number, 0.0);
+    EXPECT_DOUBLE_EQ(hist.at("hi").number, 100.0);
+    ASSERT_EQ(hist.at("buckets").array.size(), 4u);
+    EXPECT_EQ(hist.at("buckets").at(0).number, 1.0);
+    EXPECT_EQ(hist.at("buckets").at(1).number, 0.0);
+    EXPECT_EQ(hist.at("buckets").at(2).number, 1.0);
+    EXPECT_EQ(hist.at("buckets").at(3).number, 0.0);
+    EXPECT_DOUBLE_EQ(hist.at("min").number, -5.0);
+    EXPECT_DOUBLE_EQ(hist.at("max").number, 250.0);
+
+    const minijson::Value &formula = stats.at("sys.ratio");
+    EXPECT_EQ(formula.at("kind").str, "formula");
+    EXPECT_DOUBLE_EQ(formula.at("value").number, 3.0);
+}
+
+TEST(StatsJson, EmptyHistogramMomentsBecomeNull)
+{
+    ExportedTree t;
+    const minijson::Value doc = t.exportAndParse();
+    // An empty histogram has no defined mean/min/max; JSON has no NaN,
+    // so the exporter must write null rather than invalid output.
+    const minijson::Value &hist = doc.at("stats").at("sys.mem.latency");
+    EXPECT_EQ(hist.at("samples").number, 0.0);
+    EXPECT_TRUE(hist.at("mean").isNull() || hist.at("mean").isNumber());
+}
+
+TEST(StatsJson, EveryExportedKeyResolvesInTheTree)
+{
+    ExportedTree t;
+    const minijson::Value doc = t.exportAndParse();
+    const auto &stats = doc.at("stats").object;
+    EXPECT_EQ(stats.size(), 4u);
+    for (const auto &[name, value] : stats) {
+        const StatBase *stat = t.root.resolveStat(name);
+        ASSERT_NE(stat, nullptr) << name;
+        EXPECT_TRUE(value.has("kind")) << name;
+    }
+}
+
+TEST(StatsJson, EscapesSpecialCharactersInDescriptions)
+{
+    StatGroup root("r");
+    Scalar s(&root, "weird", "say \"hi\"\tand\nbye \\o/");
+    std::ostringstream oss;
+    writeStatsJson(root, oss);
+    const minijson::Value doc = minijson::parse(oss.str());
+    EXPECT_EQ(doc.at("stats").at("r.weird").at("desc").str,
+              "say \"hi\"\tand\nbye \\o/");
+}
+
+TEST(StatsJson, StatValueCoversEveryKind)
+{
+    ExportedTree t;
+    t.reads = 8.0;
+    t.perBank[0] = 1.0;
+    t.perBank[1] = 2.0;
+    t.latency.sample(5.0);
+    EXPECT_DOUBLE_EQ(statValue(*t.root.resolveStat("mem.reads")), 8.0);
+    EXPECT_DOUBLE_EQ(statValue(*t.root.resolveStat("mem.perBank")), 3.0);
+    EXPECT_DOUBLE_EQ(statValue(*t.root.resolveStat("mem.latency")), 1.0);
+    EXPECT_DOUBLE_EQ(statValue(*t.root.resolveStat("ratio")), 2.0);
+}

@@ -17,15 +17,26 @@
  *                [--bits B] [--segments N] [--no-auto] [--seed S]
  *                [--scheme row-rank-bank|row-bank-rank|rank-bank-row]
  *                [--stats-out FILE]    dump the full statistics tree
+ *                [--stats-json FILE]   machine-readable statistics dump
+ *                [--stats-interval-ms N]  per-interval time series
+ *                [--stats-interval-out FILE]
+ *                [--trace-out FILE]    Chrome trace_event JSON timeline
+ *                [--trace-csv FILE]    compact CSV timeline
+ *                [--trace-categories LIST]  e.g. refresh,counter (def all)
+ *                [--log-level silent|warn|info|debug]
  *                [--list]              list benchmark profiles and exit
  */
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "sim/interval_stats.hh"
+#include "sim/stats_json.hh"
+#include "sim/tracer.hh"
 #include "trace/trace.hh"
 
 using namespace smartref;
@@ -130,6 +141,80 @@ printSummary(const std::string &label, const EnergySnapshot &d,
     table.print(std::cout);
 }
 
+/** Attach the sinks and category filter requested on the command line. */
+void
+configureTracer(const CliArgs &args)
+{
+    Tracer &tracer = globalTracer();
+    tracer.setCategories(parseTraceCategories(args.traceCategories()));
+    if (!args.traceOutPath().empty())
+        tracer.addSink(
+            std::make_unique<ChromeTraceSink>(args.traceOutPath()));
+    if (!args.traceCsvPath().empty())
+        tracer.addSink(
+            std::make_unique<CsvTraceSink>(args.traceCsvPath()));
+}
+
+/**
+ * Build the interval sampler (when --stats-interval-ms is given) with
+ * the standard refresh-dynamics columns, and start it.
+ */
+std::unique_ptr<IntervalStats>
+makeSampler(const CliArgs &args, EventQueue &eq, MemoryController &ctrl,
+            DramModule &dram, SmartRefreshPolicy *smart)
+{
+    const std::uint64_t ms = args.statsIntervalMs();
+    if (ms == 0)
+        return nullptr;
+    auto sampler =
+        std::make_unique<IntervalStats>(eq, Tick(ms) * kMillisecond);
+    sampler->addDelta("refreshes", [&dram] {
+        return static_cast<double>(dram.totalRefreshes());
+    });
+    sampler->addDelta("demandAccesses", [&ctrl] {
+        return static_cast<double>(ctrl.demandReads() +
+                                   ctrl.demandWrites());
+    });
+    sampler->addDelta("rowHits", [&ctrl] {
+        return static_cast<double>(ctrl.rowHits());
+    });
+    sampler->addGauge("refreshBacklog", [&ctrl] {
+        return static_cast<double>(ctrl.refreshBacklog());
+    });
+    if (smart) {
+        // Policy-internal stats are found by dotted path; the group is
+        // named "refresh.smart" so this also exercises greedy matching.
+        if (const StatBase *s =
+                smart->resolveStat("refresh.smart.touchesDeferred")) {
+            sampler->addDelta("touchesDeferred",
+                              [s] { return statValue(*s); });
+        }
+    }
+    sampler->start();
+    return sampler;
+}
+
+/** End-of-run observability output: interval CSV, JSON stats, flush. */
+void
+finishObservability(const CliArgs &args, const StatGroup &root,
+                    IntervalStats *sampler)
+{
+    if (sampler) {
+        sampler->finish();
+        std::string path = args.statsIntervalPath();
+        if (path.empty())
+            path = "stats_intervals.csv";
+        sampler->writeCsv(path);
+        std::cout << "interval statistics written to " << path << "\n";
+    }
+    if (!args.statsJsonPath().empty()) {
+        writeStatsJson(root, args.statsJsonPath());
+        std::cout << "JSON statistics written to "
+                  << args.statsJsonPath() << "\n";
+    }
+    globalTracer().flush();
+}
+
 } // namespace
 
 int
@@ -142,6 +227,8 @@ main(int argc, char **argv)
     }
 
     const ExperimentOptions opts = args.experimentOptions();
+    setLogLevel(opts.logLevel);
+    configureTracer(args);
     const DramConfig dram = configByName(args.getString("config", "2gb"));
     const PolicyKind policy =
         policyByName(args.getString("policy", "smart"));
@@ -169,6 +256,9 @@ main(int argc, char **argv)
                                            opts.seed))
             sys.addWorkload(wp);
 
+        auto sampler =
+            makeSampler(args, sys.eventQueue(), sys.threeDController(),
+                        sys.threeDDram(), sys.smartPolicy());
         sys.run(opts.warmup);
         const EnergySnapshot warm = captureSnapshot(sys);
         sys.run(opts.measure);
@@ -186,6 +276,7 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
+        finishObservability(args, sys, sampler.get());
     } else {
         SystemConfig cfg;
         cfg.dram = dram;
@@ -201,6 +292,9 @@ main(int argc, char **argv)
                 dram.org.totalRows(), cp);
         }
         System sys(cfg);
+        auto sampler = makeSampler(args, sys.eventQueue(),
+                                   sys.controller(), sys.dram(),
+                                   sys.smartPolicy());
 
         std::string label;
         if (!tracePath.empty()) {
@@ -257,6 +351,7 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
+        finishObservability(args, sys, sampler.get());
     }
 
     return violations == 0 ? 0 : 1;
