@@ -14,42 +14,57 @@
 
 namespace smartref::bench {
 
-/** Run the 32-benchmark suite on a conventional module. */
+namespace detail {
+
+inline void
+announceSuite(const std::string &dramName, const ExperimentOptions &opts,
+              unsigned jobs)
+{
+    std::cerr << "running " << allProfiles().size() << " benchmarks on "
+              << dramName << " (warmup " << opts.warmup / kMillisecond
+              << " ms, measure " << opts.measure / kMillisecond
+              << " ms, " << jobs << " worker thread(s))..." << std::endl;
+}
+
+/** Completion-order progress line (results stay in profile order). */
+inline SuiteProgress
+progressLine()
+{
+    return [](const ComparisonResult &r) {
+        std::cerr << "  " << r.benchmark << " ["
+                  << fmtPercent(r.refreshReduction()) << "]" << std::endl;
+    };
+}
+
+} // namespace detail
+
+/**
+ * Run the benchmark suite on a conventional module, fanned out over
+ * "-j N" worker threads (serial without the flag; results are
+ * identical either way — see docs/sweep.md).
+ */
 inline std::vector<ComparisonResult>
 conventionalSuite(const CliArgs &args, const DramConfig &dram,
                   double absRowScale = 1.0)
 {
-    ExperimentOptions opts = args.experimentOptions();
-    std::cerr << "running 32 benchmarks on " << dram.name << " (warmup "
-              << opts.warmup / kMillisecond << " ms, measure "
-              << opts.measure / kMillisecond << " ms)..." << std::endl;
-    std::vector<ComparisonResult> results;
-    for (const auto &profile : allProfiles()) {
-        std::cerr << "  " << profile.name << std::flush;
-        results.push_back(
-            compareConventional(profile, dram, opts, absRowScale));
-        std::cerr << " [" << fmtPercent(results.back().refreshReduction())
-                  << "]" << std::endl;
-    }
+    const ExperimentOptions opts = args.experimentOptions();
+    const unsigned jobs = args.jobs();
+    detail::announceSuite(dram.name, opts, jobs);
+    auto results = runConventionalSuite(dram, opts, absRowScale, jobs,
+                                        detail::progressLine());
     checkNoViolations(results);
     return results;
 }
 
-/** Run the 32-benchmark suite through the 3D DRAM cache. */
+/** Run the benchmark suite through the 3D DRAM cache (jobs as above). */
 inline std::vector<ComparisonResult>
 threeDSuite(const CliArgs &args, const DramConfig &threeD)
 {
-    ExperimentOptions opts = args.experimentOptions();
-    std::cerr << "running 32 benchmarks on " << threeD.name << " (warmup "
-              << opts.warmup / kMillisecond << " ms, measure "
-              << opts.measure / kMillisecond << " ms)..." << std::endl;
-    std::vector<ComparisonResult> results;
-    for (const auto &profile : allProfiles()) {
-        std::cerr << "  " << profile.name << std::flush;
-        results.push_back(compareThreeD(profile, threeD, opts));
-        std::cerr << " [" << fmtPercent(results.back().refreshReduction())
-                  << "]" << std::endl;
-    }
+    const ExperimentOptions opts = args.experimentOptions();
+    const unsigned jobs = args.jobs();
+    detail::announceSuite(threeD.name, opts, jobs);
+    auto results =
+        runThreeDSuite(threeD, opts, jobs, detail::progressLine());
     checkNoViolations(results);
     return results;
 }

@@ -146,4 +146,29 @@ edram_16MB()
     return c;
 }
 
+DramConfig
+dramConfigByName(const std::string &name)
+{
+    if (name == "2gb")
+        return ddr2_2GB();
+    if (name == "4gb")
+        return ddr2_4GB();
+    if (name == "3d64")
+        return dram3d_64MB();
+    if (name == "3d64-32ms")
+        return dram3d_64MB_32ms();
+    if (name == "3d32")
+        return dram3d_32MB();
+    if (name == "edram")
+        return edram_16MB();
+    SMARTREF_FATAL("unknown config '", name,
+                   "' (2gb, 4gb, 3d64, 3d64-32ms, 3d32, edram)");
+}
+
+bool
+isThreeDConfigName(const std::string &name)
+{
+    return name == "3d64" || name == "3d64-32ms" || name == "3d32";
+}
+
 } // namespace smartref

@@ -166,4 +166,17 @@ DramConfig edram_16MB();
 
 ///@}
 
+/**
+ * Look up a preset by its CLI name: "2gb", "4gb", "3d64", "3d64-32ms",
+ * "3d32" or "edram". Fatal on an unknown name.
+ */
+DramConfig dramConfigByName(const std::string &name);
+
+/**
+ * True when the named preset is a 3D die-stacked cache, i.e. must be
+ * driven through the DRAM-cache system assembly rather than as main
+ * memory.
+ */
+bool isThreeDConfigName(const std::string &name);
+
 } // namespace smartref

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace smartref {
 
@@ -10,6 +11,15 @@ CliArgs::CliArgs(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // make(1)-style worker count: "-j8", or "-j 8".
+        if (arg.rfind("-j", 0) == 0 && arg.rfind("--", 0) != 0) {
+            std::string count = arg.substr(2);
+            if (count.empty() && i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("-", 0) != 0)
+                count = argv[++i];
+            values_["jobs"] = count;
+            continue;
+        }
         if (arg.rfind("--", 0) != 0)
             SMARTREF_FATAL("unexpected argument '", arg,
                            "' (flags are --key [value])");
@@ -51,6 +61,19 @@ CliArgs::getDouble(const std::string &key, double fallback) const
     auto it = values_.find(key);
     return it == values_.end() ? fallback
                                : std::strtod(it->second.c_str(), nullptr);
+}
+
+unsigned
+CliArgs::jobs() const
+{
+    if (!has("jobs"))
+        return 1;
+    const std::string v = getString("jobs");
+    if (v.empty())
+        return ThreadPool::hardwareThreads();
+    const unsigned n = static_cast<unsigned>(
+        std::strtoul(v.c_str(), nullptr, 10));
+    return n == 0 ? 1 : n;
 }
 
 ExperimentOptions

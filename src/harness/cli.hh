@@ -36,6 +36,13 @@ class CliArgs
      */
     ExperimentOptions experimentOptions() const;
 
+    /**
+     * Worker-thread count from "-j N" / "-jN" / "--jobs N". A bare
+     * "-j" (no count) means one worker per hardware thread; absent
+     * flags mean serial execution.
+     */
+    unsigned jobs() const;
+
     /** Value of --csv (empty when absent). */
     std::string csvPath() const { return getString("csv"); }
 

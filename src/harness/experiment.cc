@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <iostream>
+#include <mutex>
 
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace smartref {
 
@@ -202,25 +204,54 @@ compareThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     return c;
 }
 
+namespace {
+
+/**
+ * Shared suite driver: one comparison per profile, fanned out over
+ * `jobs` workers, results stored by profile index so the output order
+ * (and content — every run is an isolated simulation) matches the
+ * serial loop exactly.
+ */
 std::vector<ComparisonResult>
-runConventionalSuite(const DramConfig &dram, const ExperimentOptions &opts,
-                     double absRowScale)
+runSuite(unsigned jobs, const SuiteProgress &progress,
+         const std::function<ComparisonResult(const BenchmarkProfile &)>
+             &compare)
 {
-    std::vector<ComparisonResult> results;
-    for (const auto &profile : allProfiles()) {
-        results.push_back(
-            compareConventional(profile, dram, opts, absRowScale));
-    }
+    const auto &profiles = allProfiles();
+    std::vector<ComparisonResult> results(profiles.size());
+    std::mutex progressMu;
+    parallelFor(jobs, profiles.size(), [&](std::size_t i) {
+        results[i] = compare(profiles[i]);
+        if (progress) {
+            std::lock_guard<std::mutex> lk(progressMu);
+            progress(results[i]);
+        }
+    });
     return results;
 }
 
+} // namespace
+
 std::vector<ComparisonResult>
-runThreeDSuite(const DramConfig &threeD, const ExperimentOptions &opts)
+runConventionalSuite(const DramConfig &dram, const ExperimentOptions &opts,
+                     double absRowScale, unsigned jobs,
+                     const SuiteProgress &progress)
 {
-    std::vector<ComparisonResult> results;
-    for (const auto &profile : allProfiles())
-        results.push_back(compareThreeD(profile, threeD, opts));
-    return results;
+    return runSuite(jobs, progress,
+                    [&](const BenchmarkProfile &profile) {
+                        return compareConventional(profile, dram, opts,
+                                                   absRowScale);
+                    });
+}
+
+std::vector<ComparisonResult>
+runThreeDSuite(const DramConfig &threeD, const ExperimentOptions &opts,
+               unsigned jobs, const SuiteProgress &progress)
+{
+    return runSuite(jobs, progress,
+                    [&](const BenchmarkProfile &profile) {
+                        return compareThreeD(profile, threeD, opts);
+                    });
 }
 
 double

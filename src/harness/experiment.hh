@@ -156,14 +156,29 @@ ComparisonResult compareThreeD(const BenchmarkProfile &profile,
                                const DramConfig &threeD,
                                const ExperimentOptions &opts);
 
-/** All 32 profiles on a conventional module. */
+/**
+ * Per-comparison completion callback for suite runs. Invoked under an
+ * internal mutex (callbacks never overlap) in *completion* order, which
+ * depends on scheduling when jobs > 1; the returned result vector is
+ * always in profile order regardless.
+ */
+using SuiteProgress = std::function<void(const ComparisonResult &)>;
+
+/**
+ * All 32 profiles on a conventional module. With jobs > 1 the
+ * benchmarks are fanned out over a work-stealing thread pool; each
+ * comparison is an independent simulation, so the results are
+ * identical to the serial run (see docs/sweep.md for the contract).
+ */
 std::vector<ComparisonResult>
 runConventionalSuite(const DramConfig &dram, const ExperimentOptions &opts,
-                     double absRowScale = 1.0);
+                     double absRowScale = 1.0, unsigned jobs = 1,
+                     const SuiteProgress &progress = {});
 
-/** All 32 profiles through the 3D DRAM cache. */
+/** All 32 profiles through the 3D DRAM cache (jobs as above). */
 std::vector<ComparisonResult>
-runThreeDSuite(const DramConfig &threeD, const ExperimentOptions &opts);
+runThreeDSuite(const DramConfig &threeD, const ExperimentOptions &opts,
+               unsigned jobs = 1, const SuiteProgress &progress = {});
 
 /** Geometric mean (values must be positive; non-positive are clamped). */
 double geometricMean(const std::vector<double> &values);

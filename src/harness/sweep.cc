@@ -1,0 +1,651 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <type_traits>
+
+#include "ctrl/bus_energy_model.hh"
+#include "harness/report.hh"
+#include "harness/system.hh"
+#include "harness/threed_system.hh"
+#include "sim/logging.hh"
+#include "sim/mini_json.hh"
+#include "sim/thread_pool.hh"
+#include "trace/benchmark_profiles.hh"
+
+namespace smartref {
+
+namespace {
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Shortest round-trip decimal form of a double. std::to_chars is both
+ * exact and locale-independent, which the byte-identical aggregate
+ * contract depends on.
+ */
+std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    SMARTREF_ASSERT(res.ec == std::errc(), "to_chars failed");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    out += jsonEscape(s);
+    out += '"';
+    return out;
+}
+
+const char *
+toString(SeedMode mode)
+{
+    return mode == SeedMode::Derived ? "derived" : "fixed";
+}
+
+} // namespace
+
+std::string
+pointKey(const SweepPoint &point)
+{
+    std::ostringstream oss;
+    oss << "config=" << point.config << ";bench=" << point.benchmark
+        << ";policy=" << point.policy << ";bits=" << point.counterBits
+        << ";retentionMs=" << point.retentionMs;
+    return oss.str();
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t baseSeed, const SweepPoint &point)
+{
+    return splitmix64(baseSeed ^ fnv1a64(pointKey(point)));
+}
+
+SweepGrid
+parseSweepGrid(const std::string &jsonText)
+{
+    const minijson::Value root = minijson::parse(jsonText);
+    if (!root.isObject())
+        SMARTREF_FATAL("sweep grid JSON must be an object");
+
+    SweepGrid grid;
+    auto strings = [](const minijson::Value &v) {
+        std::vector<std::string> out;
+        for (const auto &e : v.array)
+            out.push_back(e.str);
+        return out;
+    };
+    for (const auto &[key, value] : root.object) {
+        if (key == "name") {
+            grid.name = value.str;
+        } else if (key == "configs") {
+            grid.configs = strings(value);
+        } else if (key == "benchmarks") {
+            grid.benchmarks = strings(value);
+        } else if (key == "policies") {
+            grid.policies = strings(value);
+        } else if (key == "counterBits") {
+            grid.counterBits.clear();
+            for (const auto &e : value.array)
+                grid.counterBits.push_back(
+                    static_cast<std::uint32_t>(e.number));
+        } else if (key == "retentionMs") {
+            grid.retentionMs.clear();
+            for (const auto &e : value.array)
+                grid.retentionMs.push_back(
+                    static_cast<std::uint64_t>(e.number));
+        } else {
+            SMARTREF_FATAL("unknown sweep grid member '", key, "'");
+        }
+    }
+    return grid;
+}
+
+SweepGrid
+loadSweepGrid(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        SMARTREF_FATAL("cannot read sweep grid '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return parseSweepGrid(oss.str());
+}
+
+std::vector<SweepJob>
+expandGrid(const SweepGrid &grid, std::uint64_t baseSeed, SeedMode mode)
+{
+    // Validate every axis value up front so a typo fails before hours
+    // of simulation, not in the middle of a parallel run.
+    std::vector<std::string> benchmarks;
+    if (grid.benchmarks.size() == 1 && grid.benchmarks[0] == "all") {
+        for (const auto &p : allProfiles())
+            benchmarks.push_back(p.name);
+    } else {
+        for (const auto &name : grid.benchmarks) {
+            findProfile(name); // fatal on unknown
+            benchmarks.push_back(name);
+        }
+    }
+    for (const auto &config : grid.configs)
+        dramConfigByName(config).validate();
+    for (const auto &policy : grid.policies)
+        policyFromString(policy);
+    for (std::uint32_t bits : grid.counterBits) {
+        if (bits < 1 || bits > 16)
+            SMARTREF_FATAL("counterBits ", bits, " out of range [1,16]");
+    }
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(grid.configs.size() * grid.retentionMs.size() *
+                 grid.counterBits.size() * grid.policies.size() *
+                 benchmarks.size());
+    for (const auto &config : grid.configs) {
+        for (std::uint64_t retention : grid.retentionMs) {
+            for (std::uint32_t bits : grid.counterBits) {
+                for (const auto &policy : grid.policies) {
+                    for (const auto &benchmark : benchmarks) {
+                        SweepJob job;
+                        job.index = jobs.size();
+                        job.point = {config, benchmark, policy, bits,
+                                     retention};
+                        job.seed = mode == SeedMode::Fixed
+                                       ? baseSeed
+                                       : deriveJobSeed(baseSeed,
+                                                       job.point);
+                        jobs.push_back(std::move(job));
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+SweepJobResult
+runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    DramConfig dram = dramConfigByName(job.point.config);
+    if (job.point.retentionMs > 0)
+        dram.timing.retention = Tick(job.point.retentionMs) * kMillisecond;
+
+    ExperimentOptions eo;
+    eo.warmup = opts.warmup;
+    eo.measure = opts.measure;
+    eo.counterBits = job.point.counterBits;
+    eo.segments = opts.segments;
+    eo.autoReconfigure = opts.autoReconfigure;
+    eo.seed = job.seed;
+    eo.logLevel = opts.logLevel;
+
+    const BenchmarkProfile &profile = findProfile(job.point.benchmark);
+    const PolicyKind policy = policyFromString(job.point.policy);
+
+    SweepJobResult result;
+    result.job = job;
+    result.comparison.benchmark = profile.name;
+    result.comparison.suite = profile.suite;
+    if (isThreeDConfigName(job.point.config)) {
+        result.comparison.baseline =
+            runThreeD(profile, dram, PolicyKind::Cbr, eo);
+        result.comparison.smart = runThreeD(profile, dram, policy, eo);
+    } else {
+        // The 4 GB module spreads each footprint over ~1.3x the rows
+        // of the 2 GB calibration (see benchmark_profiles.hh).
+        const double scale =
+            job.point.config == "4gb" ? kFourGBRowScale : 1.0;
+        result.comparison.baseline =
+            runConventional(profile, dram, PolicyKind::Cbr, eo, scale);
+        result.comparison.smart =
+            runConventional(profile, dram, policy, eo, scale);
+    }
+
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+}
+
+std::vector<SweepJobResult>
+runSweep(const SweepGrid &grid, const SweepRunOptions &opts)
+{
+    const std::vector<SweepJob> jobs =
+        expandGrid(grid, opts.baseSeed, opts.seedMode);
+    std::vector<SweepJobResult> results(jobs.size());
+    std::mutex progressMu;
+    std::size_t done = 0;
+    parallelFor(opts.jobs, jobs.size(), [&](std::size_t i) {
+        results[i] = runSweepJob(jobs[i], opts);
+        if (opts.progress) {
+            std::lock_guard<std::mutex> lk(progressMu);
+            ++done;
+            std::cerr << "  [" << done << "/" << jobs.size() << "] "
+                      << pointKey(jobs[i].point) << " ["
+                      << fmtPercent(
+                             results[i].comparison.refreshReduction())
+                      << ", "
+                      << fmtDouble(results[i].wallSeconds, 1) << "s]"
+                      << std::endl;
+        }
+    });
+    return results;
+}
+
+std::uint64_t
+totalViolations(const std::vector<SweepJobResult> &results)
+{
+    std::uint64_t total = 0;
+    for (const auto &r : results)
+        total += r.comparison.baseline.violations +
+                 r.comparison.smart.violations;
+    return total;
+}
+
+namespace {
+
+void
+writeRunResult(std::ostream &os, const RunResult &r)
+{
+    os << "{\"policy\":" << quoted(r.policy)
+       << ",\"simSeconds\":" << jsonNumber(r.simSeconds)
+       << ",\"refreshesPerSec\":" << jsonNumber(r.refreshesPerSec)
+       << ",\"refreshEnergyJ\":" << jsonNumber(r.refreshEnergyJ)
+       << ",\"totalEnergyJ\":" << jsonNumber(r.totalEnergyJ)
+       << ",\"overheadJ\":" << jsonNumber(r.overheadJ)
+       << ",\"avgLatencyNs\":" << jsonNumber(r.avgLatencyNs)
+       << ",\"demandAccesses\":" << r.demandAccesses
+       << ",\"violations\":" << r.violations
+       << ",\"maxRefreshBacklog\":" << r.maxRefreshBacklog << "}";
+}
+
+template <typename T>
+void
+writeArray(std::ostream &os, const std::vector<T> &values, bool asString)
+{
+    os << "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        os << (i ? "," : "");
+        if constexpr (std::is_arithmetic_v<T>) {
+            (void)asString;
+            os << +values[i];
+        } else {
+            os << quoted(values[i]);
+        }
+    }
+    os << "]";
+}
+
+/** Jobs sharing every coordinate except the benchmark. */
+struct SummaryGroup
+{
+    std::string config;
+    std::uint64_t retentionMs;
+    std::uint32_t counterBits;
+    std::string policy;
+    std::vector<const SweepJobResult *> members;
+};
+
+std::vector<SummaryGroup>
+groupResults(const std::vector<SweepJobResult> &results)
+{
+    std::vector<SummaryGroup> groups;
+    for (const auto &r : results) {
+        const auto &p = r.job.point;
+        if (groups.empty() || groups.back().config != p.config ||
+            groups.back().retentionMs != p.retentionMs ||
+            groups.back().counterBits != p.counterBits ||
+            groups.back().policy != p.policy) {
+            // Grid order nests benchmark innermost, so equal-coordinate
+            // jobs are always contiguous.
+            groups.push_back({p.config, p.retentionMs, p.counterBits,
+                              p.policy, {}});
+        }
+        groups.back().members.push_back(&r);
+    }
+    return groups;
+}
+
+double
+gmeanOf(const SummaryGroup &g,
+        const std::function<double(const ComparisonResult &)> &metric)
+{
+    std::vector<double> values;
+    values.reserve(g.members.size());
+    for (const auto *m : g.members)
+        values.push_back(metric(m->comparison));
+    return geometricMean(values);
+}
+
+} // namespace
+
+void
+writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
+               const std::vector<SweepJobResult> &results,
+               std::ostream &os)
+{
+    os << "{\"schema\":\"smartref-sweep-v1\"";
+
+    os << ",\"grid\":{\"name\":" << quoted(grid.name) << ",\"configs\":";
+    writeArray(os, grid.configs, true);
+    os << ",\"benchmarks\":";
+    writeArray(os, grid.benchmarks, true);
+    os << ",\"policies\":";
+    writeArray(os, grid.policies, true);
+    os << ",\"counterBits\":";
+    writeArray(os, grid.counterBits, false);
+    os << ",\"retentionMs\":";
+    writeArray(os, grid.retentionMs, false);
+    os << "}";
+
+    os << ",\"options\":{\"warmupMs\":" << opts.warmup / kMillisecond
+       << ",\"measureMs\":" << opts.measure / kMillisecond
+       << ",\"segments\":" << opts.segments << ",\"autoReconfigure\":"
+       << (opts.autoReconfigure ? "true" : "false")
+       << ",\"baseSeed\":" << opts.baseSeed
+       << ",\"seedMode\":" << quoted(toString(opts.seedMode)) << "}";
+
+    // Geometry/energy anchors of each preset in the grid: the Table 1
+    // baseline refresh rate and the Table 3 address-bus energy. CI's
+    // golden-number gate reads these.
+    os << ",\"anchors\":{";
+    for (std::size_t i = 0; i < grid.configs.size(); ++i) {
+        const DramConfig cfg = dramConfigByName(grid.configs[i]);
+        StatGroup scratch("anchors");
+        BusEnergyModel bus(deriveBusParams(BusEnergyParams{}, cfg.org),
+                           &scratch);
+        os << (i ? "," : "") << quoted(grid.configs[i])
+           << ":{\"baselineRefreshesPerSec\":"
+           << jsonNumber(cfg.baselineRefreshesPerSecond())
+           << ",\"busNanojoulesPerAddress\":"
+           << jsonNumber(bus.energyPerAccess() * 1e9)
+           << ",\"refreshTargets\":" << cfg.org.totalRows() << "}";
+    }
+    os << "}";
+
+    os << ",\"jobs\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        const auto &p = r.job.point;
+        os << (i ? "," : "") << "{\"index\":" << r.job.index
+           << ",\"config\":" << quoted(p.config)
+           << ",\"benchmark\":" << quoted(p.benchmark)
+           << ",\"suite\":" << quoted(r.comparison.suite)
+           << ",\"policy\":" << quoted(p.policy)
+           << ",\"counterBits\":" << p.counterBits
+           << ",\"retentionMs\":" << p.retentionMs
+           // As a string: 64-bit seeds overflow JSON's double numbers.
+           << ",\"seed\":" << quoted(std::to_string(r.job.seed))
+           << ",\"baseline\":";
+        writeRunResult(os, r.comparison.baseline);
+        os << ",\"smart\":";
+        writeRunResult(os, r.comparison.smart);
+        os << ",\"refreshReduction\":"
+           << jsonNumber(r.comparison.refreshReduction())
+           << ",\"refreshEnergySaving\":"
+           << jsonNumber(r.comparison.refreshEnergySaving())
+           << ",\"totalEnergySaving\":"
+           << jsonNumber(r.comparison.totalEnergySaving())
+           << ",\"perfImprovement\":"
+           << jsonNumber(r.comparison.perfImprovement()) << "}";
+    }
+    os << "]";
+
+    os << ",\"summary\":[";
+    const auto groups = groupResults(results);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        const auto &g = groups[i];
+        const double gmeanBase = gmeanOf(g, [](const ComparisonResult &c) {
+            return c.baseline.refreshesPerSec;
+        });
+        const double gmeanSmart =
+            gmeanOf(g, [](const ComparisonResult &c) {
+                return c.smart.refreshesPerSec;
+            });
+        std::uint64_t violations = 0;
+        for (const auto *m : g.members)
+            violations += m->comparison.baseline.violations +
+                          m->comparison.smart.violations;
+        os << (i ? "," : "") << "{\"config\":" << quoted(g.config)
+           << ",\"retentionMs\":" << g.retentionMs
+           << ",\"counterBits\":" << g.counterBits
+           << ",\"policy\":" << quoted(g.policy)
+           << ",\"jobs\":" << g.members.size()
+           << ",\"gmeanBaselineRefreshesPerSec\":" << jsonNumber(gmeanBase)
+           << ",\"gmeanSmartRefreshesPerSec\":" << jsonNumber(gmeanSmart)
+           << ",\"gmeanRefreshReduction\":"
+           << jsonNumber(gmeanBase > 0.0 ? 1.0 - gmeanSmart / gmeanBase
+                                         : 0.0)
+           << ",\"gmeanRefreshEnergySaving\":"
+           << jsonNumber(gmeanOf(g,
+                                 [](const ComparisonResult &c) {
+                                     return c.refreshEnergySaving();
+                                 }))
+           << ",\"gmeanTotalEnergySaving\":"
+           << jsonNumber(gmeanOf(g,
+                                 [](const ComparisonResult &c) {
+                                     return c.totalEnergySaving();
+                                 }))
+           << ",\"gmeanPerfImprovement\":"
+           << jsonNumber(gmeanOf(g,
+                                 [](const ComparisonResult &c) {
+                                     return c.perfImprovement();
+                                 }))
+           << ",\"violations\":" << violations << "}";
+    }
+    os << "]";
+
+    os << ",\"totalViolations\":" << totalViolations(results) << "}\n";
+}
+
+void
+writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
+               const std::vector<SweepJobResult> &results,
+               const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        SMARTREF_FATAL("cannot write sweep JSON '", path, "'");
+    writeSweepJson(grid, opts, results, out);
+}
+
+void
+writeSweepCsv(const std::vector<SweepJobResult> &results, std::ostream &os)
+{
+    ReportTable table({"index", "config", "benchmark", "suite", "policy",
+                       "counterBits", "retentionMs", "seed",
+                       "baselineRefreshesPerSec", "smartRefreshesPerSec",
+                       "refreshReduction", "refreshEnergySaving",
+                       "totalEnergySaving", "perfImprovement",
+                       "violations"});
+    for (const auto &r : results) {
+        const auto &p = r.job.point;
+        const auto &c = r.comparison;
+        table.addRow({std::to_string(r.job.index), p.config, p.benchmark,
+                      c.suite, p.policy, std::to_string(p.counterBits),
+                      std::to_string(p.retentionMs),
+                      std::to_string(r.job.seed),
+                      jsonNumber(c.baseline.refreshesPerSec),
+                      jsonNumber(c.smart.refreshesPerSec),
+                      jsonNumber(c.refreshReduction()),
+                      jsonNumber(c.refreshEnergySaving()),
+                      jsonNumber(c.totalEnergySaving()),
+                      jsonNumber(c.perfImprovement()),
+                      std::to_string(c.baseline.violations +
+                                     c.smart.violations)});
+    }
+    table.writeCsv(os);
+}
+
+void
+writeSweepCsv(const std::vector<SweepJobResult> &results,
+              const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        SMARTREF_FATAL("cannot write sweep CSV '", path, "'");
+    writeSweepCsv(results, out);
+}
+
+std::vector<FigureSpec>
+figuresForConfig(const std::string &configName)
+{
+    using M = FigureSpec::Metric;
+    if (configName == "2gb") {
+        return {{"fig06", "Figure 6: refreshes per second (2 GB DRAM)",
+                 "baseline 2,048,000/s, GMEAN 691,435/s, reductions "
+                 "26%..85.7%",
+                 M::RefreshRate, 1},
+                {"fig07",
+                 "Figure 7: relative refresh energy savings (2 GB DRAM)",
+                 "savings 25% (gcc) .. 79% (radix), GMEAN 52.57%",
+                 M::RefreshEnergy, 1},
+                {"fig08",
+                 "Figure 8: relative total DRAM energy savings (2 GB "
+                 "DRAM)",
+                 "up to 25% (perl_twolf), GMEAN 12.13%", M::TotalEnergy,
+                 1}};
+    }
+    if (configName == "4gb") {
+        return {{"fig09", "Figure 9: refreshes per second (4 GB DRAM)",
+                 "baseline 4,096,000/s, GMEAN 2,343,691/s",
+                 M::RefreshRate, 1},
+                {"fig10",
+                 "Figure 10: relative refresh energy savings (4 GB DRAM)",
+                 "GMEAN 23.76%", M::RefreshEnergy, 1},
+                {"fig11",
+                 "Figure 11: relative total DRAM energy savings (4 GB "
+                 "DRAM)",
+                 "GMEAN 9.10%", M::TotalEnergy, 1}};
+    }
+    if (configName == "3d64") {
+        return {{"fig12",
+                 "Figure 12: refreshes per second (64 MB 3D DRAM cache, "
+                 "64 ms)",
+                 "baseline 1,024,000/s, GMEAN 795,411/s, reductions "
+                 "4%..42%",
+                 M::RefreshRate, 1},
+                {"fig13",
+                 "Figure 13: relative refresh energy savings (3D 64 MB, "
+                 "64 ms)",
+                 "savings 7%..42%, GMEAN 21.91%", M::RefreshEnergy, 1},
+                {"fig14",
+                 "Figure 14: relative total energy savings (3D 64 MB, "
+                 "64 ms)",
+                 "up to 21.5% (gcc_twolf), GMEAN 9.37%", M::TotalEnergy,
+                 1}};
+    }
+    if (configName == "3d64-32ms") {
+        return {{"fig15",
+                 "Figure 15: refreshes per second (64 MB 3D DRAM cache, "
+                 "32 ms)",
+                 "baseline 2,048,000/s, GMEAN 1,724,640/s",
+                 M::RefreshRate, 1},
+                {"fig16",
+                 "Figure 16: relative refresh energy savings (3D 64 MB, "
+                 "32 ms)",
+                 "GMEAN 15.79%", M::RefreshEnergy, 1},
+                {"fig17",
+                 "Figure 17: relative total energy savings (3D 64 MB, "
+                 "32 ms)",
+                 "GMEAN 6.87%", M::TotalEnergy, 1},
+                {"fig18",
+                 "Figure 18: performance improvement (3D 64 MB, 32 ms)",
+                 "all under 1%, GMEAN 0.11%", M::Performance, 3}};
+    }
+    return {};
+}
+
+void
+writeFigures(std::ostream &os, const std::string &configName,
+             const std::vector<ComparisonResult> &comparisons,
+             const std::string &outDir)
+{
+    const DramConfig cfg = dramConfigByName(configName);
+    for (const FigureSpec &spec : figuresForConfig(configName)) {
+        const std::string csvPath =
+            outDir.empty() ? "" : outDir + "/" + spec.id + ".csv";
+        switch (spec.metric) {
+          case FigureSpec::Metric::RefreshRate:
+            printRefreshRateFigure(os, spec.title, spec.paperNote,
+                                   cfg.baselineRefreshesPerSecond(),
+                                   comparisons, csvPath);
+            break;
+          case FigureSpec::Metric::RefreshEnergy:
+            printFigure(os, spec.title, spec.paperNote, comparisons,
+                        "refresh energy saving",
+                        [](const ComparisonResult &c) {
+                            return c.refreshEnergySaving();
+                        },
+                        true, csvPath, spec.decimals);
+            break;
+          case FigureSpec::Metric::TotalEnergy:
+            printFigure(os, spec.title, spec.paperNote, comparisons,
+                        "total energy saving",
+                        [](const ComparisonResult &c) {
+                            return c.totalEnergySaving();
+                        },
+                        true, csvPath, spec.decimals);
+            break;
+          case FigureSpec::Metric::Performance:
+            printFigure(os, spec.title, spec.paperNote, comparisons,
+                        "performance improvement",
+                        [](const ComparisonResult &c) {
+                            return c.perfImprovement();
+                        },
+                        true, csvPath, spec.decimals);
+            break;
+        }
+    }
+}
+
+} // namespace smartref

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Parallel experiment-sweep subsystem.
+ *
+ * A sweep is a declarative grid over (module config, retention, counter
+ * bits, policy, benchmark). The grid expands — in a fixed canonical
+ * order — into independent jobs, each a full baseline-vs-policy
+ * comparison; the runner fans the jobs out over a work-stealing thread
+ * pool (sim/thread_pool.hh) and reduces the results *in grid order*.
+ *
+ * Determinism contract:
+ *  - every job's seed derives from its grid coordinates (deriveJobSeed),
+ *    never from submission or completion order, so adding an axis value
+ *    or changing -j N never perturbs another job's stream;
+ *  - each job runs an isolated simulation (own event queue, own stats);
+ *  - aggregate outputs (JSON/CSV) are written from the grid-ordered
+ *    result vector with fixed number formatting.
+ * Consequently `-j 1` and `-j N` produce byte-identical aggregates; CI
+ * re-verifies this on every PR (the sweep-smoke job).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace smartref {
+
+/** Coordinates of one job in a sweep grid. */
+struct SweepPoint
+{
+    std::string config = "2gb";     ///< preset name (dramConfigByName)
+    std::string benchmark = "mummer"; ///< profile name
+    std::string policy = "smart";   ///< compared against the CBR baseline
+    std::uint32_t counterBits = 3;
+    std::uint64_t retentionMs = 0;  ///< 0 = the preset's own retention
+};
+
+/**
+ * A declarative sweep grid. Axes expand in canonical nesting order —
+ * config (outermost), retentionMs, counterBits, policy, benchmark
+ * (innermost) — so job indices are stable properties of the grid, not
+ * of the execution.
+ */
+struct SweepGrid
+{
+    std::string name = "sweep";     ///< used for output file names
+    std::vector<std::string> configs = {"2gb"};
+    /** Profile names; the single entry "all" expands to all 32. */
+    std::vector<std::string> benchmarks = {"all"};
+    std::vector<std::string> policies = {"smart"};
+    std::vector<std::uint32_t> counterBits = {3};
+    std::vector<std::uint64_t> retentionMs = {0};
+};
+
+/**
+ * Parse a grid from its JSON description:
+ *
+ *   { "name": "fig06", "configs": ["2gb"], "benchmarks": ["all"],
+ *     "policies": ["smart"], "counterBits": [3], "retentionMs": [0] }
+ *
+ * Missing members keep the SweepGrid defaults; unknown members are
+ * fatal (bad user configuration). Throws std::runtime_error on
+ * malformed JSON.
+ */
+SweepGrid parseSweepGrid(const std::string &jsonText);
+
+/** parseSweepGrid over a file's contents (fatal when unreadable). */
+SweepGrid loadSweepGrid(const std::string &path);
+
+/** How job seeds are chosen during grid expansion. */
+enum class SeedMode {
+    Derived, ///< deriveJobSeed(base, point): the determinism contract
+    Fixed,   ///< every job uses the base seed (bench-binary parity)
+};
+
+/** Canonical coordinate key of a point, the input to seed derivation. */
+std::string pointKey(const SweepPoint &point);
+
+/**
+ * Seed of the job at `point`: splitmix64-finalised mix of the base
+ * seed with an FNV-1a hash of pointKey(). Depends only on the
+ * coordinates — two grids containing the same point give its job the
+ * same seed. Pinned by tests/test_sweep.cpp.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t baseSeed, const SweepPoint &point);
+
+/** One expanded job: a grid index, coordinates and the derived seed. */
+struct SweepJob
+{
+    std::size_t index = 0;
+    SweepPoint point;
+    std::uint64_t seed = 0;
+};
+
+/** Expand a grid into jobs in canonical order (validates all names). */
+std::vector<SweepJob> expandGrid(const SweepGrid &grid,
+                                 std::uint64_t baseSeed,
+                                 SeedMode mode = SeedMode::Derived);
+
+/** Result of one job plus its (non-deterministic) wall-clock cost. */
+struct SweepJobResult
+{
+    SweepJob job;
+    ComparisonResult comparison;
+    /** Wall seconds this job took; excluded from aggregate outputs. */
+    double wallSeconds = 0.0;
+};
+
+/** Execution knobs of a sweep run. */
+struct SweepRunOptions
+{
+    unsigned jobs = 1;              ///< worker threads (-j N)
+    Tick warmup = 64 * kMillisecond;
+    Tick measure = 128 * kMillisecond;
+    std::uint32_t segments = 8;
+    bool autoReconfigure = true;
+    std::uint64_t baseSeed = 42;
+    SeedMode seedMode = SeedMode::Derived;
+    LogLevel logLevel = LogLevel::Warn;
+    /** Print one completion line per job to stderr. */
+    bool progress = false;
+};
+
+/** Run one already-expanded job (exposed for tests). */
+SweepJobResult runSweepJob(const SweepJob &job, const SweepRunOptions &opts);
+
+/**
+ * Expand and execute the grid with opts.jobs workers. The returned
+ * vector is in grid order regardless of completion order.
+ */
+std::vector<SweepJobResult> runSweep(const SweepGrid &grid,
+                                     const SweepRunOptions &opts);
+
+/**
+ * Write the deterministic aggregate JSON: the grid, per-config anchors
+ * (geometry baseline refreshes/s, Table 3 bus nJ/address), every job's
+ * metrics in grid order, and per-(config, retention, bits, policy)
+ * geometric-mean summaries. Contains no timing or host information.
+ */
+void writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
+                    const std::vector<SweepJobResult> &results,
+                    std::ostream &os);
+void writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
+                    const std::vector<SweepJobResult> &results,
+                    const std::string &path);
+
+/** Flat per-job CSV (grid order; same determinism as the JSON). */
+void writeSweepCsv(const std::vector<SweepJobResult> &results,
+                   std::ostream &os);
+void writeSweepCsv(const std::vector<SweepJobResult> &results,
+                   const std::string &path);
+
+/** Total retention violations across all runs (0 on a correct sweep). */
+std::uint64_t totalViolations(const std::vector<SweepJobResult> &results);
+
+/**
+ * The paper figures a full-suite run over one config reproduces.
+ * `configName` is the preset name; figure ids follow the bench
+ * binaries (fig06..fig18).
+ */
+struct FigureSpec
+{
+    std::string id;
+    std::string title;
+    std::string paperNote;
+    enum class Metric { RefreshRate, RefreshEnergy, TotalEnergy,
+                        Performance } metric;
+    int decimals = 1;
+};
+
+/** Figure specs for a config; empty for configs with no paper figure. */
+std::vector<FigureSpec> figuresForConfig(const std::string &configName);
+
+/**
+ * Print the paper-figure tables for one config's full-suite results
+ * (comparisons must be in profile order) and, when outDir is
+ * non-empty, write one CSV per figure as `<outDir>/<id>.csv` —
+ * byte-compatible with the corresponding bench binary's --csv output.
+ */
+void writeFigures(std::ostream &os, const std::string &configName,
+                  const std::vector<ComparisonResult> &comparisons,
+                  const std::string &outDir);
+
+} // namespace smartref

@@ -19,6 +19,23 @@ toString(PolicyKind kind)
     return "?";
 }
 
+PolicyKind
+policyFromString(const std::string &name)
+{
+    if (name == "cbr")
+        return PolicyKind::Cbr;
+    if (name == "burst")
+        return PolicyKind::Burst;
+    if (name == "ras-only")
+        return PolicyKind::RasOnly;
+    if (name == "smart")
+        return PolicyKind::Smart;
+    if (name == "retention-aware")
+        return PolicyKind::RetentionAware;
+    SMARTREF_FATAL("unknown policy '", name,
+                   "' (cbr, burst, ras-only, smart, retention-aware)");
+}
+
 BusEnergyParams
 deriveBusParams(const BusEnergyParams &base, const DramOrganization &org)
 {

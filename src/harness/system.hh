@@ -27,6 +27,9 @@ enum class PolicyKind { Cbr, Burst, RasOnly, Smart, RetentionAware };
 
 const char *toString(PolicyKind kind);
 
+/** Inverse of toString(PolicyKind); fatal on an unknown name. */
+PolicyKind policyFromString(const std::string &name);
+
 /** Full configuration of a conventional system. */
 struct SystemConfig
 {

@@ -1,12 +1,13 @@
 /**
  * @file
- * A tiny recursive-descent JSON parser for test assertions. Parses the
- * full JSON grammar into a variant-like Value tree; throws
- * std::runtime_error with a byte offset on malformed input, which is
- * exactly what the tracer/exporter tests need ("is this output valid
- * JSON, and does it contain what we wrote?").
+ * A tiny recursive-descent JSON parser. Parses the full JSON grammar
+ * into a variant-like Value tree; throws std::runtime_error with a
+ * byte offset on malformed input.
  *
- * Test-only: the simulator itself never parses JSON.
+ * Two consumers: test assertions over the simulator's JSON outputs
+ * ("is this valid JSON, and does it contain what we wrote?"), and the
+ * sweep runner's grid descriptions (harness/sweep.hh), which is why it
+ * lives in src/sim rather than tests/.
  */
 
 #pragma once

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A work-stealing thread pool for fanning independent simulations out
+ * across cores (experiment sweeps, parallel figure suites).
+ *
+ * Each worker owns a deque: tasks submitted from inside a pool task go
+ * to the owning worker's back and are popped LIFO (keeping nested work
+ * hot in cache), while idle workers steal from other workers' fronts
+ * FIFO (taking the oldest, largest-grained work). Tasks submitted from
+ * outside the pool land in a shared FIFO queue that workers drain
+ * before stealing.
+ *
+ * The pool makes no ordering guarantees between tasks; determinism is
+ * the caller's job. The sweep runner achieves it by writing each
+ * result into a slot chosen by the task's *index*, never by completion
+ * order, and by deriving every job's seed from its grid coordinates —
+ * see harness/sweep.hh.
+ *
+ * All queue bookkeeping is mutex-protected (one shared mutex for the
+ * counters plus one small mutex per worker deque), so the pool is
+ * clean under ThreadSanitizer by construction; CI runs it under TSan.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smartref {
+
+/** Work-stealing pool of worker threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers (0 picks hardwareThreads()). The pool
+     * drains every submitted task before the destructor returns.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Waits for all queued and running tasks, then joins the workers. */
+    ~ThreadPool();
+
+    unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue a task. Safe to call from inside a pool task (nested
+     * submit): the child lands on the submitting worker's own deque.
+     * Tasks must not throw; use submitFuture() when a task can fail.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Enqueue a callable and get a future for its result. Exceptions
+     * thrown by the callable are captured and rethrown by get().
+     */
+    template <typename F>
+    auto
+    submitFuture(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        // Shared-ptr wrapper because std::function requires copyable
+        // callables and std::packaged_task is move-only.
+        auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> fut = task->get_future();
+        submit([task] { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Block until every submitted task (including tasks submitted while
+     * waiting) has finished. Must be called from outside the pool.
+     */
+    void waitIdle();
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static unsigned hardwareThreads();
+
+    /** True when the calling thread is one of this pool's workers. */
+    bool onWorkerThread() const;
+
+  private:
+    struct Worker
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> deque;
+    };
+
+    void workerLoop(unsigned id);
+    bool tryGetTask(unsigned id, std::function<void()> &out);
+    void enqueue(std::function<void()> task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    // Shared bookkeeping: queued_ counts tasks not yet popped (wakes
+    // sleeping workers), pending_ counts tasks not yet finished (wakes
+    // waitIdle()). Both only change under mu_.
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;
+    std::condition_variable idleCv_;
+    std::deque<std::function<void()>> external_;
+    std::size_t queued_ = 0;
+    std::size_t pending_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Run body(0..n-1) on `pool`, blocking until all complete. The first
+ * exception *in index order* (not completion order) is rethrown, so a
+ * failing sweep reports the same job no matter the thread count. When
+ * called from inside one of `pool`'s own tasks the loop runs inline to
+ * avoid self-deadlock.
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+/**
+ * Convenience form: `jobs <= 1` runs the plain serial loop with no
+ * threads at all (the reference ordering for determinism tests);
+ * otherwise a pool of min(jobs, n) workers is created for the call.
+ */
+void parallelFor(unsigned jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace smartref

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "mini_json.hh"
+#include "sim/mini_json.hh"
 #include "sim/stats.hh"
 #include "sim/stats_json.hh"
 

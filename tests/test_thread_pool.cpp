@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Work-stealing thread-pool unit tests: submission/wait semantics,
+ * future results, exception propagation, nested submission (tasks
+ * executing inline on worker threads), parallelFor ordering guarantees
+ * and a small stress run. The TSan CI job runs this suite to keep the
+ * pool's locking honest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+using namespace smartref;
+
+TEST(ThreadPool, RunsAllSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns)
+{
+    ThreadPool pool(2);
+    pool.waitIdle(); // must not hang
+    EXPECT_EQ(pool.threadCount(), 2u);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, FutureReturnsValue)
+{
+    ThreadPool pool(2);
+    auto f = pool.submitFuture([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, FuturePropagatesException)
+{
+    ThreadPool pool(2);
+    auto f = pool.submitFuture(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyFuturesAllComplete)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submitFuture([i] { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock)
+{
+    // A task submitting (and waiting on) more work from inside a worker
+    // must not deadlock: inner parallelFor calls run inline on workers.
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    auto outer = pool.submitFuture([&pool, &count] {
+        parallelFor(pool, 8, [&count](std::size_t) { ++count; });
+        return count.load();
+    });
+    EXPECT_GE(outer.get(), 8);
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection)
+{
+    ThreadPool pool(2);
+    EXPECT_FALSE(pool.onWorkerThread());
+    auto f = pool.submitFuture(
+        [&pool] { return pool.onWorkerThread(); });
+    EXPECT_TRUE(f.get());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        // No waitIdle: the destructor must finish all queued tasks.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(257);
+    parallelFor(pool, visits.size(),
+                [&visits](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < visits.size(); ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SerialWhenJobsIsOne)
+{
+    // jobs <= 1 must not spawn threads: indices arrive in order on the
+    // calling thread.
+    std::vector<std::size_t> order;
+    const std::thread::id caller = std::this_thread::get_id();
+    parallelFor(1u, 16, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 16u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException)
+{
+    // Multiple bodies throw; the first exception in *index* order wins,
+    // deterministically, independent of completion order.
+    ThreadPool pool(4);
+    try {
+        parallelFor(pool, 64, [](std::size_t i) {
+            if (i == 7 || i == 40)
+                throw std::runtime_error("fail@" + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "fail@7");
+    }
+}
+
+TEST(ParallelFor, CompletesRemainingWorkDespiteException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(parallelFor(pool, 32,
+                             [&ran](std::size_t i) {
+                                 ++ran;
+                                 if (i == 0)
+                                     throw std::runtime_error("x");
+                             }),
+                 std::runtime_error);
+    // Every index still executed; a mid-sweep failure must not leave
+    // silent holes in the result vector.
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelFor, StressManySmallTasks)
+{
+    ThreadPool pool(4);
+    std::vector<std::uint64_t> out(5000, 0);
+    parallelFor(pool, out.size(),
+                [&out](std::size_t i) { out[i] = i * 3 + 1; });
+    std::uint64_t sum = std::accumulate(out.begin(), out.end(),
+                                        std::uint64_t{0});
+    // sum_{i<5000} (3i + 1) = 3 * 4999 * 5000 / 2 + 5000
+    EXPECT_EQ(sum, 3ull * 4999 * 5000 / 2 + 5000);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}

@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "mini_json.hh"
+#include "sim/mini_json.hh"
 #include "sim/tracer.hh"
 
 using namespace smartref;

@@ -43,42 +43,6 @@ using namespace smartref;
 
 namespace {
 
-DramConfig
-configByName(const std::string &name)
-{
-    if (name == "2gb")
-        return ddr2_2GB();
-    if (name == "4gb")
-        return ddr2_4GB();
-    if (name == "3d64")
-        return dram3d_64MB();
-    if (name == "3d64-32ms")
-        return dram3d_64MB_32ms();
-    if (name == "3d32")
-        return dram3d_32MB();
-    if (name == "edram")
-        return edram_16MB();
-    SMARTREF_FATAL("unknown config '", name,
-                   "' (2gb, 4gb, 3d64, 3d64-32ms, 3d32, edram)");
-}
-
-PolicyKind
-policyByName(const std::string &name)
-{
-    if (name == "cbr")
-        return PolicyKind::Cbr;
-    if (name == "burst")
-        return PolicyKind::Burst;
-    if (name == "ras-only")
-        return PolicyKind::RasOnly;
-    if (name == "smart")
-        return PolicyKind::Smart;
-    if (name == "retention-aware")
-        return PolicyKind::RetentionAware;
-    SMARTREF_FATAL("unknown policy '", name,
-                   "' (cbr, burst, ras-only, smart, retention-aware)");
-}
-
 AddressScheme
 schemeByName(const std::string &name)
 {
@@ -229,9 +193,10 @@ main(int argc, char **argv)
     const ExperimentOptions opts = args.experimentOptions();
     setLogLevel(opts.logLevel);
     configureTracer(args);
-    const DramConfig dram = configByName(args.getString("config", "2gb"));
+    const DramConfig dram =
+        dramConfigByName(args.getString("config", "2gb"));
     const PolicyKind policy =
-        policyByName(args.getString("policy", "smart"));
+        policyFromString(args.getString("policy", "smart"));
     const std::string tracePath = args.getString("trace");
     const std::string statsOut = args.getString("stats-out");
     const bool threed = args.has("threed");

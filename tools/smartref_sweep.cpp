@@ -1,0 +1,240 @@
+/**
+ * @file
+ * smartref_sweep — parallel experiment-sweep frontend.
+ *
+ * Expands a declarative grid over (config, retention, counter bits,
+ * policy, benchmark) into independent baseline-vs-policy jobs, fans
+ * them out over a work-stealing thread pool, and reduces the results
+ * in grid order. The aggregate JSON/CSV outputs are byte-identical for
+ * any -j N (see docs/sweep.md for the determinism contract).
+ *
+ * Usage:
+ *   smartref_sweep [--grid NAME | --grid-file FILE] [-j N]
+ *                  [--out-dir DIR]       output directory (default ".")
+ *                  [--json FILE]         aggregate JSON path override
+ *                  [--csv FILE]          per-job CSV path override
+ *                  [--figures]           print paper-figure tables and
+ *                                        write one CSV per figure
+ *                  [--timing FILE]       wall-clock timing JSON (not
+ *                                        deterministic; CI artifact)
+ *                  [--seed S] [--seed-mode derived|fixed]
+ *                  [--warmup-ms N] [--measure-ms N] [--segments N]
+ *                  [--no-auto] [--progress]
+ *                  [--log-level silent|warn|info|debug]
+ *                  [--list-grids]        list predefined grids and exit
+ *
+ * Predefined grids (--grid): smoke, 2gb, 4gb, 3d64, 3d64-32ms, 3d32,
+ * figures, bits, policies.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "harness/cli.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+#include "sim/thread_pool.hh"
+
+using namespace smartref;
+
+namespace {
+
+struct NamedGrid
+{
+    const char *name;
+    const char *description;
+    SweepGrid grid;
+};
+
+/**
+ * The predefined grids. "figures" reproduces every paper figure in one
+ * run; "smoke" is the reduced grid CI's determinism gate uses.
+ */
+std::vector<NamedGrid>
+predefinedGrids()
+{
+    std::vector<NamedGrid> grids;
+    grids.push_back({"smoke",
+                     "reduced CI grid: 2 configs x 3 benchmarks",
+                     {"smoke",
+                      {"2gb", "3d64"},
+                      {"mummer", "gcc", "radix"},
+                      {"smart"},
+                      {3},
+                      {0}}});
+    grids.push_back({"2gb", "full suite on the 2 GB module (Figs. 6-8)",
+                     {"2gb", {"2gb"}, {"all"}, {"smart"}, {3}, {0}}});
+    grids.push_back({"4gb", "full suite on the 4 GB module (Figs. 9-11)",
+                     {"4gb", {"4gb"}, {"all"}, {"smart"}, {3}, {0}}});
+    grids.push_back(
+        {"3d64", "full suite, 3D 64 MB cache at 64 ms (Figs. 12-14)",
+         {"3d64", {"3d64"}, {"all"}, {"smart"}, {3}, {0}}});
+    grids.push_back(
+        {"3d64-32ms", "full suite, 3D 64 MB at 32 ms (Figs. 15-18)",
+         {"3d64-32ms", {"3d64-32ms"}, {"all"}, {"smart"}, {3}, {0}}});
+    grids.push_back({"3d32", "full suite on the 3D 32 MB cache",
+                     {"3d32", {"3d32"}, {"all"}, {"smart"}, {3}, {0}}});
+    grids.push_back(
+        {"figures", "every paper-figure config in one run (Figs. 6-18)",
+         {"figures",
+          {"2gb", "4gb", "3d64", "3d64-32ms"},
+          {"all"},
+          {"smart"},
+          {3},
+          {0}}});
+    grids.push_back({"bits",
+                     "counter-width ablation on the 2 GB module",
+                     {"bits",
+                      {"2gb"},
+                      {"all"},
+                      {"smart"},
+                      {1, 2, 3, 4, 8},
+                      {0}}});
+    grids.push_back({"policies",
+                     "policy comparison on the 2 GB module",
+                     {"policies",
+                      {"2gb"},
+                      {"all"},
+                      {"burst", "ras-only", "smart", "retention-aware"},
+                      {3},
+                      {0}}});
+    return grids;
+}
+
+void
+listGrids()
+{
+    ReportTable table({"grid", "jobs", "description"});
+    for (const auto &g : predefinedGrids()) {
+        table.addRow({g.name,
+                      std::to_string(expandGrid(g.grid, 42).size()),
+                      g.description});
+    }
+    table.print(std::cout);
+}
+
+SweepGrid
+resolveGrid(const CliArgs &args)
+{
+    if (args.has("grid-file"))
+        return loadSweepGrid(args.getString("grid-file"));
+    const std::string name = args.getString("grid", "smoke");
+    for (const auto &g : predefinedGrids()) {
+        if (name == g.name)
+            return g.grid;
+    }
+    SMARTREF_FATAL("unknown grid '", name,
+                   "' (see --list-grids, or use --grid-file)");
+}
+
+/**
+ * Wall-clock timing sidecar for CI benchmarking. Deliberately a
+ * separate file: the aggregate JSON must stay byte-identical across
+ * runs, and timing never is.
+ */
+void
+writeTiming(const std::string &path, const SweepGrid &grid,
+            unsigned jobs, double wallSeconds,
+            const std::vector<SweepJobResult> &results)
+{
+    double jobSeconds = 0.0;
+    for (const auto &r : results)
+        jobSeconds += r.wallSeconds;
+    std::ofstream out(path);
+    if (!out)
+        SMARTREF_FATAL("cannot write timing JSON '", path, "'");
+    out << "{\"grid\":\"" << grid.name << "\",\"jobs\":" << jobs
+        << ",\"jobCount\":" << results.size()
+        << ",\"wallSeconds\":" << wallSeconds
+        << ",\"cpuJobSeconds\":" << jobSeconds
+        << ",\"parallelEfficiency\":"
+        << (wallSeconds > 0.0 && jobs > 0
+                ? jobSeconds / (wallSeconds * jobs)
+                : 0.0)
+        << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    if (args.has("list-grids")) {
+        listGrids();
+        return 0;
+    }
+
+    const SweepGrid grid = resolveGrid(args);
+    const ExperimentOptions eo = args.experimentOptions();
+    setLogLevel(eo.logLevel);
+
+    SweepRunOptions opts;
+    opts.jobs = args.jobs();
+    opts.warmup = eo.warmup;
+    opts.measure = eo.measure;
+    opts.segments = eo.segments;
+    opts.autoReconfigure = eo.autoReconfigure;
+    opts.baseSeed = eo.seed;
+    opts.logLevel = eo.logLevel;
+    opts.progress = args.has("progress") || eo.verbose;
+    const std::string seedMode = args.getString("seed-mode", "derived");
+    if (seedMode == "fixed")
+        opts.seedMode = SeedMode::Fixed;
+    else if (seedMode != "derived")
+        SMARTREF_FATAL("unknown --seed-mode '", seedMode,
+                       "' (derived, fixed)");
+
+    const std::string outDir = args.getString("out-dir", ".");
+    std::filesystem::create_directories(outDir);
+    const std::string jsonPath =
+        args.getString("json", outDir + "/" + grid.name + "_sweep.json");
+    const std::string csvPath =
+        args.getString("csv", outDir + "/" + grid.name + "_sweep.csv");
+
+    std::cerr << "sweep '" << grid.name << "': "
+              << expandGrid(grid, opts.baseSeed, opts.seedMode).size()
+              << " jobs on " << opts.jobs << " worker(s)" << std::endl;
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SweepJobResult> results = runSweep(grid, opts);
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    writeSweepJson(grid, opts, results, jsonPath);
+    writeSweepCsv(results, csvPath);
+    std::cout << "aggregate JSON written to " << jsonPath << "\n"
+              << "per-job CSV written to " << csvPath << "\n";
+
+    if (args.has("figures")) {
+        // One figure set per config that has one; comparisons for a
+        // config are contiguous (grid order) and in profile order when
+        // the grid says benchmarks=["all"].
+        for (const auto &config : grid.configs) {
+            std::vector<ComparisonResult> comparisons;
+            for (const auto &r : results) {
+                if (r.job.point.config == config)
+                    comparisons.push_back(r.comparison);
+            }
+            writeFigures(std::cout, config, comparisons, outDir);
+        }
+    }
+
+    if (args.has("timing"))
+        writeTiming(args.getString("timing"), grid, opts.jobs,
+                    wallSeconds, results);
+
+    const std::uint64_t violations = totalViolations(results);
+    if (violations > 0) {
+        std::cerr << "ERROR: " << violations
+                  << " retention violation(s) across the sweep\n";
+        return 1;
+    }
+    std::cerr << "sweep complete in " << fmtDouble(wallSeconds, 1)
+              << "s, no retention violations" << std::endl;
+    return 0;
+}
