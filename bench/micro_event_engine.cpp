@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Before/after microbenchmark for the event-engine rework.
+ *
+ * Embeds a replica of the previous engine -- std::function callbacks in
+ * a std::priority_queue with the const_cast top-move idiom, one event
+ * scheduled per burst occurrence -- and races it against the current
+ * EventQueue (inline callbacks, owned 4-ary heap, min buffer,
+ * scheduleBurst) on the three event shapes that dominate real runs:
+ *
+ *  - self_resched: a lone self-rescheduling stepper over a near-empty
+ *    queue (the StaggerScheduler counter walk; exercises the O(1) min
+ *    buffer fast path),
+ *  - burst_train: 45 ns-spaced access trains (the WorkloadModel::visit
+ *    open-page run; one node and zero allocations per train vs. one
+ *    std::function heap allocation and heap churn per access),
+ *  - mixed_churn: many staggered independent actors (controller
+ *    command/completion traffic; everything through the heap -- the
+ *    adversarial case for both engines).
+ *
+ * Also races the strided counter walk (interleave 1) against the
+ * segment-interleaved contiguous walk.
+ *
+ * Plain chrono timing, no google-benchmark, so the run emits a single
+ * machine-readable JSON file CI can archive and gate on:
+ *
+ *     micro_event_engine [BENCH_event_engine.json]
+ *
+ * The headline events speedup is the geometric mean over the three
+ * patterns; per-pattern numbers are reported alongside it. The
+ * "smoke_sweep" object is left null here; the CI sweep job merges the
+ * measured end-to-end wall times into it.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/counter_array.hh"
+#include "core/stagger_scheduler.hh"
+#include "sim/event_queue.hh"
+
+using namespace smartref;
+
+namespace {
+
+/**
+ * Replica of the pre-rework engine: binary std::priority_queue of
+ * entries owning std::function callbacks, popped with the const_cast
+ * move idiom, ordered by (tick, priority, seq). Kept verbatim-in-spirit
+ * so the comparison measures the engine, not the workload.
+ */
+class LegacyQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    void
+    schedule(Tick when, Callback cb, int prio = 10)
+    {
+        heap_.push(Entry{when, seq_++, prio, std::move(cb)});
+    }
+
+    /**
+     * The pre-rework WorkloadModel scheduled every occurrence of an
+     * access train as its own event; replicate that here so burst
+     * workloads compare engine-for-engine against scheduleBurst.
+     */
+    void
+    scheduleBurst(Tick first, Tick interval, std::uint64_t count,
+                  Callback cb, int prio = 10)
+    {
+        for (std::uint64_t i = 1; i < count; ++i)
+            schedule(first + i * interval, cb, prio);
+        schedule(first, std::move(cb), prio);
+    }
+
+    void
+    run()
+    {
+        while (!heap_.empty()) {
+            Entry e = std::move(const_cast<Entry &>(heap_.top()));
+            heap_.pop();
+            now_ = e.when;
+            ++executed_;
+            e.cb();
+        }
+    }
+
+    Tick now() const { return now_; }
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        int prio;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/** Adapter so the pattern templates treat both engines uniformly. */
+struct NewQueue
+{
+    EventQueue eq;
+
+    template <typename F>
+    void
+    schedule(Tick when, F &&f, int prio = 10)
+    {
+        eq.schedule(when, std::forward<F>(f),
+                    static_cast<EventPriority>(prio));
+    }
+
+    template <typename F>
+    void
+    scheduleBurst(Tick first, Tick interval, std::uint64_t count, F &&f,
+                  int prio = 10)
+    {
+        eq.scheduleBurst(first, interval, count, std::forward<F>(f),
+                         static_cast<EventPriority>(prio));
+    }
+
+    void run() { eq.run(); }
+    Tick now() const { return eq.now(); }
+    std::uint64_t executed() const { return eq.executed(); }
+};
+
+/** Mimics a typical scheduler capture (request + context), 40 bytes. */
+struct Payload
+{
+    std::uint64_t w[5];
+};
+
+volatile std::uint64_t g_sink = 0;
+
+/**
+ * Pattern A -- counter-walk stepper: one event re-arming itself
+ * stepInterval ahead over an otherwise empty queue. The rework's min
+ * buffer runs this without touching the heap at all.
+ */
+template <typename Q>
+double
+selfResched(std::uint64_t steps)
+{
+    Q q;
+    struct Step
+    {
+        Q *q;
+        std::uint64_t remaining;
+        Payload p;
+        void
+        operator()()
+        {
+            g_sink = g_sink + p.w[0];
+            if (remaining > 1)
+                q->schedule(q->now() + 488 * kNanosecond,
+                            Step{q, remaining - 1, p}, 0);
+        }
+    };
+    Payload p{};
+    p.w[0] = 7;
+    q.schedule(0, Step{&q, steps, p}, 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    q.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(q.executed()) / secs;
+}
+
+/**
+ * Pattern B -- workload access trains: 45 ns-spaced open-page runs, the
+ * WorkloadModel::visit shape. One scheduleBurst node per train for the
+ * new engine vs. one std::function heap allocation per access before.
+ */
+template <typename Q>
+double
+burstTrains(std::uint64_t trains, std::uint64_t length)
+{
+    Q q;
+    Payload p{};
+    p.w[0] = 3;
+    for (std::uint64_t t = 0; t < trains; ++t)
+        q.scheduleBurst(t * kMicrosecond + 1, 45 * kNanosecond, length,
+                        [&q, p] { g_sink = g_sink + p.w[0]; });
+    const auto t0 = std::chrono::steady_clock::now();
+    q.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(q.executed()) / secs;
+}
+
+/**
+ * Pattern C -- mixed controller churn: many staggered self-rescheduling
+ * actors with coprime-ish intervals, so nearly every operation goes
+ * through the heap. Worst case for both engines.
+ */
+template <typename Q>
+double
+mixedChurn(std::uint64_t actors, std::uint64_t occurrences)
+{
+    Q q;
+    struct Actor
+    {
+        Q *q;
+        std::uint64_t remaining;
+        Tick interval;
+        Payload p;
+        void
+        operator()()
+        {
+            g_sink = g_sink + p.w[0];
+            if (remaining > 1)
+                q->schedule(q->now() + interval,
+                            Actor{q, remaining - 1, interval, p});
+        }
+    };
+    for (std::uint64_t a = 0; a < actors; ++a) {
+        Payload p{};
+        p.w[0] = a;
+        q.schedule(Tick(a), Actor{&q, occurrences, Tick(97 + (a % 13)), p});
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    q.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(q.executed()) / secs;
+}
+
+double
+walkStepsPerSec(std::uint32_t interleave, std::uint64_t steps)
+{
+    CounterArray counters(131072, 3, interleave);
+    StaggerScheduler stagger(counters, 8, 64 * kMillisecond);
+    stagger.initialiseStaggered();
+    std::uint64_t expired = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t s = 0; s < steps; ++s)
+        stagger.step([&](std::uint64_t idx) { expired += idx; });
+    const auto t1 = std::chrono::steady_clock::now();
+    g_sink = g_sink + expired;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(steps) / secs;
+}
+
+/** Best of three, so one scheduler hiccup can't skew a CI gate. */
+double
+bestOf3(const std::function<double()> &f)
+{
+    double best = 0.0;
+    for (int i = 0; i < 3; ++i)
+        best = std::max(best, f());
+    return best;
+}
+
+struct Pattern
+{
+    const char *name;
+    double legacy;
+    double current;
+
+    double speedup() const { return current / legacy; }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out =
+        argc > 1 ? argv[1] : "BENCH_event_engine.json";
+
+    constexpr std::uint64_t kSteps = 2000000;
+    constexpr std::uint64_t kTrains = 2000;
+    constexpr std::uint64_t kTrainLength = 600;
+    constexpr std::uint64_t kActors = 64;
+    constexpr std::uint64_t kOccurrences = 20000;
+
+    Pattern patterns[] = {
+        {"self_resched",
+         bestOf3([] { return selfResched<LegacyQueue>(kSteps); }),
+         bestOf3([] { return selfResched<NewQueue>(kSteps); })},
+        {"burst_train",
+         bestOf3([] { return burstTrains<LegacyQueue>(kTrains,
+                                                      kTrainLength); }),
+         bestOf3([] { return burstTrains<NewQueue>(kTrains,
+                                                   kTrainLength); })},
+        {"mixed_churn",
+         bestOf3([] { return mixedChurn<LegacyQueue>(kActors,
+                                                     kOccurrences); }),
+         bestOf3([] { return mixedChurn<NewQueue>(kActors,
+                                                  kOccurrences); })},
+    };
+
+    double logSum = 0.0;
+    for (const Pattern &p : patterns)
+        logSum += std::log(p.speedup());
+    const double geomean = std::exp(logSum / std::size(patterns));
+
+    const double strided =
+        bestOf3([] { return walkStepsPerSec(1, 400000); });
+    const double interleaved =
+        bestOf3([] { return walkStepsPerSec(8, 400000); });
+
+    std::ofstream os(out);
+    os.precision(6);
+    os << "{\n"
+       << "  \"bench\": \"event_engine\",\n"
+       << "  \"events\": {\n"
+       << "    \"patterns\": {\n";
+    bool first = true;
+    for (const Pattern &p : patterns) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "      \"" << p.name << "\": {\n"
+           << "        \"legacy_per_sec\": " << p.legacy << ",\n"
+           << "        \"new_per_sec\": " << p.current << ",\n"
+           << "        \"speedup\": " << p.speedup() << "\n"
+           << "      }";
+    }
+    os << "\n    },\n"
+       << "    \"speedup_geomean\": " << geomean << "\n"
+       << "  },\n"
+       << "  \"walk\": {\n"
+       << "    \"strided_steps_per_sec\": " << strided << ",\n"
+       << "    \"interleaved_steps_per_sec\": " << interleaved << ",\n"
+       << "    \"speedup\": " << interleaved / strided << "\n"
+       << "  },\n"
+       << "  \"smoke_sweep\": {\n"
+       << "    \"baseline_wall_s\": null,\n"
+       << "    \"wall_s\": null,\n"
+       << "    \"speedup\": null\n"
+       << "  }\n"
+       << "}\n";
+
+    for (const Pattern &p : patterns)
+        std::cout << p.name << " events/sec  legacy " << p.legacy
+                  << "  new " << p.current << "  speedup " << p.speedup()
+                  << "\n";
+    std::cout << "events speedup (geomean) " << geomean << "\n"
+              << "walk steps/s strided " << strided << "  interleaved "
+              << interleaved << "  speedup " << interleaved / strided
+              << "\n"
+              << "wrote " << out << "\n";
+    return 0;
+}

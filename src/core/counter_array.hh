@@ -8,6 +8,18 @@
  * (Section 6) can be charged faithfully — a counter-access step is billed
  * one read and one write per touched counter, and a demand reset is one
  * write.
+ *
+ * Storage layout: logical index i (the (rank, bank, row) linearisation
+ * used by every caller) is decoupled from the physical byte position via
+ * physIndex(). With an interleave factor S (the stagger walk's segment
+ * count), logical index s * P + p is stored at byte p * S + s, so the S
+ * counters one StaggerScheduler::step touches — one per segment at the
+ * same in-segment position p — are S *adjacent* bytes instead of S
+ * bytes a full segment stride apart. The walk becomes one or two cache
+ * lines per step instead of S guaranteed misses; demand resets pay one
+ * shift-and-mask (or a divide for non-power-of-two segment sizes) to
+ * map through the same function. The default interleave of 1 keeps the
+ * identity layout.
  */
 
 #pragma once
@@ -26,19 +38,57 @@ class CounterArray
     /**
      * @param size number of counters (one per rank/bank/row)
      * @param bits counter width in bits (the paper uses 2 or 3)
+     * @param interleave segment-interleave factor for the physical
+     *        layout (the stagger walk's segment count); 1 = identity
+     *        layout. Must divide `size` evenly.
      */
-    CounterArray(std::uint64_t size, std::uint32_t bits)
+    CounterArray(std::uint64_t size, std::uint32_t bits,
+                 std::uint32_t interleave = 1)
         : bits_(bits), max_(static_cast<std::uint8_t>((1u << bits) - 1)),
-          values_(size, 0)
+          interleave_(interleave), values_(size, 0)
     {
         SMARTREF_ASSERT(bits >= 1 && bits <= 8,
                         "counter width ", bits, " unsupported");
         SMARTREF_ASSERT(size > 0, "empty counter array");
+        SMARTREF_ASSERT(interleave >= 1 && size % interleave == 0,
+                        "interleave ", interleave, " must divide ", size);
+        perSegment_ = size / interleave;
+        // Power-of-two segment sizes (every shipped geometry) map with a
+        // shift and a mask instead of a divide.
+        if (perSegment_ > 1 && (perSegment_ & (perSegment_ - 1)) == 0) {
+            posMask_ = perSegment_ - 1;
+            std::uint32_t shift = 0;
+            while ((std::uint64_t(1) << shift) < perSegment_)
+                ++shift;
+            posShift_ = shift;
+        }
     }
 
     std::uint64_t size() const { return values_.size(); }
     std::uint32_t bits() const { return bits_; }
     std::uint8_t maxValue() const { return max_; }
+    /** Segment-interleave factor of the physical layout. */
+    std::uint32_t interleave() const { return interleave_; }
+
+    /**
+     * Physical byte position of logical counter i: the index-mapping
+     * function shared by the stagger walk and demand resets.
+     */
+    std::uint64_t
+    physIndex(std::uint64_t i) const
+    {
+        if (interleave_ == 1)
+            return i;
+        std::uint64_t seg, pos;
+        if (posMask_ != 0) {
+            seg = i >> posShift_;
+            pos = i & posMask_;
+        } else {
+            seg = i / perSegment_;
+            pos = i % perSegment_;
+        }
+        return pos * interleave_ + seg;
+    }
 
     /** Storage the array occupies, in bits (for the area formula). */
     std::uint64_t
@@ -48,14 +98,14 @@ class CounterArray
     }
 
     /** Current value (no SRAM traffic; for tests/inspection). */
-    std::uint8_t peek(std::uint64_t i) const { return values_[i]; }
+    std::uint8_t peek(std::uint64_t i) const { return values_[physIndex(i)]; }
 
     /** Set an initial value without SRAM traffic (initialisation). */
     void
     init(std::uint64_t i, std::uint8_t v)
     {
         SMARTREF_ASSERT(v <= max_, "init value ", int(v), " over max");
-        values_[i] = v;
+        values_[physIndex(i)] = v;
     }
 
     /**
@@ -70,21 +120,22 @@ class CounterArray
         SMARTREF_ASSERT(v <= max_, "reset value ", int(v), " over max");
         if (resetValues_.empty())
             resetValues_.assign(values_.size(), max_);
-        resetValues_[i] = v;
+        resetValues_[physIndex(i)] = v;
     }
 
     /** The value reset()/expiry restarts this counter from. */
     std::uint8_t
     resetValue(std::uint64_t i) const
     {
-        return resetValues_.empty() ? max_ : resetValues_[i];
+        return resetValues_.empty() ? max_ : resetValues_[physIndex(i)];
     }
 
     /** Demand access: reset to the row's reset value (one SRAM write). */
     void
     reset(std::uint64_t i)
     {
-        values_[i] = resetValue(i);
+        const std::uint64_t p = physIndex(i);
+        values_[p] = resetValues_.empty() ? max_ : resetValues_[p];
         ++writes_;
     }
 
@@ -99,12 +150,28 @@ class CounterArray
     {
         ++reads_;
         ++writes_;
-        if (values_[i] == 0) {
-            values_[i] = resetValue(i);
-            return true;
-        }
-        --values_[i];
-        return false;
+        return touchPhys(physIndex(i));
+    }
+
+    /**
+     * One stagger-walk step over the interleaved layout: touch the
+     * counter at in-segment position `pos` of every segment — exactly
+     * `interleave()` physically adjacent bytes — invoking
+     * `expired(segment)` for each counter found at zero. SRAM traffic
+     * (one read + one write per touched counter) is billed once for the
+     * whole step. Only meaningful when the array was built with an
+     * interleave factor equal to the walk's segment count.
+     */
+    template <typename Fn>
+    void
+    walkStep(std::uint64_t pos, Fn &&expired)
+    {
+        reads_ += interleave_;
+        writes_ += interleave_;
+        const std::uint64_t base = pos * interleave_;
+        for (std::uint32_t s = 0; s < interleave_; ++s)
+            if (touchPhys(base + s))
+                expired(s);
     }
 
     /** @name SRAM traffic counters. */
@@ -114,10 +181,26 @@ class CounterArray
     ///@}
 
   private:
+    /** Touch by physical position; traffic is billed by the caller. */
+    bool
+    touchPhys(std::uint64_t p)
+    {
+        if (values_[p] == 0) {
+            values_[p] = resetValues_.empty() ? max_ : resetValues_[p];
+            return true;
+        }
+        --values_[p];
+        return false;
+    }
+
     std::uint32_t bits_;
     std::uint8_t max_;
-    std::vector<std::uint8_t> values_;
-    std::vector<std::uint8_t> resetValues_; ///< empty = uniform max
+    std::uint32_t interleave_;
+    std::uint64_t perSegment_ = 0;
+    std::uint64_t posMask_ = 0;   ///< non-zero when perSegment_ is pow2
+    std::uint32_t posShift_ = 0;
+    std::vector<std::uint8_t> values_;       ///< physical layout
+    std::vector<std::uint8_t> resetValues_;  ///< physical; empty = max
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
 };

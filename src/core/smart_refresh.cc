@@ -23,7 +23,8 @@ SmartRefreshPolicy::SmartRefreshPolicy(const DramConfig &dramCfg,
               (cfg.retentionClasses
                    ? static_cast<std::uint32_t>(std::bit_width(
                          cfg.retentionClasses->maxMultiplier() - 1))
-                   : 0u))),
+                   : 0u),
+          cfg.segments)),
       stagger_(std::make_unique<StaggerScheduler>(*counters_, cfg.segments,
                                                   retention_,
                                                   cfg.counterBits)),

@@ -52,12 +52,22 @@ StaggerScheduler::step(Tick now, const RefreshFn &refresh)
 {
     (void)now; // only read when tracing is compiled in
     std::uint32_t expired = 0;
-    for (std::uint32_t s = 0; s < segments_; ++s) {
-        const std::uint64_t idx =
-            std::uint64_t(s) * perSegment_ + position_;
-        if (counters_.touch(idx)) {
+    if (counters_.interleave() == segments_) {
+        // Interleaved layout: the step's counters are adjacent bytes,
+        // touched in segment order (identical emission order to the
+        // strided loop below) with the SRAM traffic billed per step.
+        counters_.walkStep(position_, [&](std::uint32_t s) {
             ++expired;
-            refresh(idx);
+            refresh(std::uint64_t(s) * perSegment_ + position_);
+        });
+    } else {
+        for (std::uint32_t s = 0; s < segments_; ++s) {
+            const std::uint64_t idx =
+                std::uint64_t(s) * perSegment_ + position_;
+            if (counters_.touch(idx)) {
+                ++expired;
+                refresh(idx);
+            }
         }
     }
     SMARTREF_TRACE(TraceCategory::Counter, now, "counterWalkStep", -1, -1,

@@ -16,6 +16,12 @@
  * For the 2 GB module (131072 counters, 8 segments) each segment covers
  * exactly one (rank, bank) pair, so the N simultaneous refreshes land in
  * independent banks and proceed in parallel.
+ *
+ * When the CounterArray was built with an interleave factor equal to the
+ * segment count, one step's N counters are physically adjacent bytes and
+ * the walk runs over them contiguously (CounterArray::walkStep); with
+ * any other layout it falls back to the strided per-counter loop. Both
+ * paths touch the same logical counters in the same order.
  */
 
 #pragma once

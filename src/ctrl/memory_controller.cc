@@ -59,6 +59,7 @@ MemoryController::access(Addr addr, bool write, MemCallback cb)
         ++reads_;
 
     const std::size_t idx = engineIndex(item.coord.rank, item.coord.bank);
+    noteEngineActivated(engines_[idx]);
     engines_[idx].queue.push_back(std::move(item));
     kick(idx);
 }
@@ -87,17 +88,31 @@ MemoryController::pushRefresh(const RefreshRequest &req)
                            static_cast<double>(refreshBacklog_));
 
     const std::size_t idx = engineIndex(req.rank, item.ref.bank);
+    noteEngineActivated(engines_[idx]);
     engines_[idx].queue.push_back(std::move(item));
     kick(idx);
+}
+
+void
+MemoryController::noteEngineActivated(const Engine &engine)
+{
+    if (!engine.busy && engine.queue.empty())
+        ++activeEngines_;
 }
 
 bool
 MemoryController::idle() const
 {
+#ifndef NDEBUG
+    std::size_t scanned = 0;
     for (const Engine &e : engines_)
         if (e.busy || !e.queue.empty())
-            return false;
-    return true;
+            ++scanned;
+    SMARTREF_ASSERT(scanned == activeEngines_,
+                    "active-engine count drifted: tracked ",
+                    activeEngines_, ", scan found ", scanned);
+#endif
+    return activeEngines_ == 0;
 }
 
 void
@@ -127,8 +142,12 @@ MemoryController::finishEngine(std::size_t engineIdx)
 {
     engines_[engineIdx].busy = false;
     kick(engineIdx);
-    if (!engines_[engineIdx].busy)
+    if (!engines_[engineIdx].busy) {
+        // Queue must be empty or kick() would have started an item.
+        SMARTREF_ASSERT(activeEngines_ > 0, "active-engine underflow");
+        --activeEngines_;
         armIdlePrecharge(engineIdx);
+    }
 }
 
 void
@@ -163,12 +182,15 @@ MemoryController::tryIdlePrecharge(std::size_t engineIdx,
     if (!dram_.isBankOpen(rank, bank))
         return;
 
+    noteEngineActivated(engine);
     engine.busy = true;
     ++engine.activityGen;
     const std::uint32_t row = dram_.openRow(rank, bank);
     ++idlePrecharges_;
     DramCommand pre{DramCommandType::Precharge, rank, bank, 0, 0};
-    issueWhenReady(pre, [this, engineIdx, rank, bank, row](Tick) {
+    issueWhenReady(pre,
+                   [this, engineIdx, rank, bank, row](Tick, bool,
+                                                      std::uint32_t) {
         if (policy_)
             policy_->onRowClosed(rank, bank, row);
         finishEngine(engineIdx);
@@ -176,22 +198,25 @@ MemoryController::tryIdlePrecharge(std::size_t engineIdx,
 }
 
 void
-MemoryController::issueWhenReady(DramCommand cmd,
-                                 std::function<void(Tick)> then,
-                                 std::function<void()> preIssue)
+MemoryController::issueWhenReady(DramCommand cmd, IssueCallback then)
 {
     const Tick earliest = dram_.earliestIssue(cmd);
     if (earliest <= eq_.now()) {
-        if (preIssue)
-            preIssue();
+        // Observe the bank's row state immediately before the device
+        // accepts the command: refreshes (and precharges) implicitly
+        // close the open page, and the callback may need to know which
+        // row was written back.
+        const bool rowWasOpen = dram_.isBankOpen(cmd.rank, cmd.bank);
+        const std::uint32_t openRow =
+            rowWasOpen ? dram_.openRow(cmd.rank, cmd.bank) : 0;
         const Tick done = dram_.issue(cmd);
-        then(done);
+        then(done, rowWasOpen, openRow);
         return;
     }
-    eq_.schedule(earliest, [this, cmd, then = std::move(then),
-                            preIssue = std::move(preIssue)]() mutable {
+    eq_.schedule(earliest, [this, cmd,
+                            then = std::move(then)]() mutable {
         // Constraints may have moved while we waited; re-check.
-        issueWhenReady(cmd, std::move(then), std::move(preIssue));
+        issueWhenReady(cmd, std::move(then));
     });
 }
 
@@ -215,15 +240,16 @@ MemoryController::runDemand(std::size_t engineIdx, Item item)
         const std::uint32_t victim = dram_.openRow(c.rank, c.bank);
         DramCommand pre{DramCommandType::Precharge, c.rank, c.bank, 0, 0};
         issueWhenReady(pre, [this, engineIdx, victim,
-                             item = std::move(item)](Tick) mutable {
+                             item = std::move(item)](
+                                Tick, bool, std::uint32_t) mutable {
             const DramCoord &cc = item.coord;
             if (policy_)
                 policy_->onRowClosed(cc.rank, cc.bank, victim);
             DramCommand act{DramCommandType::Activate, cc.rank, cc.bank,
                             cc.row, 0};
             issueWhenReady(act,
-                           [this, engineIdx,
-                            item = std::move(item)](Tick) mutable {
+                           [this, engineIdx, item = std::move(item)](
+                               Tick, bool, std::uint32_t) mutable {
                 const DramCoord &c3 = item.coord;
                 if (policy_)
                     policy_->onRowActivated(c3.rank, c3.bank, c3.row);
@@ -238,8 +264,8 @@ MemoryController::runDemand(std::size_t engineIdx, Item item)
     SMARTREF_TRACE(TraceCategory::RowBuffer, eq_.now(), "rowMiss", c.rank,
                    c.bank, c.row);
     DramCommand act{DramCommandType::Activate, c.rank, c.bank, c.row, 0};
-    issueWhenReady(act,
-                   [this, engineIdx, item = std::move(item)](Tick) mutable {
+    issueWhenReady(act, [this, engineIdx, item = std::move(item)](
+                            Tick, bool, std::uint32_t) mutable {
         const DramCoord &cc = item.coord;
         if (policy_)
             policy_->onRowActivated(cc.rank, cc.bank, cc.row);
@@ -254,8 +280,8 @@ MemoryController::issueColumn(std::size_t engineIdx, Item item)
     DramCommand col{item.req.write ? DramCommandType::Write
                                    : DramCommandType::Read,
                     c.rank, c.bank, c.row, c.column};
-    issueWhenReady(col, [this, engineIdx,
-                         item = std::move(item)](Tick done) mutable {
+    issueWhenReady(col, [this, engineIdx, item = std::move(item)](
+                            Tick done, bool, std::uint32_t) mutable {
         const Tick lat = done - item.req.arrival;
         latency_.sample(static_cast<double>(lat));
         latencySum_ += static_cast<double>(lat);
@@ -279,20 +305,12 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
     DramCommand cmd{DramCommandType::RefreshRasOnly, req.rank, req.bank,
                     req.row, 0};
 
-    // Observe, just before issue, whether the refresh will implicitly
-    // close an open page: the closed row's charge is restored, and
-    // access-aware policies must learn about it.
-    auto closedPage = std::make_shared<std::pair<bool, std::uint32_t>>(
-        false, 0);
-    auto preIssue = [this, req, closedPage]() {
-        if (dram_.isBankOpen(req.rank, req.bank)) {
-            closedPage->first = true;
-            closedPage->second = dram_.openRow(req.rank, req.bank);
-        }
-    };
-
-    issueWhenReady(cmd,
-                   [this, engineIdx, req, closedPage](Tick) {
+    // The refresh implicitly closes an open page (its charge is
+    // restored); issueWhenReady observes the pre-issue row state and
+    // hands it to the callback, so access-aware policies learn which
+    // row was written back without any shared out-of-band state.
+    issueWhenReady(cmd, [this, engineIdx, req](Tick, bool rowWasOpen,
+                                               std::uint32_t openRow) {
         SMARTREF_ASSERT(refreshBacklog_ > 0, "refresh backlog underflow");
         --refreshBacklog_;
         maxRefreshDelay_ = std::max(maxRefreshDelay_,
@@ -305,14 +323,12 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
                                "refreshBacklog",
                                static_cast<double>(refreshBacklog_));
         if (policy_) {
-            if (closedPage->first)
-                policy_->onRowClosed(req.rank, req.bank,
-                                     closedPage->second);
+            if (rowWasOpen)
+                policy_->onRowClosed(req.rank, req.bank, openRow);
             policy_->onRefreshIssued(req);
         }
         finishEngine(engineIdx);
-    },
-                   std::move(preIssue));
+    });
 }
 
 } // namespace smartref

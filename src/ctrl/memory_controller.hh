@@ -137,15 +137,24 @@ class MemoryController : public StatGroup
     void finishEngine(std::size_t engineIdx);
     void armIdlePrecharge(std::size_t engineIdx);
     void tryIdlePrecharge(std::size_t engineIdx, std::uint64_t gen);
+    /** Bump activeEngines_ if `engine` is about to gain its first work. */
+    void noteEngineActivated(const Engine &engine);
 
     /**
-     * Issue `cmd` as soon as it becomes legal, then invoke `then` with
-     * the completion tick. Retries via the event queue if constraints
-     * move while waiting. `preIssue`, if set, runs immediately before the
-     * device accepts the command (used to observe pre-issue bank state).
+     * Invoked once `cmd` has issued: completion tick plus the bank's
+     * open-row state observed immediately *before* the device accepted
+     * the command (refreshes implicitly close an open page, and
+     * access-aware policies must learn which row was written back).
      */
-    void issueWhenReady(DramCommand cmd, std::function<void(Tick)> then,
-                        std::function<void()> preIssue = nullptr);
+    using IssueCallback =
+        std::function<void(Tick done, bool rowWasOpen,
+                           std::uint32_t openRow)>;
+
+    /**
+     * Issue `cmd` as soon as it becomes legal, then invoke `then`.
+     * Retries via the event queue if constraints move while waiting.
+     */
+    void issueWhenReady(DramCommand cmd, IssueCallback then);
 
     DramModule &dram_;
     EventQueue &eq_;
@@ -162,6 +171,12 @@ class MemoryController : public StatGroup
      * is kept for energy accounting (no address posted on the bus).
      */
     std::vector<std::uint64_t> cbrMirror_;
+    /**
+     * Number of engines with work (busy or a non-empty queue),
+     * maintained incrementally so idle() is O(1) instead of scanning
+     * every engine; debug builds assert it against the full scan.
+     */
+    std::size_t activeEngines_ = 0;
     std::uint64_t nextReqId_ = 0;
     std::size_t refreshBacklog_ = 0;
     std::size_t maxRefreshBacklog_ = 0;

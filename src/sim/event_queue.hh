@@ -3,18 +3,43 @@
  * Discrete-event simulation core: events, the event queue, and the
  * Simulation driver that advances time.
  *
- * The queue is a binary min-heap ordered by (tick, priority, sequence).
- * The sequence number guarantees FIFO ordering among same-tick,
- * same-priority events, which keeps simulations deterministic.
+ * The queue is an owned 4-ary min-heap ordered by (tick, priority,
+ * sequence). The sequence number guarantees FIFO ordering among
+ * same-tick, same-priority events, which keeps simulations
+ * deterministic.
+ *
+ * Layout is chosen for the hot path:
+ *
+ *  - Heap nodes are 24-byte PODs (tick, seq, priority, slot handle);
+ *    sift operations move only these, never the callbacks. The 4-ary
+ *    shape halves the tree depth of a binary heap and puts all four
+ *    children of a node in one or two cache lines.
+ *  - Callbacks live in a slab (a deque, so growth never relocates a
+ *    live callback) of InlineFunction slots recycled through a free
+ *    list: scheduling an event performs no heap allocation for any
+ *    capture up to the inline capacity — which covers every capture in
+ *    this codebase.
+ *  - A one-entry "next" buffer holds the earliest pending event when it
+ *    is scheduled earlier than everything in the heap. The common
+ *    self-rescheduling pattern (a clock-like event that re-arms itself
+ *    `stepInterval` ahead and is again the earliest event) therefore
+ *    runs without touching the heap at all: O(1) per occurrence.
+ *  - scheduleBurst() keeps one heap node alive across a fixed-interval
+ *    train of occurrences instead of scheduling each occurrence as its
+ *    own event. Sequence numbers for the whole train are reserved
+ *    up-front, so the interleaving with other same-tick events is
+ *    exactly as if every occurrence had been scheduled individually at
+ *    burst-creation time (see docs/perf.md).
  */
 
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <deque>
+#include <limits>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "sim/types.hh"
 
 namespace smartref {
@@ -29,14 +54,22 @@ enum class EventPriority : int {
 /**
  * The global event queue for one simulation.
  *
- * Callbacks are std::function; components capture `this`. Events cannot be
- * descheduled (none of this codebase needs it); a cancelled event pattern
- * can be implemented by the callback checking a generation counter.
+ * Callbacks are move-only InlineFunctions; components capture `this`.
+ * Events cannot be descheduled (none of this codebase needs it); a
+ * cancelled event pattern can be implemented by the callback checking a
+ * generation counter.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Event callback. The inline capacity is sized so that the largest
+     * capture in the tree (a demand completion: MemRequest + a
+     * std::function completion callback + a tick) stays allocation-free;
+     * oversize captures fall back to one heap allocation (see
+     * InlineFunction).
+     */
+    using Callback = InlineFunction<void(), 96>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -48,16 +81,46 @@ class EventQueue
     /**
      * Schedule a callback at an absolute tick.
      * Scheduling in the past is an internal error.
+     *
+     * Accepts any void() callable; the capture is constructed directly
+     * into its recycled slab slot, so the hot path performs no
+     * allocation and no callback move.
      */
-    void schedule(Tick when, Callback cb,
-                  EventPriority prio = EventPriority::Default);
+    template <typename F>
+    void
+    schedule(Tick when, F &&f,
+             EventPriority prio = EventPriority::Default)
+    {
+        scheduleSlot(when, allocSlotFor(std::forward<F>(f)), prio);
+    }
 
     /** Schedule a callback `delta` ticks from now. */
+    template <typename F>
     void
-    scheduleAfter(Tick delta, Callback cb,
+    scheduleAfter(Tick delta, F &&f,
                   EventPriority prio = EventPriority::Default)
     {
-        schedule(now_ + delta, std::move(cb), prio);
+        schedule(now_ + delta, std::forward<F>(f), prio);
+    }
+
+    /**
+     * Schedule `count` occurrences of `cb` at `first`, `first +
+     * interval`, ... `first + (count-1) * interval`. One callback and
+     * one heap node serve the whole train; the node re-arms itself
+     * after each occurrence.
+     *
+     * Determinism contract: the train reserves `count` consecutive
+     * sequence numbers now, and occurrence i carries the i-th of them —
+     * same-tick FIFO interleaving with other events is byte-identical
+     * to scheduling all occurrences individually at this instant.
+     */
+    template <typename F>
+    void
+    scheduleBurst(Tick first, Tick interval, std::uint64_t count, F &&f,
+                  EventPriority prio = EventPriority::Default)
+    {
+        burstSlot(first, interval, count,
+                  allocSlotFor(std::forward<F>(f)), prio);
     }
 
     /** Execute events until the queue is empty. */
@@ -69,34 +132,95 @@ class EventQueue
      */
     void runUntil(Tick limit);
 
-    /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    /**
+     * Number of pending events. Each remaining occurrence of a burst
+     * counts once, matching individually scheduled events.
+     */
+    std::size_t pending() const { return pendingCount_; }
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pendingCount_ == 0; }
 
   private:
-    struct Entry
+    /**
+     * A pending occurrence. POD on purpose: sifts copy 24 bytes and
+     * never touch the callback slab.
+     */
+    struct Node
     {
         Tick when;
-        int prio;
         std::uint64_t seq;
-        Callback cb;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            if (prio != o.prio)
-                return prio > o.prio;
-            return seq > o.seq;
-        }
+        std::int32_t prio;
+        std::uint32_t slot;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    /** Callback storage, recycled through freeSlots_. */
+    struct Slot
+    {
+        Callback cb;
+        Tick interval = 0;          ///< burst spacing (0 for one-shot)
+        std::uint64_t remaining = 0; ///< occurrences left (1 = one-shot)
+    };
+
+    static bool
+    lessThan(const Node &a, const Node &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.prio != b.prio)
+            return a.prio < b.prio;
+        return a.seq < b.seq;
+    }
+
+    /** Claim a slot and construct the callable in place. */
+    template <typename F>
+    std::uint32_t
+    allocSlotFor(F &&f)
+    {
+        std::uint32_t idx;
+        if (!freeSlots_.empty()) {
+            idx = freeSlots_.back();
+            freeSlots_.pop_back();
+        } else {
+            SMARTREF_ASSERT(slots_.size() <
+                                std::numeric_limits<std::uint32_t>::max(),
+                            "event slot space exhausted");
+            idx = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        Slot &s = slots_[idx];
+        s.cb = std::forward<F>(f);
+        s.interval = 0;
+        s.remaining = 1;
+        return idx;
+    }
+
+    void scheduleSlot(Tick when, std::uint32_t slot, EventPriority prio);
+    void burstSlot(Tick first, Tick interval, std::uint64_t count,
+                   std::uint32_t slot, EventPriority prio);
+    void insert(Node n);
+    void heapPush(Node n);
+    Node heapPopMin();
+    /** Sift `moving` down from the hole at `i`, writing it once. */
+    void siftDown(std::size_t i, Node moving);
+    /** Pop the globally earliest pending node (next-buffer aware). */
+    Node popMin();
+    /** Execute one node's occurrence; re-arms bursts. */
+    void execute(Node n);
+
+    std::vector<Node> heap_;       ///< 4-ary min-heap
+    std::deque<Slot> slots_;       ///< stable callback slab
+    std::vector<std::uint32_t> freeSlots_;
+    /**
+     * Fast-path buffer: when valid, `next_` is strictly earlier (in the
+     * full (tick, priority, seq) order) than every node in heap_, so it
+     * is always the next event to run and can bypass the heap entirely.
+     */
+    Node next_{};
+    bool hasNext_ = false;
+    std::size_t pendingCount_ = 0;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

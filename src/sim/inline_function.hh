@@ -1,0 +1,199 @@
+/**
+ * @file
+ * A move-only, small-buffer-optimised callable wrapper for the
+ * discrete-event hot path.
+ *
+ * Every simulated DRAM command, refresh, counter-walk step and workload
+ * access is an event callback. std::function's small-object buffer (16
+ * bytes on libstdc++) is too small for the captures this codebase
+ * schedules — a demand item alone is ~100 bytes — so nearly every event
+ * used to heap-allocate. InlineFunction stores captures of up to
+ * `InlineBytes` directly in the object; larger captures (none exist in
+ * this tree today) fall back to a single heap allocation rather than
+ * failing to compile, and the fallback is observable via onHeap() so
+ * tests can pin the contract.
+ *
+ * Unlike std::function it is move-only, which lets callbacks own
+ * non-copyable state (unique_ptr members, move-only lambdas) without the
+ * shared_ptr workarounds copyable wrappers force.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+template <typename Signature, std::size_t InlineBytes = 64>
+class InlineFunction;
+
+/** Move-only callable with `InlineBytes` of inline capture storage. */
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes>
+{
+  public:
+    /** Captures up to this size (and max_align_t alignment) stay inline. */
+    static constexpr std::size_t kInlineCapacity = InlineBytes;
+
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    template <typename F,
+              std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                      std::is_invocable_r_v<R, std::decay_t<F> &, Args...>,
+                  int> = 0>
+    InlineFunction(F &&f)
+    {
+        construct(std::forward<F>(f));
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    /** Rebind to a new callable, constructing it in place (no temp). */
+    template <typename F,
+              std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                      std::is_invocable_r_v<R, std::decay_t<F> &, Args...>,
+                  int> = 0>
+    InlineFunction &
+    operator=(F &&f)
+    {
+        reset();
+        construct(std::forward<F>(f));
+        return *this;
+    }
+
+    ~InlineFunction() { reset(); }
+
+    R
+    operator()(Args... args)
+    {
+        SMARTREF_ASSERT(invoke_ != nullptr, "invoking empty InlineFunction");
+        return invoke_(buf_, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    /** True when the capture exceeded the inline buffer (fallback path). */
+    bool onHeap() const { return onHeap_; }
+
+  private:
+    enum class Op { MoveTo, Destroy };
+
+    using Invoke = R (*)(void *storage, Args &&...args);
+    using Manage = void (*)(void *storage, void *dstStorage, Op op);
+
+    template <typename F>
+    void
+    construct(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        constexpr bool fitsInline =
+            sizeof(Fn) <= InlineBytes &&
+            alignof(Fn) <= alignof(std::max_align_t) &&
+            std::is_nothrow_move_constructible_v<Fn>;
+        if constexpr (fitsInline &&
+                      std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>) {
+            // POD captures (the hot path: every scheduler lambda in the
+            // tree) move by raw byte copy and need no destruction, so
+            // manage_ stays null and moveFrom()/reset() skip the
+            // indirect call entirely.
+            new (buf_) Fn(std::forward<F>(f));
+            invoke_ = [](void *storage, Args &&...args) -> R {
+                return (*static_cast<Fn *>(storage))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = nullptr;
+            onHeap_ = false;
+        } else if constexpr (fitsInline) {
+            new (buf_) Fn(std::forward<F>(f));
+            invoke_ = [](void *storage, Args &&...args) -> R {
+                return (*static_cast<Fn *>(storage))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](void *storage, void *dstStorage, Op op) {
+                auto *fn = static_cast<Fn *>(storage);
+                if (op == Op::MoveTo)
+                    new (dstStorage) Fn(std::move(*fn));
+                fn->~Fn();
+            };
+            onHeap_ = false;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            invoke_ = [](void *storage, Args &&...args) -> R {
+                return (**reinterpret_cast<Fn **>(storage))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](void *storage, void *dstStorage, Op op) {
+                if (op == Op::MoveTo) {
+                    // Transfer ownership of the heap object by pointer.
+                    *reinterpret_cast<Fn **>(dstStorage) =
+                        *reinterpret_cast<Fn **>(storage);
+                } else {
+                    delete *reinterpret_cast<Fn **>(storage);
+                }
+            };
+            onHeap_ = true;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        onHeap_ = other.onHeap_;
+        if (manage_)
+            manage_(other.buf_, buf_, Op::MoveTo);
+        else if (invoke_)
+            __builtin_memcpy(buf_, other.buf_, InlineBytes);
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+        other.onHeap_ = false;
+    }
+
+    void
+    reset()
+    {
+        // Trivially-destructible inline captures (manage_ == nullptr)
+        // need no teardown.
+        if (manage_)
+            manage_(buf_, nullptr, Op::Destroy);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+        onHeap_ = false;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+    bool onHeap_ = false;
+};
+
+} // namespace smartref

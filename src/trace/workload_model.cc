@@ -87,19 +87,58 @@ WorkloadModel::visit()
     const std::uint32_t startCol =
         static_cast<std::uint32_t>(rng_.nextBelow(rowBytes_ / 64));
     // Issue the open-page run back-to-back, 45 ns apart (a row hit every
-    // few controller cycles, comfortably above the burst time).
-    for (std::uint32_t i = 0; i < params_.accessesPerVisit; ++i) {
-        const bool write = !rng_.nextBool(params_.readFraction);
-        const Addr addr = rowToAddr(row, startCol + i);
-        ++accesses_;
-        if (i == 0) {
-            sink_(addr, write);
-        } else {
-            eq_.scheduleAfter(Tick(i) * 45 * kNanosecond,
-                              [this, addr, write] {
+    // few controller cycles, comfortably above the burst time). Access i
+    // lands at now + i * 45 ns; accesses that would land at or past
+    // stopAfter are clamped off here so the accesses stat is exact at
+    // the boundary instead of counting events that never fire.
+    constexpr Tick kAccessSpacing = 45 * kNanosecond;
+    const Tick headroom = params_.stopAfter - eq_.now();
+    const std::uint64_t fitting = (headroom - 1) / kAccessSpacing + 1;
+    const std::uint32_t count = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(params_.accessesPerVisit, fitting));
+
+    if (count <= 65) {
+        // Common case: the whole deferred train rides on one burst event
+        // (one heap node, one callback slot) instead of count - 1
+        // individually scheduled events. The write decisions are drawn
+        // up front in the same RNG order as the per-event loop below
+        // and packed into a bitmask; scheduleBurst reserves the same
+        // contiguous sequence numbers the loop would have consumed, so
+        // event interleaving is unchanged.
+        const bool firstWrite = !rng_.nextBool(params_.readFraction);
+        std::uint64_t writeMask = 0;
+        for (std::uint32_t i = 1; i < count; ++i)
+            if (!rng_.nextBool(params_.readFraction))
+                writeMask |= std::uint64_t(1) << (i - 1);
+        accesses_ += static_cast<double>(count);
+        sink_(rowToAddr(row, startCol), firstWrite);
+        if (count > 1) {
+            eq_.scheduleBurst(
+                eq_.now() + kAccessSpacing, kAccessSpacing, count - 1,
+                [this, row, startCol, writeMask,
+                 i = std::uint32_t(1)]() mutable {
                 if (running_)
-                    sink_(addr, write);
+                    sink_(rowToAddr(row, startCol + i),
+                          (writeMask >> (i - 1)) & 1);
+                ++i;
             });
+        }
+    } else {
+        // Oversized visit (> 64 deferred accesses): fall back to one
+        // event per access, which has no bitmask width limit.
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const bool write = !rng_.nextBool(params_.readFraction);
+            const Addr addr = rowToAddr(row, startCol + i);
+            ++accesses_;
+            if (i == 0) {
+                sink_(addr, write);
+            } else {
+                eq_.scheduleAfter(Tick(i) * kAccessSpacing,
+                                  [this, addr, write] {
+                    if (running_)
+                        sink_(addr, write);
+                });
+            }
         }
     }
     scheduleNextVisit();
