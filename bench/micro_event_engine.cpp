@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/counter_array.hh"
 #include "core/stagger_scheduler.hh"
 #include "sim/event_queue.hh"
@@ -330,6 +331,7 @@ main(int argc, char **argv)
     os.precision(6);
     os << "{\n"
        << "  \"bench\": \"event_engine\",\n"
+       << "  \"meta\": " << bench::benchMetaJson("event_engine") << ",\n"
        << "  \"events\": {\n"
        << "    \"patterns\": {\n";
     bool first = true;

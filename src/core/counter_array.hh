@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ctrl/refresh_heatmap.hh"
 #include "sim/logging.hh"
 
 namespace smartref {
@@ -69,6 +70,15 @@ class CounterArray
     std::uint8_t maxValue() const { return max_; }
     /** Segment-interleave factor of the physical layout. */
     std::uint32_t interleave() const { return interleave_; }
+
+    /**
+     * Attach a spatial heatmap (not owned, may be null): every walk
+     * touch reports its segment and pre-decrement counter value, which
+     * is where the skip/expiry and counter-value distributions come
+     * from. Costs one branch per touched counter when detached.
+     */
+    void setHeatmap(RefreshHeatmap *heatmap) { heatmap_ = heatmap; }
+    RefreshHeatmap *heatmap() const { return heatmap_; }
 
     /**
      * Physical byte position of logical counter i: the index-mapping
@@ -169,9 +179,12 @@ class CounterArray
         reads_ += interleave_;
         writes_ += interleave_;
         const std::uint64_t base = pos * interleave_;
-        for (std::uint32_t s = 0; s < interleave_; ++s)
+        for (std::uint32_t s = 0; s < interleave_; ++s) {
+            if (heatmap_)
+                heatmap_->recordCounterTouch(s, values_[base + s]);
             if (touchPhys(base + s))
                 expired(s);
+        }
     }
 
     /** @name SRAM traffic counters. */
@@ -203,6 +216,7 @@ class CounterArray
     std::vector<std::uint8_t> resetValues_;  ///< physical; empty = max
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    RefreshHeatmap *heatmap_ = nullptr;
 };
 
 /**

@@ -297,6 +297,21 @@ SmartRefreshPolicy::overheadEnergy() const
 }
 
 void
+SmartRefreshPolicy::setHeatmap(RefreshHeatmap *heatmap)
+{
+    if (heatmap) {
+        SMARTREF_ASSERT(heatmap->segments() >= cfg_.segments &&
+                            heatmap->counterMax() >= counters_->maxValue(),
+                        "heatmap shape (", heatmap->segments(), " segments, "
+                        "counterMax ", heatmap->counterMax(),
+                        ") too small for policy (", cfg_.segments,
+                        " segments, counterMax ",
+                        unsigned(counters_->maxValue()), ")");
+    }
+    counters_->setHeatmap(heatmap);
+}
+
+void
 SmartRefreshPolicy::syncEnergyStats()
 {
     const std::uint64_t reads = counters_->sramReads();

@@ -133,6 +133,14 @@ class SmartRefreshPolicy : public RefreshPolicy
     /** Flush SRAM traffic into the energy model's statistics. */
     void syncEnergyStats();
 
+    /**
+     * Attach a spatial heatmap (not owned, may be null) to the counter
+     * array: every walk touch feeds the per-segment skip/expiry and
+     * counter-value distributions. The heatmap must have been sized for
+     * at least this policy's segment count and counter range.
+     */
+    void setHeatmap(RefreshHeatmap *heatmap);
+
   private:
     std::uint64_t
     counterIndex(std::uint32_t rank, std::uint32_t bank,

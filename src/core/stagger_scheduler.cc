@@ -64,6 +64,8 @@ StaggerScheduler::step(Tick now, const RefreshFn &refresh)
         for (std::uint32_t s = 0; s < segments_; ++s) {
             const std::uint64_t idx =
                 std::uint64_t(s) * perSegment_ + position_;
+            if (RefreshHeatmap *hm = counters_.heatmap())
+                hm->recordCounterTouch(s, counters_.peek(idx));
             if (counters_.touch(idx)) {
                 ++expired;
                 refresh(idx);

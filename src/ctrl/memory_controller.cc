@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ctrl/refresh_heatmap.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
 
@@ -57,6 +58,8 @@ MemoryController::access(Addr addr, bool write, MemCallback cb)
         ++writes_;
     else
         ++reads_;
+    if (heatmap_)
+        heatmap_->recordDemand(item.coord.rank, item.coord.bank, eq_.now());
 
     const std::size_t idx = engineIndex(item.coord.rank, item.coord.bank);
     noteEngineActivated(engines_[idx]);
@@ -322,6 +325,8 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
         SMARTREF_TRACE_COUNTER(TraceCategory::Queue, eq_.now(),
                                "refreshBacklog",
                                static_cast<double>(refreshBacklog_));
+        if (heatmap_)
+            heatmap_->recordRefresh(req.rank, req.bank);
         if (policy_) {
             if (rowWasOpen)
                 policy_->onRowClosed(req.rank, req.bank, openRow);

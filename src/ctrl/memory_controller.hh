@@ -27,6 +27,8 @@
 
 namespace smartref {
 
+class RefreshHeatmap;
+
 /** Controller tunables. */
 struct ControllerConfig
 {
@@ -52,6 +54,13 @@ class MemoryController : public StatGroup
 
     /** Attach the refresh policy (not owned) and start it. */
     void setRefreshPolicy(RefreshPolicy *policy);
+
+    /**
+     * Attach a spatial heatmap (not owned, may be null). The controller
+     * records demand accesses (with inter-access distance) on entry and
+     * refresh issues at the tick the device accepts them.
+     */
+    void setHeatmap(RefreshHeatmap *heatmap) { heatmap_ = heatmap; }
 
     /**
      * Submit a demand access arriving now.
@@ -161,6 +170,7 @@ class MemoryController : public StatGroup
     ControllerConfig cfg_;
     AddressMapper mapper_;
     RefreshPolicy *policy_ = nullptr;
+    RefreshHeatmap *heatmap_ = nullptr;
 
     std::vector<Engine> engines_;
     /**

@@ -1,0 +1,152 @@
+#include "ctrl/refresh_heatmap.hh"
+
+#include <numeric>
+#include <ostream>
+
+namespace smartref {
+
+RefreshHeatmap::RefreshHeatmap(std::uint32_t ranks, std::uint32_t banks,
+                               std::uint32_t segments,
+                               std::uint32_t counterMax)
+    : ranks_(ranks), banks_(banks), segments_(segments),
+      counterMax_(counterMax)
+{
+    SMARTREF_ASSERT(ranks_ > 0 && banks_ > 0 && segments_ > 0,
+                    "heatmap needs a non-empty shape");
+    const std::size_t cells = static_cast<std::size_t>(ranks_) * banks_;
+    refreshes_.assign(cells, 0);
+    demands_.assign(cells, 0);
+    distance_.assign(cells * kDistanceBuckets, 0);
+    counterValues_.assign(
+        static_cast<std::size_t>(segments_) * (counterMax_ + 1), 0);
+    expiries_.assign(segments_, 0);
+    skips_.assign(segments_, 0);
+    lastAccess_.assign(cells, kNoAccess);
+}
+
+namespace {
+
+std::uint64_t
+sum(const std::vector<std::uint64_t> &v)
+{
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
+
+} // namespace
+
+std::uint64_t RefreshHeatmap::totalRefreshes() const { return sum(refreshes_); }
+std::uint64_t RefreshHeatmap::totalDemands() const { return sum(demands_); }
+std::uint64_t RefreshHeatmap::totalExpiries() const { return sum(expiries_); }
+std::uint64_t RefreshHeatmap::totalSkips() const { return sum(skips_); }
+
+bool
+RefreshHeatmap::sameShape(const RefreshHeatmap &other) const
+{
+    return ranks_ == other.ranks_ && banks_ == other.banks_ &&
+           segments_ == other.segments_ && counterMax_ == other.counterMax_;
+}
+
+void
+RefreshHeatmap::merge(const RefreshHeatmap &other)
+{
+    SMARTREF_ASSERT(sameShape(other),
+                    "merging heatmaps of different shapes: (",
+                    ranks_, "x", banks_, " seg ", segments_, " max ",
+                    counterMax_, ") vs (", other.ranks_, "x", other.banks_,
+                    " seg ", other.segments_, " max ", other.counterMax_,
+                    ")");
+    auto add = [](std::vector<std::uint64_t> &dst,
+                  const std::vector<std::uint64_t> &src) {
+        for (std::size_t i = 0; i < dst.size(); ++i)
+            dst[i] += src[i];
+    };
+    add(refreshes_, other.refreshes_);
+    add(demands_, other.demands_);
+    add(distance_, other.distance_);
+    add(counterValues_, other.counterValues_);
+    add(expiries_, other.expiries_);
+    add(skips_, other.skips_);
+    // lastAccess_ is per-run transient state and deliberately not merged.
+}
+
+void
+RefreshHeatmap::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\":\"smartref-heatmap-v1\""
+       << ",\"ranks\":" << ranks_
+       << ",\"banks\":" << banks_
+       << ",\"segments\":" << segments_
+       << ",\"counterMax\":" << counterMax_
+       << ",\"distanceBuckets\":" << kDistanceBuckets
+       << ",\"cells\":[";
+    for (std::uint32_t r = 0; r < ranks_; ++r) {
+        for (std::uint32_t b = 0; b < banks_; ++b) {
+            const std::size_t c = cell(r, b);
+            os << (c ? "," : "")
+               << "{\"rank\":" << r << ",\"bank\":" << b
+               << ",\"refreshes\":" << refreshes_[c]
+               << ",\"demandAccesses\":" << demands_[c]
+               << ",\"interAccessLog2\":[";
+            for (std::uint32_t d = 0; d < kDistanceBuckets; ++d)
+                os << (d ? "," : "")
+                   << distance_[c * kDistanceBuckets + d];
+            os << "]}";
+        }
+    }
+    os << "],\"segmentCounters\":[";
+    for (std::uint32_t s = 0; s < segments_; ++s) {
+        os << (s ? "," : "")
+           << "{\"segment\":" << s
+           << ",\"expiries\":" << expiries_[s]
+           << ",\"skips\":" << skips_[s]
+           << ",\"counterValues\":[";
+        for (std::uint32_t v = 0; v <= counterMax_; ++v)
+            os << (v ? "," : "")
+               << counterValues_[static_cast<std::size_t>(s) *
+                                     (counterMax_ + 1) + v];
+        os << "]}";
+    }
+    os << "],\"totals\":{\"refreshes\":" << totalRefreshes()
+       << ",\"demandAccesses\":" << totalDemands()
+       << ",\"expiries\":" << totalExpiries()
+       << ",\"skips\":" << totalSkips()
+       << "}}";
+}
+
+void
+RefreshHeatmap::writeCsv(std::ostream &os, bool header) const
+{
+    // Long-form tidy rows; zero-valued histogram buckets are omitted
+    // to keep the file readable, scalar rows are always present.
+    if (header)
+        os << "kind,rank,bank,segment,bucket,value\n";
+    for (std::uint32_t r = 0; r < ranks_; ++r) {
+        for (std::uint32_t b = 0; b < banks_; ++b) {
+            const std::size_t c = cell(r, b);
+            os << "refreshes," << r << ',' << b << ",,,"
+               << refreshes_[c] << '\n';
+            os << "demandAccesses," << r << ',' << b << ",,,"
+               << demands_[c] << '\n';
+            for (std::uint32_t d = 0; d < kDistanceBuckets; ++d) {
+                const std::uint64_t v = distance_[c * kDistanceBuckets + d];
+                if (v)
+                    os << "interAccessLog2," << r << ',' << b << ",,"
+                       << d << ',' << v << '\n';
+            }
+        }
+    }
+    for (std::uint32_t s = 0; s < segments_; ++s) {
+        os << "expiries,,," << s << ",," << expiries_[s] << '\n';
+        os << "skips,,," << s << ",," << skips_[s] << '\n';
+        for (std::uint32_t v = 0; v <= counterMax_; ++v) {
+            const std::uint64_t n =
+                counterValues_[static_cast<std::size_t>(s) *
+                                   (counterMax_ + 1) + v];
+            if (n)
+                os << "counterValue,,," << s << ',' << v << ',' << n
+                   << '\n';
+        }
+    }
+}
+
+} // namespace smartref

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Spatial refresh heatmaps.
+ *
+ * The paper's headline numbers (59.3 % fewer refreshes on average,
+ * 12.13 % of total DRAM energy saved) are distributions over rows and
+ * banks, not scalars: Smart Refresh wins where demand traffic keeps
+ * row counters topped up and loses where coverage is thin. A
+ * RefreshHeatmap captures exactly that spatial story for one run:
+ *
+ *  - per (rank, bank): refresh issues, demand accesses, and a log2
+ *    histogram of inter-access distance (ticks between successive
+ *    demand accesses to the same bank);
+ *  - per counter segment: the distribution of counter values observed
+ *    at decrement time, split into skips (counter still > 0, so the
+ *    scheduled refresh is elided) and expiries (counter hit 0 and a
+ *    refresh must be issued).
+ *
+ * Recording is a null-pointer check plus a few increments on the hot
+ * path; a controller or counter array with no heatmap attached pays
+ * one branch. All accumulators are integers, so merging job heatmaps
+ * in the sweep reducer is associative and the merged export is
+ * byte-identical for any -j N (docs/heatmaps.md).
+ *
+ * The `lastAccess` timestamps used to derive inter-access distances
+ * are transient per-run state: they are neither exported nor merged.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace smartref {
+
+class RefreshHeatmap
+{
+  public:
+    /** Inter-access-distance log2 buckets: bucket b holds deltas with
+     *  bit_width b, i.e. [2^(b-1), 2^b); bucket 0 is delta == 0. The
+     *  last bucket also absorbs anything wider. */
+    static constexpr std::uint32_t kDistanceBuckets = 48;
+
+    /**
+     * @param ranks      DRAM ranks covered by the controller
+     * @param banks      banks per rank
+     * @param segments   counter-walk segments (stagger scheduler lanes)
+     * @param counterMax largest raw counter value a touch can observe
+     */
+    RefreshHeatmap(std::uint32_t ranks, std::uint32_t banks,
+                   std::uint32_t segments, std::uint32_t counterMax);
+
+    std::uint32_t ranks() const { return ranks_; }
+    std::uint32_t banks() const { return banks_; }
+    std::uint32_t segments() const { return segments_; }
+    std::uint32_t counterMax() const { return counterMax_; }
+
+    /** A refresh (auto or generated) was issued to (rank, bank). */
+    void recordRefresh(std::uint32_t rank, std::uint32_t bank)
+    {
+        ++refreshes_[cell(rank, bank)];
+    }
+
+    /** A demand access to (rank, bank) entered the controller at `now`. */
+    void recordDemand(std::uint32_t rank, std::uint32_t bank, Tick now)
+    {
+        const std::size_t c = cell(rank, bank);
+        ++demands_[c];
+        if (lastAccess_[c] != kNoAccess) {
+            const Tick delta = now - lastAccess_[c];
+            ++distance_[c * kDistanceBuckets + distanceBucket(delta)];
+        }
+        lastAccess_[c] = now;
+    }
+
+    /**
+     * The staggered walk is about to decrement one counter in
+     * `segment` whose pre-decrement raw value is `value`. value == 0
+     * means the row's retention budget expired and a refresh is
+     * generated; value > 0 means the scheduled refresh is skipped.
+     */
+    void recordCounterTouch(std::uint32_t segment, std::uint32_t value)
+    {
+        SMARTREF_ASSERT(value <= counterMax_,
+                        "counter value ", value, " above heatmap max ",
+                        counterMax_);
+        ++counterValues_[segment * (counterMax_ + 1) + value];
+        if (value == 0)
+            ++expiries_[segment];
+        else
+            ++skips_[segment];
+    }
+
+    std::uint64_t refreshes(std::uint32_t rank, std::uint32_t bank) const
+    {
+        return refreshes_[cell(rank, bank)];
+    }
+    std::uint64_t demands(std::uint32_t rank, std::uint32_t bank) const
+    {
+        return demands_[cell(rank, bank)];
+    }
+    std::uint64_t distanceCount(std::uint32_t rank, std::uint32_t bank,
+                                std::uint32_t bucket) const
+    {
+        return distance_[cell(rank, bank) * kDistanceBuckets + bucket];
+    }
+    std::uint64_t counterValueCount(std::uint32_t segment,
+                                    std::uint32_t value) const
+    {
+        return counterValues_[segment * (counterMax_ + 1) + value];
+    }
+    std::uint64_t segmentExpiries(std::uint32_t segment) const
+    {
+        return expiries_[segment];
+    }
+    std::uint64_t segmentSkips(std::uint32_t segment) const
+    {
+        return skips_[segment];
+    }
+
+    std::uint64_t totalRefreshes() const;
+    std::uint64_t totalDemands() const;
+    std::uint64_t totalExpiries() const;
+    std::uint64_t totalSkips() const;
+
+    bool sameShape(const RefreshHeatmap &other) const;
+
+    /** Cell-wise sum of `other` into this; fatal on shape mismatch. */
+    void merge(const RefreshHeatmap &other);
+
+    /**
+     * One deterministic JSON object ("smartref-heatmap-v1"): shape,
+     * per-cell counters with inter-access buckets, per-segment counter
+     * value distributions, totals. Integer-only, so the bytes are
+     * independent of how many jobs' heatmaps were merged in and in
+     * which thread they were produced.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Long-form CSV (kind,rank,bank,segment,bucket,value rows).
+     * `header = false` emits only the rows, for callers that prepend
+     * their own columns (the sweep reducer).
+     */
+    void writeCsv(std::ostream &os, bool header = true) const;
+
+  private:
+    static std::uint32_t distanceBucket(Tick delta)
+    {
+        const auto width = static_cast<std::uint32_t>(
+            std::bit_width(static_cast<std::uint64_t>(delta)));
+        return width < kDistanceBuckets ? width : kDistanceBuckets - 1;
+    }
+
+    std::size_t cell(std::uint32_t rank, std::uint32_t bank) const
+    {
+        SMARTREF_ASSERT(rank < ranks_ && bank < banks_,
+                        "heatmap cell (", rank, ",", bank, ") out of range");
+        return static_cast<std::size_t>(rank) * banks_ + bank;
+    }
+
+    static constexpr Tick kNoAccess = ~Tick{0};
+
+    std::uint32_t ranks_;
+    std::uint32_t banks_;
+    std::uint32_t segments_;
+    std::uint32_t counterMax_;
+
+    std::vector<std::uint64_t> refreshes_;     ///< [rank*banks+bank]
+    std::vector<std::uint64_t> demands_;       ///< [rank*banks+bank]
+    std::vector<std::uint64_t> distance_;      ///< [cell][kDistanceBuckets]
+    std::vector<std::uint64_t> counterValues_; ///< [segment][counterMax+1]
+    std::vector<std::uint64_t> expiries_;      ///< [segment]
+    std::vector<std::uint64_t> skips_;         ///< [segment]
+    std::vector<Tick> lastAccess_;             ///< transient, not merged
+};
+
+} // namespace smartref

@@ -76,6 +76,16 @@ class CliArgs
         return getString("stats-interval-out");
     }
 
+    /** Value of --heatmap-out: spatial refresh heatmap JSON path. */
+    std::string heatmapOutPath() const { return getString("heatmap-out"); }
+
+    /** Value of --telemetry-out: live NDJSON telemetry stream path. */
+    std::string
+    telemetryOutPath() const
+    {
+        return getString("telemetry-out");
+    }
+
   private:
     std::map<std::string, std::string> values_;
 };

@@ -128,6 +128,7 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
     cfg.dram = dram;
     cfg.policy = policy;
     cfg.smart = smartConfig(opts);
+    cfg.heatmap = opts.heatmap;
     System sys(cfg);
     for (const auto &wp :
          conventionalParams(profile, dram, absRowScale, opts.seed)) {
@@ -144,8 +145,10 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
     EnergySnapshot delta = atEnd - atWarm;
     delta.violations += stale;
 
-    return reduce(profile.name, profile.suite, toString(policy), delta,
-                  sys.controller().maxRefreshBacklog());
+    RunResult r = reduce(profile.name, profile.suite, toString(policy),
+                         delta, sys.controller().maxRefreshBacklog());
+    r.eventsExecuted = sys.eventQueue().executed();
+    return r;
 }
 
 ComparisonResult
@@ -155,7 +158,11 @@ compareConventional(const BenchmarkProfile &profile, const DramConfig &dram,
     ComparisonResult c;
     c.benchmark = profile.name;
     c.suite = profile.suite;
-    c.baseline = runConventional(profile, dram, PolicyKind::Cbr, opts,
+    // The heatmap observes the policy under test only; the baseline run
+    // would otherwise double every spatial counter.
+    ExperimentOptions baseOpts = opts;
+    baseOpts.heatmap = nullptr;
+    c.baseline = runConventional(profile, dram, PolicyKind::Cbr, baseOpts,
                                  absRowScale);
     c.smart = runConventional(profile, dram, PolicyKind::Smart, opts,
                               absRowScale);
@@ -174,6 +181,7 @@ runThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     cfg.threeD = threeD;
     cfg.threeDPolicy = policy;
     cfg.smart = smartConfig(opts);
+    cfg.heatmap = opts.heatmap;
     ThreeDSystem sys(cfg);
     for (const auto &wp : threeDParams(profile, threeD, opts.seed))
         sys.addWorkload(wp);
@@ -188,8 +196,10 @@ runThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     EnergySnapshot delta = atEnd - atWarm;
     delta.violations += stale;
 
-    return reduce(profile.name, profile.suite, toString(policy), delta,
-                  sys.threeDController().maxRefreshBacklog());
+    RunResult r = reduce(profile.name, profile.suite, toString(policy),
+                         delta, sys.threeDController().maxRefreshBacklog());
+    r.eventsExecuted = sys.eventQueue().executed();
+    return r;
 }
 
 ComparisonResult
@@ -199,7 +209,9 @@ compareThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     ComparisonResult c;
     c.benchmark = profile.name;
     c.suite = profile.suite;
-    c.baseline = runThreeD(profile, threeD, PolicyKind::Cbr, opts);
+    ExperimentOptions baseOpts = opts;
+    baseOpts.heatmap = nullptr;
+    c.baseline = runThreeD(profile, threeD, PolicyKind::Cbr, baseOpts);
     c.smart = runThreeD(profile, threeD, PolicyKind::Smart, opts);
     return c;
 }

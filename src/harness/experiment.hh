@@ -71,6 +71,12 @@ struct RunResult
     std::uint64_t demandAccesses = 0;
     std::uint64_t violations = 0;
     std::size_t maxRefreshBacklog = 0;
+    /**
+     * Total events the simulation executed (whole run, including
+     * warmup). Telemetry-only: feeds the events/s figure in the sweep's
+     * NDJSON stream and never appears in deterministic aggregates.
+     */
+    std::uint64_t eventsExecuted = 0;
 };
 
 /** Baseline-vs-Smart pairing with the figure metrics. */
@@ -132,6 +138,13 @@ struct ExperimentOptions
     std::uint64_t seed = 42;
     bool verbose = false;           ///< progress on stderr
     LogLevel logLevel = LogLevel::Warn; ///< runtime log verbosity
+    /**
+     * Optional spatial heatmap (not owned) attached to the system under
+     * test for the whole run (warmup included — the heatmap is a spatial
+     * census, not a windowed metric). Callers comparing policies attach
+     * it only to the run they want observed.
+     */
+    RefreshHeatmap *heatmap = nullptr;
 };
 
 /** Run one benchmark on a conventional module with one policy. */

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Stats/sweep JSON diffing with per-metric tolerances — the library
+ * behind tools/smartref_statdiff.
+ *
+ * The old CI golden gate was a hand-rolled Python one-liner asserting a
+ * few magic numbers. This module replaces it with a structural diff:
+ * both JSON documents are flattened into dotted metric paths
+ * ("summary[0].gmeanRefreshReduction"), each numeric leaf is compared
+ * under a tolerance looked up by exact path or glob pattern, and the
+ * verdict is reported as a human table and a machine JSON object.
+ *
+ * The top-level "meta" member (run provenance: git SHA, compiler,
+ * build type — see sim/provenance.hh) is skipped: two runs of the same
+ * experiment from different checkouts must still compare clean.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace minijson {
+class Value;
+}
+
+namespace smartref {
+
+/** How far one metric may drift before the diff fails. */
+struct MetricTolerance
+{
+    /** Max |a - b| accepted. */
+    double abs = 0.0;
+    /** Max |a - b| / max(|a|, |b|) accepted. */
+    double rel = 0.0;
+    /** Skip this metric entirely (timing, host-dependent values). */
+    bool ignore = false;
+};
+
+/**
+ * Tolerance table: a fallback for unmatched metrics plus entries keyed
+ * by metric path. Lookup order: exact path match first, then the first
+ * matching glob pattern ('*' matches any run of characters) in sorted
+ * key order — deterministic regardless of file order.
+ */
+struct DiffTolerances
+{
+    MetricTolerance fallback;
+    std::map<std::string, MetricTolerance> metrics;
+
+    /** Tolerance in effect for one flattened metric path. */
+    const MetricTolerance &lookup(const std::string &path) const;
+};
+
+/**
+ * Parse a tolerance table:
+ *
+ *   { "default": {"abs": 0, "rel": 0},
+ *     "metrics": {
+ *       "anchors.*.busNanojoulesPerAddress": {"abs": 0.001},
+ *       "jobs[*].seed": {"ignore": true} } }
+ *
+ * Both top-level members are optional; unknown members or non-numeric
+ * tolerance fields are fatal. Throws std::runtime_error on malformed
+ * JSON.
+ */
+DiffTolerances parseTolerances(const std::string &jsonText);
+
+/** parseTolerances over a file's contents (fatal when unreadable). */
+DiffTolerances loadTolerances(const std::string &path);
+
+/** '*'-wildcard match of `path` against `pattern` (exposed for tests). */
+bool globMatch(const std::string &pattern, const std::string &path);
+
+/**
+ * Flatten a parsed JSON tree into (dotted path -> numeric value) rows.
+ * Objects nest with '.', arrays with "[i]"; booleans map to 0/1;
+ * strings and nulls are skipped (identity lives in the paths); a
+ * top-level "meta" object is skipped per the module contract.
+ */
+std::map<std::string, double> flattenMetrics(const minijson::Value &root);
+
+/** Parse + flatten one stats/sweep JSON file (fatal when unreadable). */
+std::map<std::string, double> loadMetrics(const std::string &path);
+
+/** One compared metric that exceeded its tolerance. */
+struct DiffEntry
+{
+    std::string metric;
+    double a = 0.0;
+    double b = 0.0;
+    double absDiff = 0.0;
+    double relDiff = 0.0;
+    MetricTolerance tolerance;
+};
+
+/** Outcome of diffMetrics(). */
+struct DiffResult
+{
+    /** Metrics present on both sides but outside tolerance. */
+    std::vector<DiffEntry> failures;
+    /** Metrics in B only (empty in subset mode). */
+    std::vector<std::string> missingInA;
+    /** Metrics in A only. */
+    std::vector<std::string> missingInB;
+    /** Metrics compared and within tolerance. */
+    std::size_t passed = 0;
+    /** Metrics skipped by an `ignore` tolerance. */
+    std::size_t ignored = 0;
+
+    bool pass() const
+    {
+        return failures.empty() && missingInA.empty() &&
+               missingInB.empty();
+    }
+};
+
+/**
+ * Compare flattened metric sets A (reference) and B (candidate). A
+ * metric passes when |a-b| <= tol.abs OR |a-b|/max(|a|,|b|) <= tol.rel.
+ * With `subset` set, metrics present only in B are accepted — the mode
+ * CI uses, so goldens pin a stable subset while the schema can grow.
+ */
+DiffResult diffMetrics(const std::map<std::string, double> &a,
+                       const std::map<std::string, double> &b,
+                       const DiffTolerances &tolerances,
+                       bool subset = false);
+
+/** Human-readable verdict: aligned failure table plus a summary line. */
+void writeDiffReport(std::ostream &os, const DiffResult &result);
+
+/** Machine verdict: {"pass":…,"failures":[…],…} on one line. */
+void writeDiffJson(std::ostream &os, const DiffResult &result);
+
+} // namespace smartref

@@ -12,10 +12,12 @@
 
 #include "ctrl/bus_energy_model.hh"
 #include "harness/report.hh"
+#include "harness/sweep_telemetry.hh"
 #include "harness/system.hh"
 #include "harness/threed_system.hh"
 #include "sim/logging.hh"
 #include "sim/mini_json.hh"
+#include "sim/provenance.hh"
 #include "sim/thread_pool.hh"
 #include "trace/benchmark_profiles.hh"
 
@@ -23,16 +25,8 @@ namespace smartref {
 
 namespace {
 
-std::uint64_t
-fnv1a64(const std::string &s)
-{
-    std::uint64_t h = 1469598103934665603ULL;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
+// fnv1a64 comes from sim/provenance.hh: the same constants this file
+// always used for seed derivation, now shared with the config hashes.
 
 std::uint64_t
 splitmix64(std::uint64_t x)
@@ -234,9 +228,21 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
     result.job = job;
     result.comparison.benchmark = profile.name;
     result.comparison.suite = profile.suite;
+    if (opts.collectHeatmaps) {
+        // The heatmap observes the policy-under-test run only (the CBR
+        // baseline run keeps eoBase.heatmap null below); counterMax
+        // matches the policy's counter width so merged groups — which
+        // share counterBits — always agree on shape.
+        result.heatmap = std::make_shared<RefreshHeatmap>(
+            dram.org.ranks, dram.org.banks, opts.segments,
+            (1u << job.point.counterBits) - 1);
+        eo.heatmap = result.heatmap.get();
+    }
+    ExperimentOptions eoBase = eo;
+    eoBase.heatmap = nullptr;
     if (isThreeDConfigName(job.point.config)) {
         result.comparison.baseline =
-            runThreeD(profile, dram, PolicyKind::Cbr, eo);
+            runThreeD(profile, dram, PolicyKind::Cbr, eoBase);
         result.comparison.smart = runThreeD(profile, dram, policy, eo);
     } else {
         // The 4 GB module spreads each footprint over ~1.3x the rows
@@ -244,7 +250,7 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
         const double scale =
             job.point.config == "4gb" ? kFourGBRowScale : 1.0;
         result.comparison.baseline =
-            runConventional(profile, dram, PolicyKind::Cbr, eo, scale);
+            runConventional(profile, dram, PolicyKind::Cbr, eoBase, scale);
         result.comparison.smart =
             runConventional(profile, dram, policy, eo, scale);
     }
@@ -262,22 +268,62 @@ runSweep(const SweepGrid &grid, const SweepRunOptions &opts)
     const std::vector<SweepJob> jobs =
         expandGrid(grid, opts.baseSeed, opts.seedMode);
     std::vector<SweepJobResult> results(jobs.size());
+    const auto sweepStart = std::chrono::steady_clock::now();
     std::mutex progressMu;
     std::size_t done = 0;
-    parallelFor(opts.jobs, jobs.size(), [&](std::size_t i) {
+    const auto runOne = [&](std::size_t i) {
+        if (opts.telemetry)
+            opts.telemetry->jobStart(jobs[i]);
         results[i] = runSweepJob(jobs[i], opts);
+        if (opts.telemetry)
+            opts.telemetry->jobFinish(results[i]);
         if (opts.progress) {
             std::lock_guard<std::mutex> lk(progressMu);
             ++done;
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sweepStart)
+                    .count();
+            // Naive linear ETA: remaining jobs at the observed mean
+            // rate. Good enough for a ticker; never in aggregates.
+            const double eta =
+                elapsed / static_cast<double>(done) *
+                static_cast<double>(jobs.size() - done);
             std::cerr << "  [" << done << "/" << jobs.size() << "] "
                       << pointKey(jobs[i].point) << " ["
                       << fmtPercent(
                              results[i].comparison.refreshReduction())
                       << ", "
-                      << fmtDouble(results[i].wallSeconds, 1) << "s]"
+                      << fmtDouble(results[i].wallSeconds, 1) << "s, eta "
+                      << fmtDouble(eta, 1) << "s]"
                       << std::endl;
         }
-    });
+    };
+    // Own the pool (rather than the parallelFor(jobs, ...) convenience)
+    // so its scheduling counters can be reported to the telemetry sink.
+    if (opts.jobs <= 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runOne(i);
+        if (opts.telemetry) {
+            const double wall = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    sweepStart)
+                                    .count();
+            opts.telemetry->sweepFinish(wall, nullptr);
+        }
+    } else {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(opts.jobs, jobs.size())));
+        parallelFor(pool, jobs.size(), runOne);
+        if (opts.telemetry) {
+            const double wall = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    sweepStart)
+                                    .count();
+            const ThreadPool::Stats poolStats = pool.stats();
+            opts.telemetry->sweepFinish(wall, &poolStats);
+        }
+    }
     return results;
 }
 
@@ -374,6 +420,12 @@ writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
                std::ostream &os)
 {
     os << "{\"schema\":\"smartref-sweep-v1\"";
+
+    RunMeta meta;
+    meta.schema = "smartref-sweep-v1";
+    meta.configHash = sweepConfigHash(grid, opts);
+    meta.seedMode = toString(opts.seedMode);
+    os << ",\"meta\":" << metaJson(meta);
 
     os << ",\"grid\":{\"name\":" << quoted(grid.name) << ",\"configs\":";
     writeArray(os, grid.configs, true);
@@ -534,6 +586,147 @@ writeSweepCsv(const std::vector<SweepJobResult> &results,
     if (!out)
         SMARTREF_FATAL("cannot write sweep CSV '", path, "'");
     writeSweepCsv(results, out);
+}
+
+std::string
+sweepConfigHash(const SweepGrid &grid, const SweepRunOptions &opts)
+{
+    // Canonical textual form of everything that shapes the sweep's
+    // deterministic outputs. Deliberately excludes execution-only knobs
+    // (jobs, progress, telemetry, heatmap collection): those never
+    // change the aggregates, so they must not change the hash either.
+    std::ostringstream oss;
+    oss << "name=" << grid.name;
+    auto axis = [&oss](const char *key, const auto &values) {
+        oss << ";" << key << "=";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << values[i];
+        }
+    };
+    axis("configs", grid.configs);
+    axis("benchmarks", grid.benchmarks);
+    axis("policies", grid.policies);
+    axis("counterBits", grid.counterBits);
+    axis("retentionMs", grid.retentionMs);
+    oss << ";warmupMs=" << opts.warmup / kMillisecond
+        << ";measureMs=" << opts.measure / kMillisecond
+        << ";segments=" << opts.segments
+        << ";autoReconfigure=" << (opts.autoReconfigure ? 1 : 0)
+        << ";baseSeed=" << opts.baseSeed
+        << ";seedMode=" << toString(opts.seedMode);
+    return hex64(fnv1a64(oss.str()));
+}
+
+namespace {
+
+/**
+ * Merge each summary group's per-job heatmaps in grid order. Fatal when
+ * any job lacks a heatmap (the sweep ran without collectHeatmaps).
+ */
+std::vector<RefreshHeatmap>
+mergeGroupHeatmaps(const std::vector<SummaryGroup> &groups)
+{
+    std::vector<RefreshHeatmap> merged;
+    merged.reserve(groups.size());
+    for (const auto &g : groups) {
+        SMARTREF_ASSERT(!g.members.empty(), "empty summary group");
+        const SweepJobResult *first = g.members.front();
+        if (!first->heatmap)
+            SMARTREF_FATAL("job '", pointKey(first->job.point),
+                           "' has no heatmap; run the sweep with "
+                           "collectHeatmaps enabled");
+        RefreshHeatmap sum(first->heatmap->ranks(),
+                           first->heatmap->banks(),
+                           first->heatmap->segments(),
+                           first->heatmap->counterMax());
+        for (const auto *m : g.members) {
+            if (!m->heatmap)
+                SMARTREF_FATAL("job '", pointKey(m->job.point),
+                               "' has no heatmap; run the sweep with "
+                               "collectHeatmaps enabled");
+            sum.merge(*m->heatmap);
+        }
+        merged.push_back(std::move(sum));
+    }
+    return merged;
+}
+
+} // namespace
+
+void
+writeSweepHeatmapJson(const SweepGrid &grid, const SweepRunOptions &opts,
+                      const std::vector<SweepJobResult> &results,
+                      std::ostream &os)
+{
+    RunMeta meta;
+    meta.schema = "smartref-sweep-heatmap-v1";
+    meta.configHash = sweepConfigHash(grid, opts);
+    meta.seedMode = toString(opts.seedMode);
+
+    const auto groups = groupResults(results);
+    const auto merged = mergeGroupHeatmaps(groups);
+
+    os << "{\"schema\":\"smartref-sweep-heatmap-v1\""
+       << ",\"meta\":" << metaJson(meta)
+       << ",\"grid\":{\"name\":" << quoted(grid.name) << "}"
+       << ",\"groups\":[";
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        const auto &g = groups[i];
+        os << (i ? "," : "") << "{\"config\":" << quoted(g.config)
+           << ",\"retentionMs\":" << g.retentionMs
+           << ",\"counterBits\":" << g.counterBits
+           << ",\"policy\":" << quoted(g.policy)
+           << ",\"jobs\":" << g.members.size() << ",\"heatmap\":";
+        merged[i].writeJson(os);
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+void
+writeSweepHeatmapJson(const SweepGrid &grid, const SweepRunOptions &opts,
+                      const std::vector<SweepJobResult> &results,
+                      const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        SMARTREF_FATAL("cannot write heatmap JSON '", path, "'");
+    writeSweepHeatmapJson(grid, opts, results, out);
+}
+
+void
+writeSweepHeatmapCsv(const std::vector<SweepJobResult> &results,
+                     std::ostream &os)
+{
+    const auto groups = groupResults(results);
+    const auto merged = mergeGroupHeatmaps(groups);
+    os << "config,retentionMs,counterBits,policy,"
+       << "kind,rank,bank,segment,bucket,value\n";
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        const auto &g = groups[i];
+        std::ostringstream body;
+        merged[i].writeCsv(body, /*header=*/false);
+        const std::string prefix = g.config + "," +
+                                   std::to_string(g.retentionMs) + "," +
+                                   std::to_string(g.counterBits) + "," +
+                                   g.policy + ",";
+        std::istringstream lines(body.str());
+        std::string line;
+        while (std::getline(lines, line))
+            os << prefix << line << '\n';
+    }
+}
+
+void
+writeSweepHeatmapCsv(const std::vector<SweepJobResult> &results,
+                     const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        SMARTREF_FATAL("cannot write heatmap CSV '", path, "'");
+    writeSweepHeatmapCsv(results, out);
 }
 
 std::vector<FigureSpec>

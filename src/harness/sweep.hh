@@ -23,12 +23,16 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ctrl/refresh_heatmap.hh"
 #include "harness/experiment.hh"
 
 namespace smartref {
+
+class SweepTelemetry;
 
 /** Coordinates of one job in a sweep grid. */
 struct SweepPoint
@@ -109,6 +113,12 @@ struct SweepJobResult
     ComparisonResult comparison;
     /** Wall seconds this job took; excluded from aggregate outputs. */
     double wallSeconds = 0.0;
+    /**
+     * Spatial heatmap of the policy-under-test run; non-null only when
+     * SweepRunOptions::collectHeatmaps was set. Integer counters, so
+     * the merged export is deterministic at any -j N.
+     */
+    std::shared_ptr<RefreshHeatmap> heatmap;
 };
 
 /** Execution knobs of a sweep run. */
@@ -122,8 +132,16 @@ struct SweepRunOptions
     std::uint64_t baseSeed = 42;
     SeedMode seedMode = SeedMode::Derived;
     LogLevel logLevel = LogLevel::Warn;
-    /** Print one completion line per job to stderr. */
+    /** Print one completion line per job (with ETA) to stderr. */
     bool progress = false;
+    /** Collect a per-job RefreshHeatmap (SweepJobResult::heatmap). */
+    bool collectHeatmaps = false;
+    /**
+     * Optional NDJSON telemetry sink (not owned). Receives job_start /
+     * job_finish / sweep_finish events; never touches the deterministic
+     * aggregates.
+     */
+    SweepTelemetry *telemetry = nullptr;
 };
 
 /** Run one already-expanded job (exposed for tests). */
@@ -154,6 +172,37 @@ void writeSweepCsv(const std::vector<SweepJobResult> &results,
                    std::ostream &os);
 void writeSweepCsv(const std::vector<SweepJobResult> &results,
                    const std::string &path);
+
+/**
+ * Provenance hash of a sweep's full configuration (grid axes + run
+ * options), embedded as `configHash` in the meta blocks of every
+ * artifact the sweep writes.
+ */
+std::string sweepConfigHash(const SweepGrid &grid,
+                            const SweepRunOptions &opts);
+
+/**
+ * Write the merged spatial heatmaps: one RefreshHeatmap per summary
+ * group (config, retentionMs, counterBits, policy), produced by
+ * merging the group's per-job heatmaps in grid order. Deterministic:
+ * integer counters summed in a fixed order make the bytes identical
+ * for any -j N. Requires the sweep to have run with
+ * `collectHeatmaps = true` (fatal otherwise).
+ */
+void writeSweepHeatmapJson(const SweepGrid &grid,
+                           const SweepRunOptions &opts,
+                           const std::vector<SweepJobResult> &results,
+                           std::ostream &os);
+void writeSweepHeatmapJson(const SweepGrid &grid,
+                           const SweepRunOptions &opts,
+                           const std::vector<SweepJobResult> &results,
+                           const std::string &path);
+
+/** Long-form CSV of the same merged heatmaps (one row per counter). */
+void writeSweepHeatmapCsv(const std::vector<SweepJobResult> &results,
+                          std::ostream &os);
+void writeSweepHeatmapCsv(const std::vector<SweepJobResult> &results,
+                          const std::string &path);
 
 /** Total retention violations across all runs (0 on a correct sweep). */
 std::uint64_t totalViolations(const std::vector<SweepJobResult> &results);

@@ -1,0 +1,156 @@
+#include "harness/sweep_telemetry.hh"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace smartref {
+
+namespace {
+
+/** to_chars double formatting (telemetry needs no locale surprises). */
+std::string
+num(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    SMARTREF_ASSERT(res.ec == std::errc(), "to_chars failed");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+escaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out += ch;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SweepTelemetry::SweepTelemetry(const std::string &path)
+    : start_(std::chrono::steady_clock::now()), file_(path), os_(&file_)
+{
+    if (!file_)
+        SMARTREF_FATAL("cannot write telemetry stream '", path, "'");
+}
+
+SweepTelemetry::SweepTelemetry(std::ostream &os)
+    : start_(std::chrono::steady_clock::now()), os_(&os)
+{
+}
+
+double
+SweepTelemetry::elapsed() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+void
+SweepTelemetry::emitLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    *os_ << line << '\n';
+    os_->flush(); // line-by-line so `tail -f` follows a live sweep
+}
+
+void
+SweepTelemetry::sweepStart(const std::string &gridName,
+                           std::size_t jobCount, unsigned workers,
+                           const std::string &metaJson)
+{
+    std::ostringstream line;
+    line << "{\"event\":\"sweep_start\",\"t\":" << num(elapsed())
+         << ",\"grid\":\"" << escaped(gridName) << "\""
+         << ",\"jobs\":" << jobCount << ",\"workers\":" << workers;
+    if (!metaJson.empty())
+        line << ",\"meta\":" << metaJson;
+    line << "}";
+    emitLine(line.str());
+}
+
+void
+SweepTelemetry::jobStart(const SweepJob &job)
+{
+    std::ostringstream line;
+    line << "{\"event\":\"job_start\",\"t\":" << num(elapsed())
+         << ",\"index\":" << job.index << ",\"point\":\""
+         << escaped(pointKey(job.point)) << "\"}";
+    emitLine(line.str());
+}
+
+void
+SweepTelemetry::jobFinish(const SweepJobResult &result)
+{
+    const std::uint64_t events =
+        result.comparison.baseline.eventsExecuted +
+        result.comparison.smart.eventsExecuted;
+    const double perSec = result.wallSeconds > 0.0
+                              ? static_cast<double>(events) /
+                                    result.wallSeconds
+                              : 0.0;
+    std::ostringstream line;
+    line << "{\"event\":\"job_finish\",\"t\":" << num(elapsed())
+         << ",\"index\":" << result.job.index << ",\"point\":\""
+         << escaped(pointKey(result.job.point)) << "\""
+         << ",\"wallSeconds\":" << num(result.wallSeconds)
+         << ",\"events\":" << events
+         << ",\"eventsPerSec\":" << num(perSec)
+         << ",\"peakRssKb\":" << peakRssKb() << "}";
+    emitLine(line.str());
+}
+
+void
+SweepTelemetry::sweepFinish(double wallSeconds,
+                            const ThreadPool::Stats *pool)
+{
+    std::ostringstream line;
+    line << "{\"event\":\"sweep_finish\",\"t\":" << num(elapsed())
+         << ",\"wallSeconds\":" << num(wallSeconds)
+         << ",\"peakRssKb\":" << peakRssKb();
+    if (pool) {
+        line << ",\"pool\":{\"localPops\":" << pool->localPops
+             << ",\"externalPops\":" << pool->externalPops
+             << ",\"steals\":" << pool->steals
+             << ",\"idleWaits\":" << pool->idleWaits << "}";
+    }
+    line << "}";
+    emitLine(line.str());
+}
+
+long
+SweepTelemetry::peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return static_cast<long>(ru.ru_maxrss / 1024); // bytes on macOS
+#else
+    return ru.ru_maxrss; // kilobytes on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+} // namespace smartref

@@ -94,6 +94,11 @@ System::System(const SystemConfig &cfg)
         dram_->retention().applyClassMultipliers(m);
     }
     ctrl_->setRefreshPolicy(policy_.get());
+    if (cfg_.heatmap) {
+        ctrl_->setHeatmap(cfg_.heatmap);
+        if (smartPolicy_)
+            smartPolicy_->setHeatmap(cfg_.heatmap);
+    }
 }
 
 WorkloadModel &

@@ -44,6 +44,14 @@ struct SystemConfig
      * policy and by Smart Refresh's multi-rate counters.
      */
     std::shared_ptr<const RetentionClassMap> retentionClasses;
+    /**
+     * Optional spatial heatmap (not owned; must outlive the system).
+     * Attached to the controller (refresh issues, demand accesses) and,
+     * for Smart Refresh, to the counter array (skip/expiry and
+     * counter-value distributions). Pure observation: attaching one
+     * never perturbs simulated behaviour.
+     */
+    RefreshHeatmap *heatmap = nullptr;
 };
 
 /**

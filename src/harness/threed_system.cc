@@ -60,6 +60,13 @@ ThreeDSystem::ThreeDSystem(const ThreeDSystemConfig &cfg)
         threeDDram_->retention().applyClassMultipliers(m);
     }
     threeDCtrl_->setRefreshPolicy(policy_.get());
+    if (cfg_.heatmap) {
+        // The heatmap observes the stacked die under the policy being
+        // studied; main memory always runs plain CBR and stays out.
+        threeDCtrl_->setHeatmap(cfg_.heatmap);
+        if (smartPolicy_)
+            smartPolicy_->setHeatmap(cfg_.heatmap);
+    }
 
     mainPolicy_ = std::make_unique<CbrRefreshPolicy>(eq_, this);
     mainCtrl_->setRefreshPolicy(mainPolicy_.get());

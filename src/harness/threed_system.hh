@@ -32,6 +32,13 @@ struct ThreeDSystemConfig
     DramCacheConfig cache{};
     /** Optional RAPID-style classes for the stacked module's rows. */
     std::shared_ptr<const RetentionClassMap> retentionClasses;
+    /**
+     * Optional spatial heatmap (not owned; must outlive the system),
+     * attached to the stacked die's controller and — for Smart Refresh
+     * — its counter array. Main memory always runs CBR and is not
+     * observed.
+     */
+    RefreshHeatmap *heatmap = nullptr;
 };
 
 /** One 3D die-stacked simulated system. */

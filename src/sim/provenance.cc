@@ -1,0 +1,108 @@
+#include "sim/provenance.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/provenance_info.hh"
+
+namespace smartref {
+
+namespace {
+
+/** Minimal JSON string escaping for build/config strings. */
+std::string
+escaped(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                out += ' ';
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = [] {
+        BuildInfo b;
+        b.gitSha = SMARTREF_GIT_SHA;
+        if (b.gitSha.empty())
+            b.gitSha = "unknown";
+        b.compiler = SMARTREF_COMPILER_ID;
+        const std::string version = SMARTREF_COMPILER_VERSION;
+        if (!version.empty())
+            b.compiler += " " + version;
+        b.compilerFlags = SMARTREF_CXX_FLAGS;
+        b.buildType = SMARTREF_BUILD_TYPE;
+        if (b.buildType.empty())
+            b.buildType = "unspecified";
+        return b;
+    }();
+    return info;
+}
+
+std::uint64_t
+fnv1a64(std::string_view s)
+{
+    // These constants predate this module (harness/sweep.cc seed
+    // derivation); the pinned seeds in tests/test_sweep.cpp depend on
+    // them, so they must never change.
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (char ch : s) {
+        hash ^= static_cast<unsigned char>(ch);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+void
+writeMetaJson(std::ostream &os, const RunMeta &run)
+{
+    const BuildInfo &b = buildInfo();
+    os << "{\"schemaVersion\":\"" << escaped(run.schema) << "\""
+       << ",\"gitSha\":\"" << escaped(b.gitSha) << "\""
+       << ",\"compiler\":\"" << escaped(b.compiler) << "\""
+       << ",\"compilerFlags\":\"" << escaped(b.compilerFlags) << "\""
+       << ",\"buildType\":\"" << escaped(b.buildType) << "\"";
+    if (!run.configHash.empty())
+        os << ",\"configHash\":\"" << escaped(run.configHash) << "\"";
+    if (!run.seedMode.empty())
+        os << ",\"seedMode\":\"" << escaped(run.seedMode) << "\"";
+    os << "}";
+}
+
+std::string
+metaJson(const RunMeta &run)
+{
+    std::ostringstream os;
+    writeMetaJson(os, run);
+    return os.str();
+}
+
+} // namespace smartref

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 
 #include "sim/logging.hh"
@@ -104,6 +105,28 @@ double
 Histogram::mean() const
 {
     return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    const double n = static_cast<double>(samples_);
+    auto rank = static_cast<std::uint64_t>(std::ceil(p * n));
+    rank = std::clamp<std::uint64_t>(rank, 1, samples_);
+
+    std::uint64_t cum = underflow_;
+    if (rank <= cum)
+        return min_;
+    const double width =
+        (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (rank <= cum)
+            return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+    return max_;
 }
 
 double

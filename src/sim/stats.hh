@@ -107,6 +107,16 @@ class Histogram : public StatBase
     double min() const { return min_; }
     double max() const { return max_; }
     double stddev() const;
+
+    /**
+     * Nearest-rank percentile estimated from the bucketed mass: rank
+     * ceil(p * samples) counted through underflows (represented by
+     * min()), the linear buckets (represented by their midpoints) and
+     * overflows (represented by max()). p is clamped to (0, 1]; returns
+     * NaN when the histogram is empty, which the JSON export renders
+     * as null.
+     */
+    double percentile(double p) const;
     std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
     std::uint64_t underflows() const { return underflow_; }
     std::uint64_t overflows() const { return overflow_; }

@@ -85,6 +85,9 @@ writeStat(std::ostream &os, const std::string &fullName,
         jsonNumber(field("max"), h->max());
         jsonNumber(field("lo"), h->bucketLo());
         jsonNumber(field("hi"), h->bucketHi());
+        jsonNumber(field("p50"), h->percentile(0.50));
+        jsonNumber(field("p95"), h->percentile(0.95));
+        jsonNumber(field("p99"), h->percentile(0.99));
         field("underflows") << h->underflows();
         field("overflows") << h->overflows();
         field("buckets") << "[";
@@ -141,12 +144,16 @@ statValue(const StatBase &stat)
 }
 
 void
-writeStatsJson(const StatGroup &root, std::ostream &os)
+writeStatsJson(const StatGroup &root, std::ostream &os,
+               const std::string &metaJson)
 {
     os.precision(std::numeric_limits<double>::max_digits10);
     os << "{\n  \"root\": \"";
     jsonEscape(os, root.statName());
-    os << "\",\n  \"stats\": {\n";
+    os << "\",\n";
+    if (!metaJson.empty())
+        os << "  \"meta\": " << metaJson << ",\n";
+    os << "  \"stats\": {\n";
     bool first = true;
     const std::string prefix =
         root.statName().empty() ? "" : root.statName() + ".";
@@ -155,12 +162,13 @@ writeStatsJson(const StatGroup &root, std::ostream &os)
 }
 
 void
-writeStatsJson(const StatGroup &root, const std::string &path)
+writeStatsJson(const StatGroup &root, const std::string &path,
+               const std::string &metaJson)
 {
     std::ofstream out(path);
     if (!out)
         SMARTREF_FATAL("cannot write stats JSON '", path, "'");
-    writeStatsJson(root, out);
+    writeStatsJson(root, out, metaJson);
 }
 
 } // namespace smartref

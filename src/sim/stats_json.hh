@@ -26,10 +26,17 @@ namespace smartref {
  */
 double statValue(const StatBase &stat);
 
-/** Serialise `root`'s subtree as JSON to a stream. */
-void writeStatsJson(const StatGroup &root, std::ostream &os);
+/**
+ * Serialise `root`'s subtree as JSON to a stream. When `metaJson` is
+ * non-empty it must be a complete JSON value (normally produced by
+ * smartref::metaJson()) and is embedded verbatim as a top-level "meta"
+ * member, giving the dump run provenance.
+ */
+void writeStatsJson(const StatGroup &root, std::ostream &os,
+                    const std::string &metaJson = "");
 
 /** Serialise `root`'s subtree as JSON to a file (fatal on I/O error). */
-void writeStatsJson(const StatGroup &root, const std::string &path);
+void writeStatsJson(const StatGroup &root, const std::string &path,
+                    const std::string &metaJson = "");
 
 } // namespace smartref

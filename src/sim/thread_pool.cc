@@ -83,7 +83,8 @@ ThreadPool::enqueue(std::function<void()> task)
 bool
 ThreadPool::tryGetTask(unsigned id, std::function<void()> &out)
 {
-    bool got = false;
+    enum class Source { None, Local, External, Steal };
+    Source src = Source::None;
     {
         // Own deque first, newest task (LIFO): nested children run
         // before the worker picks up unrelated work.
@@ -92,35 +93,41 @@ ThreadPool::tryGetTask(unsigned id, std::function<void()> &out)
         if (!w.deque.empty()) {
             out = std::move(w.deque.back());
             w.deque.pop_back();
-            got = true;
+            src = Source::Local;
         }
     }
-    if (!got) {
+    if (src == Source::None) {
         std::lock_guard<std::mutex> lk(mu_);
         if (!external_.empty()) {
             out = std::move(external_.front());
             external_.pop_front();
-            got = true;
+            src = Source::External;
         }
     }
-    if (!got) {
+    if (src == Source::None) {
         // Steal the *oldest* task of another worker (FIFO side).
         const std::size_t n = workers_.size();
-        for (std::size_t k = 1; k < n && !got; ++k) {
+        for (std::size_t k = 1; k < n && src == Source::None; ++k) {
             Worker &victim = *workers_[(id + k) % n];
             std::lock_guard<std::mutex> vlk(victim.mu);
             if (!victim.deque.empty()) {
                 out = std::move(victim.deque.front());
                 victim.deque.pop_front();
-                got = true;
+                src = Source::Steal;
             }
         }
     }
-    if (got) {
+    if (src != Source::None) {
         std::lock_guard<std::mutex> lk(mu_);
         --queued_;
+        switch (src) {
+          case Source::Local: ++stats_.localPops; break;
+          case Source::External: ++stats_.externalPops; break;
+          case Source::Steal: ++stats_.steals; break;
+          case Source::None: break;
+        }
     }
-    return got;
+    return src != Source::None;
 }
 
 void
@@ -141,10 +148,19 @@ ThreadPool::workerLoop(unsigned id)
         std::unique_lock<std::mutex> lk(mu_);
         // queued_ > 0 with empty deques is a transient (another worker
         // popped but has not decremented yet); the retry loop absorbs it.
+        if (!stop_ && queued_ == 0)
+            ++stats_.idleWaits;
         workCv_.wait(lk, [this] { return stop_ || queued_ > 0; });
         if (stop_ && queued_ == 0)
             return;
     }
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
 }
 
 void

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <condition_variable>
 #include <functional>
@@ -89,6 +90,23 @@ class ThreadPool
     /** True when the calling thread is one of this pool's workers. */
     bool onWorkerThread() const;
 
+    /**
+     * Scheduling counters accumulated since construction. Telemetry
+     * only: the numbers depend on thread scheduling and must never
+     * enter a deterministic output. localPops + externalPops + steals
+     * equals the number of tasks executed so far.
+     */
+    struct Stats
+    {
+        std::uint64_t localPops = 0;    ///< tasks popped from own deque
+        std::uint64_t externalPops = 0; ///< tasks from the shared FIFO
+        std::uint64_t steals = 0;       ///< tasks stolen from a victim
+        std::uint64_t idleWaits = 0;    ///< times a worker went to sleep
+    };
+
+    /** Snapshot of the scheduling counters (thread-safe). */
+    Stats stats() const;
+
   private:
     struct Worker
     {
@@ -113,6 +131,7 @@ class ThreadPool
     std::size_t queued_ = 0;
     std::size_t pending_ = 0;
     bool stop_ = false;
+    Stats stats_; ///< guarded by mu_
 };
 
 /**

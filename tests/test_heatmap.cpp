@@ -1,0 +1,240 @@
+/**
+ * @file
+ * RefreshHeatmap tests: recording semantics (refreshes, demand
+ * distances, counter-value split), shape-checked merging, export
+ * formats, and the sweep-level determinism contract — merged heatmap
+ * JSON/CSV byte-identical for -j1 vs -j8, with telemetry attached and
+ * not attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ctrl/refresh_heatmap.hh"
+#include "harness/sweep.hh"
+#include "harness/sweep_telemetry.hh"
+#include "sim/mini_json.hh"
+
+using namespace smartref;
+
+namespace {
+
+/** One config x two benchmarks so one summary group merges two jobs. */
+SweepGrid
+heatGrid()
+{
+    SweepGrid g;
+    g.name = "heat";
+    g.configs = {"2gb"};
+    g.benchmarks = {"mummer", "gcc"};
+    g.policies = {"smart"};
+    g.counterBits = {3};
+    g.retentionMs = {0};
+    return g;
+}
+
+SweepRunOptions
+fastOptions(unsigned jobs)
+{
+    SweepRunOptions opts;
+    opts.jobs = jobs;
+    opts.warmup = 2 * kMillisecond;
+    opts.measure = 4 * kMillisecond;
+    opts.collectHeatmaps = true;
+    return opts;
+}
+
+std::string
+heatmapJson(const SweepGrid &grid, const SweepRunOptions &opts,
+            const std::vector<SweepJobResult> &results)
+{
+    std::ostringstream oss;
+    writeSweepHeatmapJson(grid, opts, results, oss);
+    return oss.str();
+}
+
+std::string
+heatmapCsv(const std::vector<SweepJobResult> &results)
+{
+    std::ostringstream oss;
+    writeSweepHeatmapCsv(results, oss);
+    return oss.str();
+}
+
+std::string
+aggregateJson(const SweepGrid &grid, const SweepRunOptions &opts,
+              const std::vector<SweepJobResult> &results)
+{
+    std::ostringstream oss;
+    writeSweepJson(grid, opts, results, oss);
+    return oss.str();
+}
+
+} // namespace
+
+TEST(Heatmap, RecordsRefreshesAndDemandsPerCell)
+{
+    RefreshHeatmap hm(2, 4, 8, 7);
+    hm.recordRefresh(0, 1);
+    hm.recordRefresh(0, 1);
+    hm.recordRefresh(1, 3);
+    EXPECT_EQ(hm.refreshes(0, 1), 2u);
+    EXPECT_EQ(hm.refreshes(1, 3), 1u);
+    EXPECT_EQ(hm.refreshes(0, 0), 0u);
+    EXPECT_EQ(hm.totalRefreshes(), 3u);
+
+    // First access to a cell sets the timestamp without a distance
+    // sample; subsequent accesses land in the log2 bucket of the delta.
+    hm.recordDemand(0, 0, 100);
+    hm.recordDemand(0, 0, 100); // delta 0 -> bucket 0
+    hm.recordDemand(0, 0, 104); // delta 4 -> bit_width 3
+    hm.recordDemand(0, 0, 105); // delta 1 -> bit_width 1
+    EXPECT_EQ(hm.demands(0, 0), 4u);
+    EXPECT_EQ(hm.distanceCount(0, 0, 0), 1u);
+    EXPECT_EQ(hm.distanceCount(0, 0, 3), 1u);
+    EXPECT_EQ(hm.distanceCount(0, 0, 1), 1u);
+    EXPECT_EQ(hm.totalDemands(), 4u);
+}
+
+TEST(Heatmap, CounterTouchSplitsExpiriesFromSkips)
+{
+    RefreshHeatmap hm(1, 1, 4, 7);
+    hm.recordCounterTouch(2, 0); // expiry
+    hm.recordCounterTouch(2, 0);
+    hm.recordCounterTouch(2, 5); // skip
+    hm.recordCounterTouch(3, 7); // skip, other segment
+    EXPECT_EQ(hm.segmentExpiries(2), 2u);
+    EXPECT_EQ(hm.segmentSkips(2), 1u);
+    EXPECT_EQ(hm.segmentSkips(3), 1u);
+    EXPECT_EQ(hm.counterValueCount(2, 0), 2u);
+    EXPECT_EQ(hm.counterValueCount(2, 5), 1u);
+    EXPECT_EQ(hm.counterValueCount(3, 7), 1u);
+    EXPECT_EQ(hm.totalExpiries(), 2u);
+    EXPECT_EQ(hm.totalSkips(), 2u);
+}
+
+TEST(Heatmap, MergeIsCellWiseAdditionAndIgnoresLastAccess)
+{
+    RefreshHeatmap a(1, 2, 2, 3);
+    RefreshHeatmap b(1, 2, 2, 3);
+    a.recordRefresh(0, 0);
+    a.recordDemand(0, 1, 10);
+    a.recordDemand(0, 1, 12); // delta 2 -> bucket 2
+    a.recordCounterTouch(0, 0);
+    b.recordRefresh(0, 0);
+    b.recordRefresh(0, 1);
+    b.recordCounterTouch(0, 3);
+    // b's demand stream starts fresh: its first access takes no
+    // distance sample even though a's lastAccess was 12.
+    b.recordDemand(0, 1, 1000);
+    a.merge(b);
+    EXPECT_EQ(a.refreshes(0, 0), 2u);
+    EXPECT_EQ(a.refreshes(0, 1), 1u);
+    EXPECT_EQ(a.demands(0, 1), 3u);
+    EXPECT_EQ(a.distanceCount(0, 1, 2), 1u);
+    EXPECT_EQ(a.counterValueCount(0, 0), 1u);
+    EXPECT_EQ(a.counterValueCount(0, 3), 1u);
+    EXPECT_TRUE(a.sameShape(b));
+}
+
+TEST(Heatmap, JsonExportParsesAndMatchesAccessors)
+{
+    RefreshHeatmap hm(1, 2, 2, 3);
+    hm.recordRefresh(0, 1);
+    hm.recordDemand(0, 0, 5);
+    hm.recordCounterTouch(1, 2);
+    std::ostringstream oss;
+    hm.writeJson(oss);
+    const minijson::Value v = minijson::parse(oss.str());
+    EXPECT_EQ(v.at("schema").str, "smartref-heatmap-v1");
+    EXPECT_EQ(v.at("ranks").number, 1.0);
+    EXPECT_EQ(v.at("banks").number, 2.0);
+    EXPECT_EQ(v.at("cells").array.size(), 2u);
+    EXPECT_EQ(v.at("cells").at(1).at("refreshes").number, 1.0);
+    EXPECT_EQ(v.at("cells").at(0).at("demandAccesses").number, 1.0);
+    EXPECT_EQ(v.at("segmentCounters").at(1).at("skips").number, 1.0);
+    EXPECT_EQ(v.at("totals").at("refreshes").number, 1.0);
+}
+
+TEST(Heatmap, CsvExportSkipsHeaderOnRequest)
+{
+    RefreshHeatmap hm(1, 1, 1, 1);
+    hm.recordRefresh(0, 0);
+    std::ostringstream with, without;
+    hm.writeCsv(with);
+    hm.writeCsv(without, /*header=*/false);
+    EXPECT_EQ(with.str(),
+              "kind,rank,bank,segment,bucket,value\n" + without.str());
+}
+
+TEST(Heatmap, SweepJobsCollectHeatmapsOnlyWhenAsked)
+{
+    SweepRunOptions off = fastOptions(1);
+    off.collectHeatmaps = false;
+    const auto plain = runSweep(heatGrid(), off);
+    for (const auto &r : plain)
+        EXPECT_EQ(r.heatmap, nullptr);
+
+    const auto collected = runSweep(heatGrid(), fastOptions(1));
+    for (const auto &r : collected) {
+        ASSERT_NE(r.heatmap, nullptr);
+        // The policy-under-test run is observed: a smart-policy job
+        // always walks counters, so touches must have been recorded.
+        EXPECT_GT(r.heatmap->totalSkips() + r.heatmap->totalExpiries(),
+                  0u);
+    }
+}
+
+TEST(Heatmap, MergedSweepExportIsByteIdenticalAcrossJobCounts)
+{
+    const SweepGrid grid = heatGrid();
+    const auto r1 = runSweep(grid, fastOptions(1));
+    const auto r8 = runSweep(grid, fastOptions(8));
+    EXPECT_EQ(heatmapJson(grid, fastOptions(1), r1),
+              heatmapJson(grid, fastOptions(8), r8));
+    EXPECT_EQ(heatmapCsv(r1), heatmapCsv(r8));
+
+    const minijson::Value v =
+        minijson::parse(heatmapJson(grid, fastOptions(1), r1));
+    EXPECT_EQ(v.at("schema").str, "smartref-sweep-heatmap-v1");
+    ASSERT_EQ(v.at("groups").array.size(), 1u); // one (config,bits) group
+    EXPECT_EQ(v.at("groups").at(0).at("jobs").number, 2.0);
+    EXPECT_TRUE(v.at("meta").has("configHash"));
+}
+
+TEST(Heatmap, TelemetryNeverPerturbsDeterministicOutputs)
+{
+    const SweepGrid grid = heatGrid();
+    const auto silent = runSweep(grid, fastOptions(1));
+
+    std::ostringstream stream;
+    SweepTelemetry telemetry(stream);
+    SweepRunOptions withTelemetry = fastOptions(8);
+    withTelemetry.telemetry = &telemetry;
+    const auto observed = runSweep(grid, withTelemetry);
+
+    // Aggregates and heatmaps must not change by a byte when a
+    // telemetry sink is attached; the stream itself must carry events.
+    EXPECT_EQ(aggregateJson(grid, fastOptions(1), silent),
+              aggregateJson(grid, withTelemetry, observed));
+    EXPECT_EQ(heatmapJson(grid, fastOptions(1), silent),
+              heatmapJson(grid, withTelemetry, observed));
+    EXPECT_NE(stream.str().find("\"event\":\"job_finish\""),
+              std::string::npos);
+    EXPECT_NE(stream.str().find("\"event\":\"sweep_finish\""),
+              std::string::npos);
+    // NDJSON: every line parses as one standalone JSON object.
+    std::istringstream lines(stream.str());
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        const minijson::Value v = minijson::parse(line);
+        EXPECT_TRUE(v.isObject()) << line;
+        EXPECT_TRUE(v.has("event")) << line;
+        ++count;
+    }
+    // 2 jobs: job_start + job_finish each, plus sweep_finish (the
+    // sweep_start event is the caller's responsibility).
+    EXPECT_EQ(count, 5u);
+}

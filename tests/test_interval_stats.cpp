@@ -92,6 +92,57 @@ TEST(IntervalStats, FinishClosesPartialInterval)
     EXPECT_EQ(sampler.samples().size(), 2u);
 }
 
+TEST(IntervalStats, FinishAtExactBoundaryEmitsNoEmptyInterval)
+{
+    EventQueue eq;
+    IntervalStats sampler(eq, 5 * kMillisecond);
+    sampler.addGauge("x", [] { return 1.0; });
+    sampler.start();
+    eq.runUntil(10 * kMillisecond); // two whole intervals, no remainder
+    sampler.finish();
+
+    // The boundary sample at t=10 already closed the second interval;
+    // finish() must not append a zero-length [10, 10] row after it.
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    EXPECT_EQ(sampler.samples()[1].end, 10 * kMillisecond);
+}
+
+TEST(IntervalStats, FinishBeforeAnyTimeElapsesEmitsNothing)
+{
+    EventQueue eq;
+    IntervalStats sampler(eq, kMillisecond);
+    sampler.addGauge("x", [] { return 1.0; });
+    sampler.start();
+    sampler.finish(); // now() == start tick: no interval to close
+    EXPECT_TRUE(sampler.samples().empty());
+    // finish() also stopped the sampler: future ticks stay silent.
+    eq.runUntil(5 * kMillisecond);
+    EXPECT_TRUE(sampler.samples().empty());
+}
+
+TEST(IntervalStats, PartialTailDeltaSurvivesIntoCsv)
+{
+    EventQueue eq;
+    double counter = 0.0;
+    IntervalStats sampler(eq, 4 * kMillisecond);
+    sampler.addDelta("count", [&counter] { return counter; });
+    sampler.start();
+    eq.scheduleAfter(1 * kMillisecond, [&counter] { counter = 3.0; });
+    eq.scheduleAfter(5 * kMillisecond, [&counter] { counter = 10.0; });
+    eq.runUntil(6 * kMillisecond);
+    sampler.finish();
+
+    // Full interval [0,4) saw 3; the flushed tail [4,6] saw the rest.
+    // Dropping the tail would silently lose 7 units of activity.
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(sampler.samples()[0].values[0], 3.0);
+    EXPECT_DOUBLE_EQ(sampler.samples()[1].values[0], 7.0);
+
+    std::ostringstream oss;
+    sampler.writeCsv(oss);
+    EXPECT_NE(oss.str().find("4,6,7"), std::string::npos);
+}
+
 TEST(IntervalStats, StopCancelsFutureSamples)
 {
     EventQueue eq;

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the run-provenance module: build identity, the shared
+ * FNV-1a hash (whose constants the pinned sweep seeds depend on), and
+ * the meta-block JSON emitted into every artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/mini_json.hh"
+#include "sim/provenance.hh"
+
+using namespace smartref;
+
+TEST(Provenance, BuildInfoIsPopulated)
+{
+    const BuildInfo &info = buildInfo();
+    // Configure-time capture can degrade to fallbacks but never to
+    // empty strings.
+    EXPECT_FALSE(info.gitSha.empty());
+    EXPECT_FALSE(info.compiler.empty());
+    EXPECT_FALSE(info.buildType.empty());
+}
+
+TEST(Provenance, Fnv1a64MatchesPinnedConstants)
+{
+    // Offset basis and prime are part of the public contract: the
+    // sweep's deriveJobSeed() hashes point keys with this function, and
+    // tests/test_sweep.cpp pins the resulting seeds.
+    EXPECT_EQ(fnv1a64(""), 1469598103934665603ULL);
+    EXPECT_EQ(fnv1a64("a"),
+              (1469598103934665603ULL ^ 'a') * 1099511628211ULL);
+}
+
+TEST(Provenance, Hex64IsFixedWidthLowercase)
+{
+    EXPECT_EQ(hex64(0), "0000000000000000");
+    EXPECT_EQ(hex64(0xdeadbeefULL), "00000000deadbeef");
+    EXPECT_EQ(hex64(~0ULL), "ffffffffffffffff");
+}
+
+TEST(Provenance, MetaJsonParsesAndCarriesBuildIdentity)
+{
+    RunMeta meta;
+    meta.schema = "smartref-test-v1";
+    meta.configHash = hex64(fnv1a64("config"));
+    meta.seedMode = "derived";
+    const minijson::Value v = minijson::parse(metaJson(meta));
+    EXPECT_EQ(v.at("schemaVersion").str, "smartref-test-v1");
+    EXPECT_EQ(v.at("gitSha").str, buildInfo().gitSha);
+    EXPECT_EQ(v.at("compiler").str, buildInfo().compiler);
+    EXPECT_EQ(v.at("buildType").str, buildInfo().buildType);
+    EXPECT_EQ(v.at("configHash").str, meta.configHash);
+    EXPECT_EQ(v.at("seedMode").str, "derived");
+}
+
+TEST(Provenance, MetaJsonOmitsEmptyRunFields)
+{
+    RunMeta meta;
+    meta.schema = "smartref-test-v1";
+    const minijson::Value v = minijson::parse(metaJson(meta));
+    EXPECT_FALSE(v.has("configHash"));
+    EXPECT_FALSE(v.has("seedMode"));
+}
+
+TEST(Provenance, MetaJsonIsDeterministic)
+{
+    RunMeta meta;
+    meta.schema = "s";
+    meta.configHash = "h";
+    // Identical inputs must serialise identically: the meta block is
+    // embedded in byte-identity-checked aggregates.
+    EXPECT_EQ(metaJson(meta), metaJson(meta));
+    std::ostringstream os;
+    writeMetaJson(os, meta);
+    EXPECT_EQ(os.str(), metaJson(meta));
+}

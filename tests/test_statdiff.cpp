@@ -1,0 +1,159 @@
+/**
+ * @file
+ * statdiff library tests: metric flattening, glob tolerance lookup,
+ * pass/fail semantics (self-diff clean, perturbations named), subset
+ * mode, and the machine JSON verdict.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "harness/statdiff.hh"
+#include "sim/mini_json.hh"
+
+using namespace smartref;
+
+namespace {
+
+std::map<std::string, double>
+flatten(const std::string &json)
+{
+    return flattenMetrics(minijson::parse(json));
+}
+
+} // namespace
+
+TEST(StatDiff, FlattenProducesDottedPathsAndSkipsMeta)
+{
+    const auto m = flatten(R"({
+        "meta": {"gitSha": "abc", "depth": 3},
+        "schema": "s-v1",
+        "top": 1,
+        "nested": {"a": 2, "b": {"c": 3}},
+        "arr": [10, {"x": 20}],
+        "flag": true,
+        "note": null
+    })");
+    EXPECT_EQ(m.count("meta.depth"), 0u); // top-level meta skipped
+    EXPECT_EQ(m.count("schema"), 0u);     // strings carry no metric
+    EXPECT_EQ(m.at("top"), 1.0);
+    EXPECT_EQ(m.at("nested.a"), 2.0);
+    EXPECT_EQ(m.at("nested.b.c"), 3.0);
+    EXPECT_EQ(m.at("arr[0]"), 10.0);
+    EXPECT_EQ(m.at("arr[1].x"), 20.0);
+    EXPECT_EQ(m.at("flag"), 1.0);
+    EXPECT_EQ(m.count("note"), 0u);
+    EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(StatDiff, GlobMatchSemantics)
+{
+    EXPECT_TRUE(globMatch("summary[*].gmean*",
+                          "summary[0].gmeanRefreshReduction"));
+    EXPECT_TRUE(globMatch("anchors.*.busNanojoulesPerAddress",
+                          "anchors.2gb.busNanojoulesPerAddress"));
+    EXPECT_TRUE(globMatch("*", "anything.at[0].all"));
+    EXPECT_FALSE(globMatch("jobs[*].seed", "summary[0].seed"));
+    EXPECT_FALSE(globMatch("a.b", "a.b.c"));
+}
+
+TEST(StatDiff, LookupPrefersExactOverGlob)
+{
+    DiffTolerances tol;
+    tol.metrics["a.*"] = {0.5, 0.0, false};
+    tol.metrics["a.b"] = {0.125, 0.0, false};
+    EXPECT_EQ(tol.lookup("a.b").abs, 0.125);
+    EXPECT_EQ(tol.lookup("a.c").abs, 0.5);
+    EXPECT_EQ(tol.lookup("z").abs, 0.0); // fallback
+}
+
+TEST(StatDiff, SelfDiffPassesExactly)
+{
+    const auto m = flatten(R"({"x": 1.25, "y": {"z": -3}})");
+    const DiffResult r = diffMetrics(m, m, DiffTolerances{});
+    EXPECT_TRUE(r.pass());
+    EXPECT_EQ(r.passed, 2u);
+    EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(StatDiff, PerturbationIsNamedAndFailsExitPath)
+{
+    const auto a = flatten(R"({"x": 100, "y": 5})");
+    const auto b = flatten(R"({"x": 103, "y": 5})");
+    const DiffResult r = diffMetrics(a, b, DiffTolerances{});
+    EXPECT_FALSE(r.pass());
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_EQ(r.failures[0].metric, "x");
+    EXPECT_EQ(r.failures[0].absDiff, 3.0);
+    EXPECT_NEAR(r.failures[0].relDiff, 3.0 / 103.0, 1e-12);
+    EXPECT_EQ(r.passed, 1u);
+}
+
+TEST(StatDiff, TolerancesAbsoluteRelativeAndIgnore)
+{
+    const auto a = flatten(R"({"abs": 10, "rel": 1000, "noisy": 1})");
+    const auto b = flatten(R"({"abs": 10.5, "rel": 1009, "noisy": 42})");
+    DiffTolerances tol = parseTolerances(R"({
+        "metrics": {
+            "abs": {"abs": 0.5},
+            "rel": {"rel": 0.01},
+            "noisy": {"ignore": true}
+        }
+    })");
+    const DiffResult r = diffMetrics(a, b, tol);
+    EXPECT_TRUE(r.pass()) << "failures: "
+                          << (r.failures.empty()
+                                  ? ""
+                                  : r.failures[0].metric);
+    EXPECT_EQ(r.passed, 2u);
+    EXPECT_EQ(r.ignored, 1u);
+
+    // Tighten the absolute tolerance below the drift: now it fails.
+    tol.metrics["abs"].abs = 0.25;
+    EXPECT_FALSE(diffMetrics(a, b, tol).pass());
+}
+
+TEST(StatDiff, MissingMetricsFailUnlessSubset)
+{
+    const auto golden = flatten(R"({"kept": 1})");
+    const auto wide = flatten(R"({"kept": 1, "extra": 2})");
+    const DiffResult strict =
+        diffMetrics(golden, wide, DiffTolerances{}, false);
+    EXPECT_FALSE(strict.pass());
+    ASSERT_EQ(strict.missingInA.size(), 1u);
+    EXPECT_EQ(strict.missingInA[0], "extra");
+
+    // Subset mode is the CI gate: goldens pin a stable subset while
+    // the schema is free to grow.
+    EXPECT_TRUE(diffMetrics(golden, wide, DiffTolerances{}, true).pass());
+
+    // A golden metric the candidate dropped fails in both modes.
+    const DiffResult gone =
+        diffMetrics(wide, golden, DiffTolerances{}, true);
+    EXPECT_FALSE(gone.pass());
+    ASSERT_EQ(gone.missingInB.size(), 1u);
+    EXPECT_EQ(gone.missingInB[0], "extra");
+}
+
+TEST(StatDiff, JsonVerdictParsesAndNamesFailures)
+{
+    const auto a = flatten(R"({"m": 1})");
+    const auto b = flatten(R"({"m": 2})");
+    std::ostringstream oss;
+    writeDiffJson(oss, diffMetrics(a, b, DiffTolerances{}));
+    const minijson::Value v = minijson::parse(oss.str());
+    EXPECT_FALSE(v.at("pass").boolean);
+    ASSERT_EQ(v.at("failures").array.size(), 1u);
+    EXPECT_EQ(v.at("failures").at(0).at("metric").str, "m");
+    EXPECT_EQ(v.at("failures").at(0).at("absDiff").number, 1.0);
+}
+
+TEST(StatDiff, MalformedTolerancesAreRejected)
+{
+    EXPECT_THROW(parseTolerances(R"({"metrics": {"m": {"abs": -1}}})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseTolerances(R"({"bogus": {}})"), std::runtime_error);
+    EXPECT_THROW(parseTolerances(R"([1, 2])"), std::runtime_error);
+}

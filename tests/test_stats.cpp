@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -67,6 +68,49 @@ TEST(Stats, HistogramWeightedSamples)
     h.sample(4.0, 3);
     EXPECT_EQ(h.samples(), 3u);
     EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Stats, HistogramPercentilesExactQuantiles)
+{
+    StatGroup root("root");
+    Histogram h(&root, "h", "", 0.0, 100.0, 10); // width 10, midpoints 5..95
+    h.sample(5.0, 50);
+    h.sample(45.0, 45);
+    h.sample(95.0, 5);
+    // rank(0.50) = 50 falls on the last sample of bucket 0 -> midpoint 5.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 5.0);
+    // rank(0.95) = 95 falls on the last sample of bucket 4 -> midpoint 45.
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 45.0);
+    // rank(0.99) = 99 reaches into bucket 9 -> midpoint 95.
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 95.0);
+}
+
+TEST(Stats, HistogramPercentileTailsUseObservedExtremes)
+{
+    StatGroup root("root");
+    Histogram h(&root, "h", "", 0.0, 10.0, 5);
+    h.sample(-5.0);  // underflow; min = -5
+    h.sample(5.0);   // bucket 2, midpoint 5
+    h.sample(100.0); // overflow; max = 100
+    // Underflow mass is reported as the observed minimum, overflow as
+    // the observed maximum — not as the bucket range bounds.
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), -5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Stats, HistogramPercentileEdgeCases)
+{
+    StatGroup root("root");
+    Histogram empty(&root, "e", "", 0.0, 10.0, 5);
+    EXPECT_TRUE(std::isnan(empty.percentile(0.5)));
+
+    Histogram one(&root, "o", "", 0.0, 10.0, 5);
+    one.sample(7.0); // bucket 3, midpoint 7
+    // Rank clamps to [1, samples]: every p maps onto the lone sample.
+    EXPECT_DOUBLE_EQ(one.percentile(0.0001), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 7.0);
 }
 
 TEST(Stats, FormulaEvaluatesLazily)

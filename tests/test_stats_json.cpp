@@ -82,6 +82,47 @@ TEST(StatsJson, RoundTripsEveryStatKind)
     EXPECT_DOUBLE_EQ(formula.at("value").number, 3.0);
 }
 
+TEST(StatsJson, HistogramExportCarriesPercentiles)
+{
+    ExportedTree t;
+    // Buckets of width 25, midpoints 12.5/37.5/62.5/87.5.
+    t.latency.sample(12.0, 50);
+    t.latency.sample(60.0, 45);
+    t.latency.sample(90.0, 5);
+    const minijson::Value doc = t.exportAndParse();
+    const minijson::Value &hist = doc.at("stats").at("sys.mem.latency");
+    EXPECT_DOUBLE_EQ(hist.at("p50").number, 12.5);
+    EXPECT_DOUBLE_EQ(hist.at("p95").number, 62.5);
+    EXPECT_DOUBLE_EQ(hist.at("p99").number, 87.5);
+}
+
+TEST(StatsJson, EmptyHistogramPercentilesBecomeNull)
+{
+    ExportedTree t;
+    const minijson::Value doc = t.exportAndParse();
+    const minijson::Value &hist = doc.at("stats").at("sys.mem.latency");
+    EXPECT_TRUE(hist.at("p50").isNull());
+    EXPECT_TRUE(hist.at("p95").isNull());
+    EXPECT_TRUE(hist.at("p99").isNull());
+}
+
+TEST(StatsJson, MetaBlockIsEmbeddedWhenProvided)
+{
+    StatGroup root("sys");
+    Scalar s(&root, "x", "");
+    s = 1.0;
+    std::ostringstream oss;
+    writeStatsJson(root, oss, "{\"schemaVersion\": \"test-v1\"}");
+    const minijson::Value doc = minijson::parse(oss.str());
+    ASSERT_TRUE(doc.has("meta"));
+    EXPECT_EQ(doc.at("meta").at("schemaVersion").str, "test-v1");
+
+    // Without a meta string the member is absent, not empty.
+    std::ostringstream plain;
+    writeStatsJson(root, plain);
+    EXPECT_FALSE(minijson::parse(plain.str()).has("meta"));
+}
+
 TEST(StatsJson, EmptyHistogramMomentsBecomeNull)
 {
     ExportedTree t;

@@ -172,6 +172,32 @@ TEST(ParallelFor, StressManySmallTasks)
     EXPECT_EQ(sum, 3ull * 4999 * 5000 / 2 + 5000);
 }
 
+TEST(ThreadPool, StatsAccountForEveryExecutedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&count] { ++count; });
+    pool.waitIdle();
+    ASSERT_EQ(count.load(), 200);
+    // Every executed task was popped exactly once, from somewhere.
+    const ThreadPool::Stats s = pool.stats();
+    EXPECT_EQ(s.localPops + s.externalPops + s.steals, 200u);
+}
+
+TEST(ThreadPool, StatsAreCumulativeAcrossBatches)
+{
+    ThreadPool pool(2);
+    parallelFor(pool, 16, [](std::size_t) {});
+    const ThreadPool::Stats first = pool.stats();
+    EXPECT_EQ(first.localPops + first.externalPops + first.steals, 16u);
+    parallelFor(pool, 16, [](std::size_t) {});
+    const ThreadPool::Stats second = pool.stats();
+    EXPECT_EQ(second.localPops + second.externalPops + second.steals,
+              32u);
+    EXPECT_GE(second.idleWaits, first.idleWaits);
+}
+
 TEST(ThreadPool, HardwareThreadsIsPositive)
 {
     EXPECT_GE(ThreadPool::hardwareThreads(), 1u);

@@ -20,6 +20,8 @@
  *                [--stats-json FILE]   machine-readable statistics dump
  *                [--stats-interval-ms N]  per-interval time series
  *                [--stats-interval-out FILE]
+ *                [--heatmap-out FILE]  spatial refresh heatmap JSON
+ *                                      (+ .csv sibling)
  *                [--trace-out FILE]    Chrome trace_event JSON timeline
  *                [--trace-csv FILE]    compact CSV timeline
  *                [--trace-categories LIST]  e.g. refresh,counter (def all)
@@ -27,14 +29,19 @@
  *                [--list]              list benchmark profiles and exit
  */
 
+#include <bit>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
+#include "ctrl/refresh_heatmap.hh"
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "sim/interval_stats.hh"
+#include "sim/provenance.hh"
 #include "sim/stats_json.hh"
 #include "sim/tracer.hh"
 #include "trace/trace.hh"
@@ -158,10 +165,12 @@ makeSampler(const CliArgs &args, EventQueue &eq, MemoryController &ctrl,
     return sampler;
 }
 
-/** End-of-run observability output: interval CSV, JSON stats, flush. */
+/** End-of-run observability output: interval CSV, JSON stats, heatmap,
+ *  flush. `configHash` ties every artifact to the same run provenance. */
 void
 finishObservability(const CliArgs &args, const StatGroup &root,
-                    IntervalStats *sampler)
+                    IntervalStats *sampler, const std::string &configHash,
+                    const RefreshHeatmap *heatmap)
 {
     if (sampler) {
         sampler->finish();
@@ -172,9 +181,34 @@ finishObservability(const CliArgs &args, const StatGroup &root,
         std::cout << "interval statistics written to " << path << "\n";
     }
     if (!args.statsJsonPath().empty()) {
-        writeStatsJson(root, args.statsJsonPath());
+        RunMeta meta;
+        meta.schema = "smartref-stats-v1";
+        meta.configHash = configHash;
+        writeStatsJson(root, args.statsJsonPath(), metaJson(meta));
         std::cout << "JSON statistics written to "
                   << args.statsJsonPath() << "\n";
+    }
+    if (heatmap) {
+        const std::string path = args.heatmapOutPath();
+        std::ofstream out(path);
+        if (!out)
+            SMARTREF_FATAL("cannot write heatmap JSON '", path, "'");
+        RunMeta meta;
+        meta.schema = "smartref-heatmap-v1";
+        meta.configHash = configHash;
+        out << "{\"schema\":\"smartref-heatmap-v1\",\"meta\":"
+            << metaJson(meta) << ",\"heatmap\":";
+        heatmap->writeJson(out);
+        out << "}\n";
+        std::filesystem::path csvPath(path);
+        csvPath.replace_extension(".csv");
+        std::ofstream csv(csvPath);
+        if (!csv)
+            SMARTREF_FATAL("cannot write heatmap CSV '",
+                           csvPath.string(), "'");
+        heatmap->writeCsv(csv);
+        std::cout << "heatmap written to " << path << " and "
+                  << csvPath.string() << "\n";
     }
     globalTracer().flush();
 }
@@ -207,6 +241,22 @@ main(int argc, char **argv)
     smart.queueCapacity = opts.segments;
     smart.autoReconfigure = opts.autoReconfigure;
 
+    // Every artifact of this run (stats JSON, heatmap) carries the same
+    // configuration hash so they can be attributed to one experiment.
+    std::ostringstream cfgKey;
+    cfgKey << "config=" << dram.name << ";policy=" << toString(policy)
+           << ";threed=" << (threed ? 1 : 0)
+           << ";classes=" << (args.has("classes") ? 1 : 0)
+           << ";bits=" << opts.counterBits
+           << ";segments=" << opts.segments
+           << ";autoReconfigure=" << (opts.autoReconfigure ? 1 : 0)
+           << ";warmupMs=" << opts.warmup / kMillisecond
+           << ";measureMs=" << opts.measure / kMillisecond
+           << ";seed=" << opts.seed << ";workload="
+           << (tracePath.empty() ? args.getString("benchmark", "mummer")
+                                 : "trace:" + tracePath);
+    const std::string configHash = hex64(fnv1a64(cfgKey.str()));
+
     std::uint64_t violations = 0;
 
     if (threed) {
@@ -214,6 +264,13 @@ main(int argc, char **argv)
         cfg.threeD = dram;
         cfg.threeDPolicy = policy;
         cfg.smart = smart;
+        std::unique_ptr<RefreshHeatmap> heatmap;
+        if (!args.heatmapOutPath().empty()) {
+            heatmap = std::make_unique<RefreshHeatmap>(
+                dram.org.ranks, dram.org.banks, opts.segments,
+                (1u << opts.counterBits) - 1);
+            cfg.heatmap = heatmap.get();
+        }
         ThreeDSystem sys(cfg);
         const std::string benchName =
             args.getString("benchmark", "mummer");
@@ -241,7 +298,8 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
-        finishObservability(args, sys, sampler.get());
+        finishObservability(args, sys, sampler.get(), configHash,
+                            cfg.heatmap);
     } else {
         SystemConfig cfg;
         cfg.dram = dram;
@@ -255,6 +313,19 @@ main(int argc, char **argv)
             cp.seed = opts.seed;
             cfg.retentionClasses = std::make_shared<RetentionClassMap>(
                 dram.org.totalRows(), cp);
+        }
+        std::unique_ptr<RefreshHeatmap> heatmap;
+        if (!args.heatmapOutPath().empty()) {
+            // Retention classes widen the counters (multi-rate rows),
+            // so the heatmap's value axis must widen with them.
+            std::uint32_t bits = opts.counterBits;
+            if (cfg.retentionClasses)
+                bits += static_cast<std::uint32_t>(std::bit_width(
+                    cfg.retentionClasses->maxMultiplier() - 1));
+            heatmap = std::make_unique<RefreshHeatmap>(
+                dram.org.ranks, dram.org.banks, opts.segments,
+                (1u << bits) - 1);
+            cfg.heatmap = heatmap.get();
         }
         System sys(cfg);
         auto sampler = makeSampler(args, sys.eventQueue(),
@@ -316,7 +387,8 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
-        finishObservability(args, sys, sampler.get());
+        finishObservability(args, sys, sampler.get(), configHash,
+                            cfg.heatmap);
     }
 
     return violations == 0 ? 0 : 1;

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * smartref_statdiff — structural diff of two stats/sweep JSON files.
+ *
+ * Flattens both documents into dotted metric paths, compares every
+ * numeric leaf under per-metric absolute/relative tolerances, and
+ * reports a human table plus an optional machine JSON verdict. CI uses
+ * it as the golden gate of the sweep-smoke job: the golden file pins a
+ * stable subset of metrics, the tolerance file says how far each may
+ * drift (ci/golden_tolerances.json).
+ *
+ * Usage:
+ *   smartref_statdiff A.json B.json
+ *                     [--tolerances FILE]  per-metric tolerance table
+ *                     [--subset]           metrics only in B are OK
+ *                     [--json-out FILE]    machine verdict JSON
+ *                     [--quiet]            suppress the human report
+ *
+ * Exit codes: 0 = within tolerance, 1 = differences found,
+ *             2 = usage or I/O error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/statdiff.hh"
+
+using namespace smartref;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " A.json B.json [--tolerances FILE] [--subset]"
+                 " [--json-out FILE] [--quiet]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    std::string tolerancesPath;
+    std::string jsonOutPath;
+    bool subset = false;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tolerances" || arg == "--json-out") {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                return usage(argv[0]);
+            }
+            (arg == "--tolerances" ? tolerancesPath : jsonOutPath) =
+                argv[++i];
+        } else if (arg == "--subset") {
+            subset = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown flag '" << arg << "'\n";
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2)
+        return usage(argv[0]);
+
+    try {
+        DiffTolerances tolerances;
+        if (!tolerancesPath.empty())
+            tolerances = loadTolerances(tolerancesPath);
+        const auto a = loadMetrics(files[0]);
+        const auto b = loadMetrics(files[1]);
+        const DiffResult result = diffMetrics(a, b, tolerances, subset);
+        if (!quiet)
+            writeDiffReport(std::cout, result);
+        if (!jsonOutPath.empty()) {
+            std::ofstream out(jsonOutPath);
+            if (!out) {
+                std::cerr << "cannot write '" << jsonOutPath << "'\n";
+                return 2;
+            }
+            writeDiffJson(out, result);
+        }
+        return result.pass() ? 0 : 1;
+    } catch (const std::exception &e) {
+        // SMARTREF_FATAL and the JSON parser both throw runtime_error.
+        std::cerr << "smartref_statdiff: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -17,6 +17,11 @@
  *                                        write one CSV per figure
  *                  [--timing FILE]       wall-clock timing JSON (not
  *                                        deterministic; CI artifact)
+ *                  [--heatmap-out FILE]  merged spatial refresh heatmap
+ *                                        JSON (+ .csv sibling); still
+ *                                        byte-identical for any -j N
+ *                  [--telemetry-out FILE] live NDJSON execution
+ *                                        telemetry (not deterministic)
  *                  [--seed S] [--seed-mode derived|fixed]
  *                  [--warmup-ms N] [--measure-ms N] [--segments N]
  *                  [--no-auto] [--progress]
@@ -32,9 +37,13 @@
 #include <fstream>
 #include <iostream>
 
+#include <memory>
+
 #include "harness/cli.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
+#include "harness/sweep_telemetry.hh"
+#include "sim/provenance.hh"
 #include "sim/thread_pool.hh"
 
 using namespace smartref;
@@ -136,7 +145,7 @@ resolveGrid(const CliArgs &args)
  */
 void
 writeTiming(const std::string &path, const SweepGrid &grid,
-            unsigned jobs, double wallSeconds,
+            const SweepRunOptions &opts, double wallSeconds,
             const std::vector<SweepJobResult> &results)
 {
     double jobSeconds = 0.0;
@@ -145,13 +154,17 @@ writeTiming(const std::string &path, const SweepGrid &grid,
     std::ofstream out(path);
     if (!out)
         SMARTREF_FATAL("cannot write timing JSON '", path, "'");
-    out << "{\"grid\":\"" << grid.name << "\",\"jobs\":" << jobs
+    RunMeta meta;
+    meta.schema = "smartref-sweep-timing-v1";
+    meta.configHash = sweepConfigHash(grid, opts);
+    out << "{\"meta\":" << metaJson(meta) << ",\"grid\":\"" << grid.name
+        << "\",\"jobs\":" << opts.jobs
         << ",\"jobCount\":" << results.size()
         << ",\"wallSeconds\":" << wallSeconds
         << ",\"cpuJobSeconds\":" << jobSeconds
         << ",\"parallelEfficiency\":"
-        << (wallSeconds > 0.0 && jobs > 0
-                ? jobSeconds / (wallSeconds * jobs)
+        << (wallSeconds > 0.0 && opts.jobs > 0
+                ? jobSeconds / (wallSeconds * opts.jobs)
                 : 0.0)
         << "}\n";
 }
@@ -193,9 +206,25 @@ main(int argc, char **argv)
         args.getString("json", outDir + "/" + grid.name + "_sweep.json");
     const std::string csvPath =
         args.getString("csv", outDir + "/" + grid.name + "_sweep.csv");
+    const std::string heatmapPath = args.heatmapOutPath();
+    opts.collectHeatmaps = !heatmapPath.empty();
 
-    std::cerr << "sweep '" << grid.name << "': "
-              << expandGrid(grid, opts.baseSeed, opts.seedMode).size()
+    std::unique_ptr<SweepTelemetry> telemetry;
+    const std::size_t jobCount =
+        expandGrid(grid, opts.baseSeed, opts.seedMode).size();
+    if (args.has("telemetry-out")) {
+        telemetry =
+            std::make_unique<SweepTelemetry>(args.telemetryOutPath());
+        RunMeta meta;
+        meta.schema = "smartref-sweep-telemetry-v1";
+        meta.configHash = sweepConfigHash(grid, opts);
+        meta.seedMode = seedMode;
+        telemetry->sweepStart(grid.name, jobCount, opts.jobs,
+                              metaJson(meta));
+        opts.telemetry = telemetry.get();
+    }
+
+    std::cerr << "sweep '" << grid.name << "': " << jobCount
               << " jobs on " << opts.jobs << " worker(s)" << std::endl;
 
     const auto start = std::chrono::steady_clock::now();
@@ -209,6 +238,17 @@ main(int argc, char **argv)
     writeSweepCsv(results, csvPath);
     std::cout << "aggregate JSON written to " << jsonPath << "\n"
               << "per-job CSV written to " << csvPath << "\n";
+
+    if (!heatmapPath.empty()) {
+        writeSweepHeatmapJson(grid, opts, results, heatmapPath);
+        // Sibling CSV: foo.json -> foo.csv (or foo + ".csv").
+        std::filesystem::path heatmapCsv(heatmapPath);
+        heatmapCsv.replace_extension(".csv");
+        writeSweepHeatmapCsv(results, heatmapCsv.string());
+        std::cout << "heatmap JSON written to " << heatmapPath << "\n"
+                  << "heatmap CSV written to " << heatmapCsv.string()
+                  << "\n";
+    }
 
     if (args.has("figures")) {
         // One figure set per config that has one; comparisons for a
@@ -225,8 +265,8 @@ main(int argc, char **argv)
     }
 
     if (args.has("timing"))
-        writeTiming(args.getString("timing"), grid, opts.jobs,
-                    wallSeconds, results);
+        writeTiming(args.getString("timing"), grid, opts, wallSeconds,
+                    results);
 
     const std::uint64_t violations = totalViolations(results);
     if (violations > 0) {
