@@ -27,7 +27,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "ctrl/refresh_audit.hh"
 #include "ctrl/refresh_heatmap.hh"
+#include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
 namespace smartref {
@@ -79,6 +81,27 @@ class CounterArray
      */
     void setHeatmap(RefreshHeatmap *heatmap) { heatmap_ = heatmap; }
     RefreshHeatmap *heatmap() const { return heatmap_; }
+
+    /**
+     * Attach a refresh decision audit trail (not owned, may be null):
+     * every walk touch that finds a non-zero counter — a refresh
+     * opportunity skipped because an intervening access or refresh
+     * reset the countdown — records a SkippedCounterReset outcome.
+     * @p eq provides the timestamp; @p banks/@p rows decode the
+     * logical counter index back into (rank, bank, row).
+     */
+    void
+    setAudit(RefreshAudit *audit, const EventQueue *eq,
+             std::uint32_t banks, std::uint32_t rows)
+    {
+        audit_ = audit;
+        auditEq_ = eq;
+        auditBanks_ = banks;
+        auditRows_ = rows;
+        SMARTREF_ASSERT(!audit_ || (auditEq_ && banks > 0 && rows > 0 &&
+                                    std::uint64_t(banks) * rows > 0),
+                        "audit decode shape must be non-empty");
+    }
 
     /**
      * Physical byte position of logical counter i: the index-mapping
@@ -182,6 +205,10 @@ class CounterArray
         for (std::uint32_t s = 0; s < interleave_; ++s) {
             if (heatmap_)
                 heatmap_->recordCounterTouch(s, values_[base + s]);
+#ifndef SMARTREF_AUDIT_DISABLED
+            if (audit_ && values_[base + s] != 0)
+                recordWalkSkip(std::uint64_t(s) * perSegment_ + pos);
+#endif
             if (touchPhys(base + s))
                 expired(s);
         }
@@ -194,6 +221,19 @@ class CounterArray
     ///@}
 
   private:
+    /** Record a SkippedCounterReset for logical counter index `idx`. */
+    void
+    recordWalkSkip(std::uint64_t idx)
+    {
+        const auto row = static_cast<std::uint32_t>(idx % auditRows_);
+        const std::uint64_t rb = idx / auditRows_;
+        const auto bank = static_cast<std::uint32_t>(rb % auditBanks_);
+        const auto rank = static_cast<std::uint32_t>(rb / auditBanks_);
+        audit_->record(auditEq_->now(), rank, bank, row,
+                       AuditOutcome::SkippedCounterReset,
+                       AuditSource::SmartWalk);
+    }
+
     /** Touch by physical position; traffic is billed by the caller. */
     bool
     touchPhys(std::uint64_t p)
@@ -217,6 +257,10 @@ class CounterArray
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     RefreshHeatmap *heatmap_ = nullptr;
+    RefreshAudit *audit_ = nullptr;
+    const EventQueue *auditEq_ = nullptr;
+    std::uint32_t auditBanks_ = 0;
+    std::uint32_t auditRows_ = 0;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "sim/logging.hh"
+#include "sim/phase_profiler.hh"
 #include "sim/tracer.hh"
 
 namespace smartref {
@@ -107,6 +108,7 @@ SmartRefreshPolicy::doStep(std::uint64_t generation)
 {
     if (!countersActive_ || generation != stepGen_)
         return;
+    PhaseScope walkScope(profiler_, "walk");
     // Expired counters are emitted spread across the step interval (the
     // pending queue dispatches one refresh per sub-slot) so that a step
     // never slams all banks with simultaneous refreshes.
@@ -118,6 +120,12 @@ SmartRefreshPolicy::doStep(std::uint64_t generation)
         if (delay == 0) {
             emitSmartRefresh(idx);
         } else {
+            SMARTREF_AUDIT_RECORD(
+                audit_, eq_.now(),
+                static_cast<std::uint32_t>((idx / org_.rows) / org_.banks),
+                static_cast<std::uint32_t>((idx / org_.rows) % org_.banks),
+                static_cast<std::uint32_t>(idx % org_.rows),
+                AuditOutcome::Deferred, AuditSource::SmartSchedule);
             eq_.scheduleAfter(delay,
                               [this, idx] { emitSmartRefresh(idx); });
         }
@@ -309,6 +317,13 @@ SmartRefreshPolicy::setHeatmap(RefreshHeatmap *heatmap)
                         unsigned(counters_->maxValue()), ")");
     }
     counters_->setHeatmap(heatmap);
+}
+
+void
+SmartRefreshPolicy::setAudit(RefreshAudit *audit)
+{
+    audit_ = audit;
+    counters_->setAudit(audit, &eq_, org_.banks, org_.rows);
 }
 
 void

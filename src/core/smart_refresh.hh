@@ -43,6 +43,8 @@
 
 namespace smartref {
 
+class PhaseProfiler;
+
 /** Tunables for SmartRefreshPolicy. */
 struct SmartRefreshConfig
 {
@@ -141,6 +143,18 @@ class SmartRefreshPolicy : public RefreshPolicy
      */
     void setHeatmap(RefreshHeatmap *heatmap);
 
+    /**
+     * Attach a refresh decision audit trail (not owned, may be null):
+     * walk touches that skip a refresh record SkippedCounterReset (via
+     * the counter array) and expired counters whose refresh is pushed
+     * to a later stagger sub-slot record Deferred.
+     */
+    void setAudit(RefreshAudit *audit) override;
+
+    /** Attach a phase profiler (not owned, may be null): the counter
+     *  walk runs under a "walk" scope. */
+    void setProfiler(PhaseProfiler *profiler) { profiler_ = profiler; }
+
   private:
     std::uint64_t
     counterIndex(std::uint32_t rank, std::uint32_t bank,
@@ -182,6 +196,8 @@ class SmartRefreshPolicy : public RefreshPolicy
     std::uint32_t nextCbrRank_ = 0;
     std::uint64_t syncedReads_ = 0;
     std::uint64_t syncedWrites_ = 0;
+    RefreshAudit *audit_ = nullptr;
+    PhaseProfiler *profiler_ = nullptr;
 
     Scalar smartRequested_;
     Scalar cbrRequested_;

@@ -2,8 +2,10 @@
 
 #include <utility>
 
+#include "ctrl/refresh_audit.hh"
 #include "ctrl/refresh_heatmap.hh"
 #include "sim/logging.hh"
+#include "sim/phase_profiler.hh"
 #include "sim/tracer.hh"
 
 namespace smartref {
@@ -134,6 +136,7 @@ MemoryController::kick(std::size_t engineIdx)
 void
 MemoryController::startItem(std::size_t engineIdx, Item item)
 {
+    PhaseScope issueScope(profiler_, "issue");
     if (item.kind == Item::Kind::Demand)
         runDemand(engineIdx, std::move(item));
     else
@@ -314,6 +317,7 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
     // row was written back without any shared out-of-band state.
     issueWhenReady(cmd, [this, engineIdx, req](Tick, bool rowWasOpen,
                                                std::uint32_t openRow) {
+        PhaseScope drainScope(profiler_, "drain");
         SMARTREF_ASSERT(refreshBacklog_ > 0, "refresh backlog underflow");
         --refreshBacklog_;
         maxRefreshDelay_ = std::max(maxRefreshDelay_,
@@ -327,6 +331,13 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
                                static_cast<double>(refreshBacklog_));
         if (heatmap_)
             heatmap_->recordRefresh(req.rank, req.bank);
+        // The deadline-driven CBR fallback path is what the policy could
+        // not avoid; an addressed refresh is a decision the policy made.
+        SMARTREF_AUDIT_RECORD(audit_, eq_.now(), req.rank, req.bank,
+                              req.row,
+                              req.cbr ? AuditOutcome::ForcedDeadline
+                                      : AuditOutcome::Issued,
+                              AuditSource::Controller);
         if (policy_) {
             if (rowWasOpen)
                 policy_->onRowClosed(req.rank, req.bank, openRow);

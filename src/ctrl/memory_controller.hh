@@ -27,6 +27,7 @@
 
 namespace smartref {
 
+class PhaseProfiler;
 class RefreshHeatmap;
 
 /** Controller tunables. */
@@ -61,6 +62,21 @@ class MemoryController : public StatGroup
      * refresh issues at the tick the device accepts them.
      */
     void setHeatmap(RefreshHeatmap *heatmap) { heatmap_ = heatmap; }
+
+    /**
+     * Attach a refresh decision audit trail (not owned, may be null).
+     * Every refresh the device accepts is recorded at its issue tick:
+     * ForcedDeadline for CBR fallback refreshes (the unconditional
+     * deadline path), Issued for policy-requested addressed refreshes.
+     */
+    void setAudit(RefreshAudit *audit) { audit_ = audit; }
+
+    /**
+     * Attach a phase profiler (not owned, may be null): engine item
+     * starts run under an "issue" scope and refresh completions under
+     * a "drain" scope.
+     */
+    void setProfiler(PhaseProfiler *profiler) { profiler_ = profiler; }
 
     /**
      * Submit a demand access arriving now.
@@ -171,6 +187,8 @@ class MemoryController : public StatGroup
     AddressMapper mapper_;
     RefreshPolicy *policy_ = nullptr;
     RefreshHeatmap *heatmap_ = nullptr;
+    RefreshAudit *audit_ = nullptr;
+    PhaseProfiler *profiler_ = nullptr;
 
     std::vector<Engine> engines_;
     /**

@@ -21,6 +21,7 @@
 namespace smartref {
 
 class MemoryController;
+class RefreshAudit;
 
 /** Abstract base for refresh policies. */
 class RefreshPolicy : public StatGroup
@@ -62,6 +63,14 @@ class RefreshPolicy : public StatGroup
     /** A refresh request from this policy was issued to the device. */
     virtual void onRefreshIssued(const RefreshRequest &req) { (void)req; }
     ///@}
+
+    /**
+     * Attach a refresh decision audit trail (pure observation; not
+     * owned, may be null). Policies without skip/defer decisions keep
+     * the default no-op: their issued refreshes are audited by the
+     * controller.
+     */
+    virtual void setAudit(RefreshAudit *audit) { (void)audit; }
 
     /**
      * Controller-overhead energy attributable to this policy (bus

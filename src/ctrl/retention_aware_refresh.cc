@@ -1,5 +1,6 @@
 #include "ctrl/retention_aware_refresh.hh"
 
+#include "ctrl/refresh_audit.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
 
@@ -66,6 +67,9 @@ RetentionAwarePolicy::step()
         ctrl_->pushRefresh(req);
     } else {
         ++skipped_;
+        SMARTREF_AUDIT_RECORD(audit_, eq_.now(), rank, bank, row,
+                              AuditOutcome::SkippedRecentAccess,
+                              AuditSource::RetentionAware);
         SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(),
                        "retentionAwareSkipped", rank, bank, row);
     }

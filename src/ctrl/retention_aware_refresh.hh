@@ -38,6 +38,14 @@ class RetentionAwarePolicy : public RefreshPolicy
 
     void start() override;
     void onRefreshIssued(const RefreshRequest &req) override;
+
+    /**
+     * Attach a refresh decision audit trail (not owned, may be null):
+     * walk visits skipped because the row's last restore is still fresh
+     * against its class deadline record SkippedRecentAccess.
+     */
+    void setAudit(RefreshAudit *audit) override { audit_ = audit; }
+
     double overheadEnergy() const override { return bus_.totalEnergy(); }
     std::string policyName() const override { return "retention-aware"; }
 
@@ -66,6 +74,7 @@ class RetentionAwarePolicy : public RefreshPolicy
     std::uint64_t walkIndex_ = 0;
     /** Next tick each row's refresh becomes due (flat index order). */
     std::vector<Tick> due_;
+    RefreshAudit *audit_ = nullptr;
 
     Scalar requested_;
     Scalar skipped_;

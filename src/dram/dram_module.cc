@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dram/energy_ledger.hh"
 #include "sim/logging.hh"
 #include "sim/tracer.hh"
 
@@ -119,6 +120,10 @@ DramModule::issue(const DramCommand &cmd)
         bank.activate(cmd.row, now, cfg_.timing);
         rank.noteActivate(now, cfg_.timing);
         power_.onActivatePair();
+        if (ledger_) {
+            ledger_->onActivate(now, cmd.rank, cmd.bank,
+                                power_.energyPerActivatePair());
+        }
         ++acts_;
         SMARTREF_TRACE(TraceCategory::Dram, now, "ACT", cmd.rank,
                        cmd.bank, cmd.row, 0.0, cfg_.timing.tRCD);
@@ -153,11 +158,19 @@ DramModule::issue(const DramCommand &cmd)
         if (cmd.type == DramCommandType::Read) {
             bank.read(now, cfg_.timing);
             power_.onRead();
+            if (ledger_) {
+                ledger_->onRead(now, cmd.rank, cmd.bank,
+                                power_.energyPerRead());
+            }
             ++reads_;
             rank.noteBusy(done);
         } else {
             bank.write(now, cfg_.timing);
             power_.onWrite();
+            if (ledger_) {
+                ledger_->onWrite(now, cmd.rank, cmd.bank,
+                                 power_.energyPerWrite());
+            }
             ++writes_;
             rank.noteBusy(done + cfg_.timing.tWR);
         }
@@ -195,6 +208,11 @@ DramModule::issueRefresh(std::uint32_t rankIdx, std::uint32_t bankIdx,
     const Tick done = bank.refresh(now, cfg_.timing, wasOpen);
     retention_.onRefresh(rankIdx, bankIdx, row, done);
     power_.onRowRefresh(wasOpen);
+    if (ledger_) {
+        ledger_->onRefresh(now, rankIdx, bankIdx, wasOpen,
+                           power_.energyPerRowRefresh(),
+                           power_.energyOpenPagePenalty());
+    }
     SMARTREF_TRACE(TraceCategory::Dram, now,
                    ras ? "REF.ras" : "REF.cbr", rankIdx, bankIdx, row,
                    wasOpen ? 1.0 : 0.0, done - now);
@@ -212,26 +230,46 @@ DramModule::integrateBackground(Rank &rank, Tick upTo)
         return;
     rank.setPowerIntegratedTo(upTo);
 
+    const auto rankIdx =
+        static_cast<std::uint32_t>(&rank - ranks_.data());
+    auto account = [&](RankPowerState state, Tick begin, Tick end) {
+        power_.accountBackground(state, end - begin);
+        if (ledger_) {
+            ledger_->onBackground(begin, end, rankIdx, state,
+                                  power_.backgroundPower(state));
+        }
+    };
+
     if (rank.anyBankOpen()) {
-        power_.accountBackground(RankPowerState::ActiveStandby, upTo - from);
+        account(RankPowerState::ActiveStandby, from, upTo);
         return;
     }
     if (!cfg_.allowPowerDown) {
-        power_.accountBackground(RankPowerState::PrechargeStandby,
-                                 upTo - from);
+        account(RankPowerState::PrechargeStandby, from, upTo);
         return;
     }
     // All banks precharged: the rank idles in standby for powerDownDelay
     // after its last activity, then drops into power-down.
     const Tick pdStart = rank.lastBusyEnd() + cfg_.timing.powerDownDelay;
     const Tick standbyEnd = std::clamp(pdStart, from, upTo);
-    if (standbyEnd > from) {
-        power_.accountBackground(RankPowerState::PrechargeStandby,
-                                 standbyEnd - from);
-    }
+    if (standbyEnd > from)
+        account(RankPowerState::PrechargeStandby, from, standbyEnd);
     if (upTo > standbyEnd)
-        power_.accountBackground(RankPowerState::PowerDown,
-                                 upTo - standbyEnd);
+        account(RankPowerState::PowerDown, standbyEnd, upTo);
+}
+
+bool
+DramModule::verifyLedger(bool fatalOnMismatch) const
+{
+    if (!ledger_)
+        return true;
+    const ConservationReport rep = ledger_->reconcile(
+        power_, activates(), reads(), writes());
+    if (!rep.pass && fatalOnMismatch) {
+        SMARTREF_FATAL("energy ledger conservation violated on '",
+                       statName(), "': ", rep.detail);
+    }
+    return rep.pass;
 }
 
 void
@@ -239,6 +277,12 @@ DramModule::finalize()
 {
     for (Rank &rank : ranks_)
         integrateBackground(rank, eq_.now());
+#ifndef NDEBUG
+    // SMARTREF_ASSERT is always compiled in, so the debug-only
+    // conservation invariant is gated explicitly.
+    if (!verifyLedger(true))
+        SMARTREF_PANIC("energy ledger conservation violated");
+#endif
 }
 
 } // namespace smartref

@@ -24,6 +24,8 @@
 
 namespace smartref {
 
+class EnergyLedger;
+
 /** One DRAM module with its ranks, banks, power and retention models. */
 class DramModule : public StatGroup
 {
@@ -99,6 +101,23 @@ class DramModule : public StatGroup
     ///@}
 
     /**
+     * Attach an energy attribution ledger (pure observation; not
+     * owned, must outlive the module). The ledger only sees events
+     * from the point of attachment, so attach it before any traffic
+     * or its conservation check will fail.
+     */
+    void setLedger(EnergyLedger *ledger) { ledger_ = ledger; }
+
+    const EnergyLedger *ledger() const { return ledger_; }
+
+    /**
+     * Check the attached ledger against the power model's statistics
+     * (no-op without a ledger). @return true when conserved; fatal
+     * instead of returning false when @p fatalOnMismatch.
+     */
+    bool verifyLedger(bool fatalOnMismatch) const;
+
+    /**
      * Integrate background power up to the current tick. Must be called
      * once at the end of a simulation before reading energies.
      */
@@ -121,6 +140,7 @@ class DramModule : public StatGroup
     EventQueue &eq_;
     std::vector<Rank> ranks_;
     Tick dataBusFreeAt_ = 0;
+    EnergyLedger *ledger_ = nullptr;
 
     DramPowerModel power_;
     RetentionTracker retention_;

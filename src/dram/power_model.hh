@@ -74,6 +74,21 @@ class DramPowerModel : public StatGroup
     }
     ///@}
 
+    /** @name Refresh operation counts (for the energy ledger). */
+    ///@{
+    std::uint64_t
+    refreshOpsClosed() const
+    {
+        return static_cast<std::uint64_t>(refreshOpsClosed_.value());
+    }
+
+    std::uint64_t
+    refreshOpsOpen() const
+    {
+        return static_cast<std::uint64_t>(refreshOpsOpen_.value());
+    }
+    ///@}
+
     /** @name Per-command energy constants (joules), for tests. */
     ///@{
     double energyPerActivatePair() const { return eAct_; }

@@ -86,6 +86,38 @@ class CliArgs
         return getString("telemetry-out");
     }
 
+    /** @name Audit / ledger / profiler output flags. */
+    ///@{
+    /** Value of --audit-out: binary refresh-audit trail path. */
+    std::string auditOutPath() const { return getString("audit-out"); }
+
+    /** Value of --audit-json: NDJSON refresh-audit trail path. */
+    std::string auditJsonPath() const { return getString("audit-json"); }
+
+    /** Value of --ledger-out: energy attribution ledger JSON path. */
+    std::string ledgerOutPath() const { return getString("ledger-out"); }
+
+    /** Value of --ledger-csv: per-interval ledger grid CSV path. */
+    std::string ledgerCsvPath() const { return getString("ledger-csv"); }
+
+    /**
+     * Value of --ledger-check: conservation-check JSON path (shadow
+     * totals in the stats-JSON shape, for smartref_statdiff --subset).
+     */
+    std::string
+    ledgerCheckPath() const
+    {
+        return getString("ledger-check");
+    }
+
+    /** Value of --profile-out: standalone phase-profile JSON path. */
+    std::string
+    profileOutPath() const
+    {
+        return getString("profile-out");
+    }
+    ///@}
+
   private:
     std::map<std::string, std::string> values_;
 };

@@ -4,7 +4,9 @@
 #include <iostream>
 #include <mutex>
 
+#include "dram/energy_ledger.hh"
 #include "sim/logging.hh"
+#include "sim/phase_profiler.hh"
 #include "sim/thread_pool.hh"
 
 namespace smartref {
@@ -129,6 +131,15 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
     cfg.policy = policy;
     cfg.smart = smartConfig(opts);
     cfg.heatmap = opts.heatmap;
+    cfg.audit = opts.audit;
+    cfg.ledger = opts.ledger;
+    cfg.profiler = opts.profiler;
+    std::unique_ptr<EnergyLedger> checkLedger;
+    if (opts.checkConservation && !cfg.ledger) {
+        checkLedger = std::make_unique<EnergyLedger>(
+            EnergyLedger::Shape{dram.org.ranks, dram.org.banks});
+        cfg.ledger = checkLedger.get();
+    }
     System sys(cfg);
     for (const auto &wp :
          conventionalParams(profile, dram, absRowScale, opts.seed)) {
@@ -145,6 +156,9 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
     EnergySnapshot delta = atEnd - atWarm;
     delta.violations += stale;
 
+    if (opts.checkConservation)
+        sys.dram().verifyLedger(true);
+
     RunResult r = reduce(profile.name, profile.suite, toString(policy),
                          delta, sys.controller().maxRefreshBacklog());
     r.eventsExecuted = sys.eventQueue().executed();
@@ -158,14 +172,23 @@ compareConventional(const BenchmarkProfile &profile, const DramConfig &dram,
     ComparisonResult c;
     c.benchmark = profile.name;
     c.suite = profile.suite;
-    // The heatmap observes the policy under test only; the baseline run
-    // would otherwise double every spatial counter.
+    // The heatmap, audit trail and ledger observe the policy under test
+    // only; the baseline run would otherwise double every counter. The
+    // profiler covers both runs under separate stage scopes.
     ExperimentOptions baseOpts = opts;
     baseOpts.heatmap = nullptr;
-    c.baseline = runConventional(profile, dram, PolicyKind::Cbr, baseOpts,
-                                 absRowScale);
-    c.smart = runConventional(profile, dram, PolicyKind::Smart, opts,
-                              absRowScale);
+    baseOpts.audit = nullptr;
+    baseOpts.ledger = nullptr;
+    {
+        PhaseScope stage(opts.profiler, "baseline");
+        c.baseline = runConventional(profile, dram, PolicyKind::Cbr,
+                                     baseOpts, absRowScale);
+    }
+    {
+        PhaseScope stage(opts.profiler, "policy");
+        c.smart = runConventional(profile, dram, PolicyKind::Smart, opts,
+                                  absRowScale);
+    }
     return c;
 }
 
@@ -182,6 +205,15 @@ runThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     cfg.threeDPolicy = policy;
     cfg.smart = smartConfig(opts);
     cfg.heatmap = opts.heatmap;
+    cfg.audit = opts.audit;
+    cfg.ledger = opts.ledger;
+    cfg.profiler = opts.profiler;
+    std::unique_ptr<EnergyLedger> checkLedger;
+    if (opts.checkConservation && !cfg.ledger) {
+        checkLedger = std::make_unique<EnergyLedger>(
+            EnergyLedger::Shape{threeD.org.ranks, threeD.org.banks});
+        cfg.ledger = checkLedger.get();
+    }
     ThreeDSystem sys(cfg);
     for (const auto &wp : threeDParams(profile, threeD, opts.seed))
         sys.addWorkload(wp);
@@ -195,6 +227,9 @@ runThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
         sys.threeDDram().retention().finalCheck(sys.eventQueue().now());
     EnergySnapshot delta = atEnd - atWarm;
     delta.violations += stale;
+
+    if (opts.checkConservation)
+        sys.threeDDram().verifyLedger(true);
 
     RunResult r = reduce(profile.name, profile.suite, toString(policy),
                          delta, sys.threeDController().maxRefreshBacklog());
@@ -211,8 +246,16 @@ compareThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     c.suite = profile.suite;
     ExperimentOptions baseOpts = opts;
     baseOpts.heatmap = nullptr;
-    c.baseline = runThreeD(profile, threeD, PolicyKind::Cbr, baseOpts);
-    c.smart = runThreeD(profile, threeD, PolicyKind::Smart, opts);
+    baseOpts.audit = nullptr;
+    baseOpts.ledger = nullptr;
+    {
+        PhaseScope stage(opts.profiler, "baseline");
+        c.baseline = runThreeD(profile, threeD, PolicyKind::Cbr, baseOpts);
+    }
+    {
+        PhaseScope stage(opts.profiler, "policy");
+        c.smart = runThreeD(profile, threeD, PolicyKind::Smart, opts);
+    }
     return c;
 }
 

@@ -145,6 +145,26 @@ struct ExperimentOptions
      * it only to the run they want observed.
      */
     RefreshHeatmap *heatmap = nullptr;
+    /**
+     * Optional refresh decision audit trail and energy ledger (not
+     * owned), attached like the heatmap: to the run under test only
+     * (the baseline run of a comparison is not observed).
+     */
+    RefreshAudit *audit = nullptr;
+    EnergyLedger *ledger = nullptr;
+    /**
+     * Optional phase profiler (not owned), attached to *both* runs of a
+     * comparison — each run executes under its own "baseline"/"policy"
+     * stage scope, so its walk/issue/drain children stay separable.
+     * Host wall times feed telemetry only, never deterministic output.
+     */
+    PhaseProfiler *profiler = nullptr;
+    /**
+     * Verify the energy-conservation invariant at the end of every run:
+     * when no ledger is attached, a throwaway one is wired up for the
+     * check. Fatal (std::runtime_error) on a violation.
+     */
+    bool checkConservation = false;
 };
 
 /** Run one benchmark on a conventional module with one policy. */

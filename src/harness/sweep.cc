@@ -17,6 +17,7 @@
 #include "harness/threed_system.hh"
 #include "sim/logging.hh"
 #include "sim/mini_json.hh"
+#include "sim/phase_profiler.hh"
 #include "sim/provenance.hh"
 #include "sim/thread_pool.hh"
 #include "trace/benchmark_profiles.hh"
@@ -220,6 +221,10 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
     eo.autoReconfigure = opts.autoReconfigure;
     eo.seed = job.seed;
     eo.logLevel = opts.logLevel;
+    eo.checkConservation = opts.checkConservation;
+    PhaseProfiler profiler; // this job's own; jobs never share one
+    if (opts.profile)
+        eo.profiler = &profiler;
 
     const BenchmarkProfile &profile = findProfile(job.point.benchmark);
     const PolicyKind policy = policyFromString(job.point.policy);
@@ -241,19 +246,29 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
     ExperimentOptions eoBase = eo;
     eoBase.heatmap = nullptr;
     if (isThreeDConfigName(job.point.config)) {
-        result.comparison.baseline =
-            runThreeD(profile, dram, PolicyKind::Cbr, eoBase);
+        {
+            PhaseScope stage(eo.profiler, "baseline");
+            result.comparison.baseline =
+                runThreeD(profile, dram, PolicyKind::Cbr, eoBase);
+        }
+        PhaseScope stage(eo.profiler, "policy");
         result.comparison.smart = runThreeD(profile, dram, policy, eo);
     } else {
         // The 4 GB module spreads each footprint over ~1.3x the rows
         // of the 2 GB calibration (see benchmark_profiles.hh).
         const double scale =
             job.point.config == "4gb" ? kFourGBRowScale : 1.0;
-        result.comparison.baseline =
-            runConventional(profile, dram, PolicyKind::Cbr, eoBase, scale);
+        {
+            PhaseScope stage(eo.profiler, "baseline");
+            result.comparison.baseline = runConventional(
+                profile, dram, PolicyKind::Cbr, eoBase, scale);
+        }
+        PhaseScope stage(eo.profiler, "policy");
         result.comparison.smart =
             runConventional(profile, dram, policy, eo, scale);
     }
+    if (opts.profile)
+        result.profileJson = profiler.toJson();
 
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -119,6 +119,12 @@ struct SweepJobResult
      * the merged export is deterministic at any -j N.
      */
     std::shared_ptr<RefreshHeatmap> heatmap;
+    /**
+     * Phase-profile JSON of this job (host wall time per stage);
+     * non-empty only with SweepRunOptions::profile. Telemetry-only —
+     * emitted in the job_finish NDJSON event, never in aggregates.
+     */
+    std::string profileJson;
 };
 
 /** Execution knobs of a sweep run. */
@@ -142,6 +148,17 @@ struct SweepRunOptions
      * aggregates.
      */
     SweepTelemetry *telemetry = nullptr;
+    /**
+     * Verify the energy-conservation invariant after every run of every
+     * job (fatal on violation). Execution-only: excluded from
+     * sweepConfigHash and invisible in aggregates.
+     */
+    bool checkConservation = false;
+    /**
+     * Collect a per-job phase profile (SweepJobResult::profileJson).
+     * Execution-only, like checkConservation.
+     */
+    bool profile = false;
 };
 
 /** Run one already-expanded job (exposed for tests). */

@@ -1,6 +1,7 @@
 #include "harness/sweep_telemetry.hh"
 
 #include <charconv>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -84,6 +85,11 @@ SweepTelemetry::sweepStart(const std::string &gridName,
     if (!metaJson.empty())
         line << ",\"meta\":" << metaJson;
     line << "}";
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        jobCount_ = jobCount;
+        finished_ = 0;
+    }
     emitLine(line.str());
 }
 
@@ -107,15 +113,37 @@ SweepTelemetry::jobFinish(const SweepJobResult &result)
                               ? static_cast<double>(events) /
                                     result.wallSeconds
                               : 0.0;
+    // The ETA derives from this sink's own completion count; the stream
+    // time base and count update under the same lock as the write so
+    // concurrent finishers see monotone (done, t) pairs.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++finished_;
+    const double t = elapsed();
+    // First sample lands at t == 0 on coarse clocks and a full sweep
+    // can outrun the job count bookkeeping in tests; both would make
+    // the naive remaining/rate estimate inf or NaN — emit null instead.
+    std::string eta = "null";
+    if (t > 0.0 && jobCount_ >= finished_) {
+        const double rate = static_cast<double>(finished_) / t;
+        const double remaining =
+            static_cast<double>(jobCount_ - finished_) / rate;
+        if (std::isfinite(remaining))
+            eta = num(remaining);
+    }
     std::ostringstream line;
-    line << "{\"event\":\"job_finish\",\"t\":" << num(elapsed())
+    line << "{\"event\":\"job_finish\",\"t\":" << num(t)
          << ",\"index\":" << result.job.index << ",\"point\":\""
          << escaped(pointKey(result.job.point)) << "\""
          << ",\"wallSeconds\":" << num(result.wallSeconds)
          << ",\"events\":" << events
          << ",\"eventsPerSec\":" << num(perSec)
-         << ",\"peakRssKb\":" << peakRssKb() << "}";
-    emitLine(line.str());
+         << ",\"eta_s\":" << eta
+         << ",\"peakRssKb\":" << peakRssKb();
+    if (!result.profileJson.empty())
+        line << ",\"phases\":" << result.profileJson;
+    line << "}";
+    *os_ << line.str() << '\n';
+    os_->flush(); // line-by-line so `tail -f` follows a live sweep
 }
 
 void

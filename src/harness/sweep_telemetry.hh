@@ -50,7 +50,12 @@ class SweepTelemetry
     /** Emit a job_start event (called from worker threads). */
     void jobStart(const SweepJob &job);
 
-    /** Emit a job_finish event with wall time, events/s and peak RSS. */
+    /**
+     * Emit a job_finish event with wall time, events/s, peak RSS, a
+     * linear completion estimate (`eta_s`, JSON null until a finite
+     * positive rate is observable — never inf/NaN) and, when the job
+     * carried one, its phase profile.
+     */
     void jobFinish(const SweepJobResult &result);
 
     /**
@@ -74,6 +79,9 @@ class SweepTelemetry
     std::ofstream file_;
     std::ostream *os_;
     std::mutex mu_;
+    /** From sweepStart; 0 until then (keeps eta_s null). */
+    std::size_t jobCount_ = 0;
+    std::size_t finished_ = 0;
 };
 
 } // namespace smartref

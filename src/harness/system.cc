@@ -99,6 +99,17 @@ System::System(const SystemConfig &cfg)
         if (smartPolicy_)
             smartPolicy_->setHeatmap(cfg_.heatmap);
     }
+    if (cfg_.audit) {
+        ctrl_->setAudit(cfg_.audit);
+        policy_->setAudit(cfg_.audit);
+    }
+    if (cfg_.ledger)
+        dram_->setLedger(cfg_.ledger);
+    if (cfg_.profiler) {
+        ctrl_->setProfiler(cfg_.profiler);
+        if (smartPolicy_)
+            smartPolicy_->setProfiler(cfg_.profiler);
+    }
 }
 
 WorkloadModel &

@@ -52,6 +52,25 @@ struct SystemConfig
      * never perturbs simulated behaviour.
      */
     RefreshHeatmap *heatmap = nullptr;
+    /**
+     * Optional refresh decision audit trail (not owned; must outlive
+     * the system). Attached to the controller (issued / forced-deadline
+     * outcomes) and to the policy (skip / defer outcomes). Pure
+     * observation, like the heatmap.
+     */
+    RefreshAudit *audit = nullptr;
+    /**
+     * Optional energy attribution ledger (not owned; must outlive the
+     * system). Attached to the DRAM module before any traffic so its
+     * conservation invariant holds at finalize().
+     */
+    EnergyLedger *ledger = nullptr;
+    /**
+     * Optional phase profiler (not owned; must outlive the system).
+     * Collects host wall time and event counts for the walk/issue/drain
+     * stages; never feeds deterministic outputs.
+     */
+    PhaseProfiler *profiler = nullptr;
 };
 
 /**

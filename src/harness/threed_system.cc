@@ -67,6 +67,17 @@ ThreeDSystem::ThreeDSystem(const ThreeDSystemConfig &cfg)
         if (smartPolicy_)
             smartPolicy_->setHeatmap(cfg_.heatmap);
     }
+    if (cfg_.audit) {
+        threeDCtrl_->setAudit(cfg_.audit);
+        policy_->setAudit(cfg_.audit);
+    }
+    if (cfg_.ledger)
+        threeDDram_->setLedger(cfg_.ledger);
+    if (cfg_.profiler) {
+        threeDCtrl_->setProfiler(cfg_.profiler);
+        if (smartPolicy_)
+            smartPolicy_->setProfiler(cfg_.profiler);
+    }
 
     mainPolicy_ = std::make_unique<CbrRefreshPolicy>(eq_, this);
     mainCtrl_->setRefreshPolicy(mainPolicy_.get());

@@ -39,6 +39,16 @@ struct ThreeDSystemConfig
      * observed.
      */
     RefreshHeatmap *heatmap = nullptr;
+    /**
+     * Optional observability attachments (not owned; must outlive the
+     * system), wired to the stacked die like the heatmap: the audit
+     * trail to its controller and policy, the ledger to its DRAM
+     * module, the profiler to its controller and Smart Refresh walk.
+     * Main memory always runs CBR and is not observed.
+     */
+    RefreshAudit *audit = nullptr;
+    EnergyLedger *ledger = nullptr;
+    PhaseProfiler *profiler = nullptr;
 };
 
 /** One 3D die-stacked simulated system. */

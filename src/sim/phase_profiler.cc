@@ -1,0 +1,81 @@
+#include "sim/phase_profiler.hh"
+
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+std::uint32_t
+PhaseProfiler::findOrAdd(const char *label)
+{
+    const std::uint32_t parent = stack_.empty() ? kNoParent : stack_.back();
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        // Labels are literals, so pointer equality catches the common
+        // case; strcmp handles the same label from different TUs.
+        if (n.parent == parent &&
+            (n.label == label || std::strcmp(n.label, label) == 0))
+            return i;
+    }
+    nodes_.push_back(Node{label, parent});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void
+PhaseProfiler::enter(const char *label)
+{
+    const std::uint32_t idx = findOrAdd(label);
+    ++nodes_[idx].count;
+    stack_.push_back(idx);
+    starts_.push_back(std::chrono::steady_clock::now());
+}
+
+void
+PhaseProfiler::leave()
+{
+    SMARTREF_ASSERT(!stack_.empty(), "PhaseProfiler::leave underflow");
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - starts_.back())
+                        .count();
+    nodes_[stack_.back()].wallNs += static_cast<std::uint64_t>(ns);
+    stack_.pop_back();
+    starts_.pop_back();
+}
+
+void
+PhaseProfiler::emitChildren(std::ostream &os, std::uint32_t parent) const
+{
+    bool first = true;
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        if (n.parent != parent)
+            continue;
+        os << (first ? "" : ",") << "{\"phase\":\"" << n.label
+           << "\",\"count\":" << n.count << ",\"wall_ns\":" << n.wallNs
+           << ",\"children\":[";
+        emitChildren(os, i);
+        os << "]}";
+        first = false;
+    }
+}
+
+void
+PhaseProfiler::writeJson(std::ostream &os) const
+{
+    os << "[";
+    emitChildren(os, kNoParent);
+    os << "]";
+}
+
+std::string
+PhaseProfiler::toJson() const
+{
+    std::ostringstream oss;
+    writeJson(oss);
+    return oss.str();
+}
+
+} // namespace smartref

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hierarchical scoped phase profiler: wall time and entry counts per
+ * engine phase (counter walk, command issue, refresh drain, sweep-job
+ * stages), nested by scope.
+ *
+ * Usage:
+ *
+ *     PhaseProfiler prof;
+ *     {
+ *         PhaseScope s(&prof, "walk");   // null profiler -> no-op
+ *         ...
+ *     }
+ *     prof.writeJson(os);
+ *
+ * Scopes entered while another is open become children of it, so one
+ * profiler instance threaded through a sweep job naturally yields
+ * baseline/policy stages with walk/issue/drain nested beneath.
+ *
+ * Wall times are host time (std::chrono::steady_clock) and therefore
+ * belong only in non-deterministic channels: the `phases` member of a
+ * standalone stats JSON and the sweep telemetry NDJSON — never in the
+ * byte-identity-checked sweep aggregates. Times are inclusive of
+ * children; labels must be string literals (pointers are stored).
+ *
+ * Not thread-safe: use one instance per thread (the sweep runner makes
+ * one per job).
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smartref {
+
+/** Tree of labelled phases accumulating wall time and entry counts. */
+class PhaseProfiler
+{
+  public:
+    static constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+    struct Node
+    {
+        const char *label;
+        std::uint32_t parent;       ///< index into nodes(), or kNoParent
+        std::uint64_t count = 0;    ///< scope entries
+        std::uint64_t wallNs = 0;   ///< inclusive wall time
+    };
+
+    /** Open a phase; nests under the currently open phase, if any. */
+    void enter(const char *label);
+
+    /** Close the most recently opened phase. */
+    void leave();
+
+    /** All phases, in first-entry order. */
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    bool empty() const { return nodes_.empty(); }
+
+    /**
+     * Nested JSON array:
+     * [{"phase":"job","count":1,"wall_ns":N,"children":[...]}]
+     */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+
+  private:
+    std::uint32_t findOrAdd(const char *label);
+    void emitChildren(std::ostream &os, std::uint32_t parent) const;
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> stack_;
+    std::vector<std::chrono::steady_clock::time_point> starts_;
+};
+
+/** RAII phase scope; constructing with a null profiler is a no-op. */
+class PhaseScope
+{
+  public:
+    PhaseScope(PhaseProfiler *p, const char *label) : p_(p)
+    {
+        if (p_)
+            p_->enter(label);
+    }
+
+    ~PhaseScope()
+    {
+        if (p_)
+            p_->leave();
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    PhaseProfiler *p_;
+};
+
+} // namespace smartref

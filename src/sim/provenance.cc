@@ -105,4 +105,17 @@ metaJson(const RunMeta &run)
     return os.str();
 }
 
+std::string
+versionText(const std::string &toolName)
+{
+    const BuildInfo &b = buildInfo();
+    std::ostringstream os;
+    os << toolName << " (smartref)\n"
+       << "  gitSha:        " << b.gitSha << "\n"
+       << "  compiler:      " << b.compiler << "\n"
+       << "  compilerFlags: " << b.compilerFlags << "\n"
+       << "  buildType:     " << b.buildType << "\n";
+    return os.str();
+}
+
 } // namespace smartref

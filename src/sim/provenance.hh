@@ -68,4 +68,12 @@ std::string metaJson(const RunMeta &run);
 /** Stream form of metaJson(). */
 void writeMetaJson(std::ostream &os, const RunMeta &run);
 
+/**
+ * The human-readable provenance build block every tool's `--version`
+ * flag prints: the tool name followed by one indented line per
+ * BuildInfo field. One shared implementation keeps the four CLIs'
+ * output formats identical.
+ */
+std::string versionText(const std::string &toolName);
+
 } // namespace smartref

@@ -145,7 +145,8 @@ statValue(const StatBase &stat)
 
 void
 writeStatsJson(const StatGroup &root, std::ostream &os,
-               const std::string &metaJson)
+               const std::string &metaJson,
+               const std::string &extraMembers)
 {
     os.precision(std::numeric_limits<double>::max_digits10);
     os << "{\n  \"root\": \"";
@@ -153,6 +154,8 @@ writeStatsJson(const StatGroup &root, std::ostream &os,
     os << "\",\n";
     if (!metaJson.empty())
         os << "  \"meta\": " << metaJson << ",\n";
+    if (!extraMembers.empty())
+        os << "  " << extraMembers << ",\n";
     os << "  \"stats\": {\n";
     bool first = true;
     const std::string prefix =
@@ -163,12 +166,13 @@ writeStatsJson(const StatGroup &root, std::ostream &os,
 
 void
 writeStatsJson(const StatGroup &root, const std::string &path,
-               const std::string &metaJson)
+               const std::string &metaJson,
+               const std::string &extraMembers)
 {
     std::ofstream out(path);
     if (!out)
         SMARTREF_FATAL("cannot write stats JSON '", path, "'");
-    writeStatsJson(root, out, metaJson);
+    writeStatsJson(root, out, metaJson, extraMembers);
 }
 
 } // namespace smartref

@@ -1,0 +1,58 @@
+#include "sim/suggest.hh"
+
+#include <algorithm>
+
+namespace smartref {
+
+namespace {
+
+/** Classic two-row Levenshtein distance. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // namespace
+
+std::string
+suggestClosest(const std::string &input,
+               const std::vector<std::string> &candidates)
+{
+    const std::size_t budget = std::max<std::size_t>(2, input.size() / 3);
+    std::string best;
+    std::size_t bestDist = budget + 1;
+    for (const std::string &cand : candidates) {
+        if (cand == input)
+            continue;
+        const std::size_t d = editDistance(input, cand);
+        if (d < bestDist || (d == bestDist && !best.empty() && cand < best)) {
+            bestDist = d;
+            best = cand;
+        }
+    }
+    return bestDist <= budget ? best : std::string();
+}
+
+std::string
+didYouMean(const std::string &input,
+           const std::vector<std::string> &candidates)
+{
+    const std::string s = suggestClosest(input, candidates);
+    return s.empty() ? std::string()
+                     : " (did you mean '" + s + "'?)";
+}
+
+} // namespace smartref

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Did-you-mean suggestions for CLI option values (trace categories,
+ * dotted stat paths, policy names). A typo'd name fails fast with the
+ * closest known candidate instead of being silently ignored.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smartref {
+
+/**
+ * The candidate closest to @p input by Levenshtein distance, or ""
+ * when nothing is within the edit budget (max(2, len/3) edits — a
+ * short name tolerates small typos, a long dotted path a few more).
+ * Ties resolve to the lexicographically smallest candidate so the
+ * suggestion is deterministic.
+ */
+std::string suggestClosest(const std::string &input,
+                           const std::vector<std::string> &candidates);
+
+/**
+ * " (did you mean 'X'?)" ready for appending to an error message, or
+ * "" when no candidate is close enough.
+ */
+std::string didYouMean(const std::string &input,
+                       const std::vector<std::string> &candidates);
+
+} // namespace smartref

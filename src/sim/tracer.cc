@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/suggest.hh"
 
 namespace smartref {
 
@@ -49,8 +50,12 @@ parseTraceCategories(const std::string &list)
             }
         }
         if (!known) {
-            SMARTREF_FATAL("unknown trace category '", token,
-                           "' (dram, refresh, counter, monitor, rowbuf, "
+            SMARTREF_FATAL("unknown trace category '", token, "'",
+                           didYouMean(token,
+                                      {"dram", "refresh", "counter",
+                                       "monitor", "rowbuf", "queue",
+                                       "interval", "all", "none"}),
+                           " (dram, refresh, counter, monitor, rowbuf, "
                            "queue, interval, all)");
         }
     }

@@ -138,6 +138,49 @@ TEST(Heatmap, MergeIsCellWiseAdditionAndIgnoresLastAccess)
     EXPECT_TRUE(a.sameShape(b));
 }
 
+TEST(Heatmap, MergingAnEmptyShardIsIdentity)
+{
+    RefreshHeatmap a(2, 2, 4, 7);
+    a.recordRefresh(1, 0);
+    a.recordDemand(0, 1, 50);
+    a.recordCounterTouch(2, 0);
+    RefreshHeatmap empty(2, 2, 4, 7);
+
+    std::ostringstream before;
+    a.writeJson(before);
+    a.merge(empty);
+    std::ostringstream after;
+    a.writeJson(after);
+    EXPECT_EQ(before.str(), after.str());
+
+    // The symmetric case: an empty accumulator absorbing a populated
+    // shard equals that shard (the sweep reducer's first merge).
+    RefreshHeatmap fresh(2, 2, 4, 7);
+    fresh.merge(a);
+    std::ostringstream absorbed;
+    fresh.writeJson(absorbed);
+    EXPECT_EQ(absorbed.str(), after.str());
+}
+
+TEST(Heatmap, MergingPartiallyPopulatedShardsTouchesOnlyTheirCells)
+{
+    RefreshHeatmap a(1, 3, 2, 3);
+    a.recordRefresh(0, 0);
+    // The shard saw traffic on bank 2 only; banks 0/1 stay untouched.
+    RefreshHeatmap shard(1, 3, 2, 3);
+    shard.recordRefresh(0, 2);
+    shard.recordRefresh(0, 2);
+    shard.recordCounterTouch(1, 0);
+
+    a.merge(shard);
+    EXPECT_EQ(a.refreshes(0, 0), 1u);
+    EXPECT_EQ(a.refreshes(0, 1), 0u);
+    EXPECT_EQ(a.refreshes(0, 2), 2u);
+    EXPECT_EQ(a.demands(0, 2), 0u);
+    EXPECT_EQ(a.segmentExpiries(1), 1u);
+    EXPECT_EQ(a.totalRefreshes(), 3u);
+}
+
 TEST(Heatmap, JsonExportParsesAndMatchesAccessors)
 {
     RefreshHeatmap hm(1, 2, 2, 3);

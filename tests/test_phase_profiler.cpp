@@ -1,0 +1,169 @@
+/**
+ * @file
+ * PhaseProfiler tests: scope nesting, re-entry accumulation, JSON
+ * shape, the null-profiler no-op contract, and the sweep integration —
+ * per-job profiles appear only when requested, carry the
+ * baseline/policy stage split, and never perturb the deterministic
+ * aggregates or the sweep config hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/sweep.hh"
+#include "sim/mini_json.hh"
+#include "sim/phase_profiler.hh"
+
+using namespace smartref;
+
+namespace {
+
+const minijson::Value *
+findPhase(const minijson::Value &array, const std::string &name)
+{
+    for (const minijson::Value &node : array.array) {
+        if (node.at("phase").str == name)
+            return &node;
+    }
+    return nullptr;
+}
+
+SweepGrid
+tinyGrid()
+{
+    SweepGrid g;
+    g.name = "profile";
+    g.configs = {"2gb"};
+    g.benchmarks = {"mummer"};
+    g.policies = {"smart"};
+    g.counterBits = {3};
+    g.retentionMs = {0};
+    return g;
+}
+
+SweepRunOptions
+tinyOptions()
+{
+    SweepRunOptions opts;
+    opts.jobs = 1;
+    opts.warmup = 2 * kMillisecond;
+    opts.measure = 2 * kMillisecond;
+    return opts;
+}
+
+} // namespace
+
+TEST(PhaseProfiler, ScopesNestUnderTheOpenPhase)
+{
+    PhaseProfiler prof;
+    EXPECT_TRUE(prof.empty());
+    {
+        PhaseScope outer(&prof, "job");
+        {
+            PhaseScope inner(&prof, "walk");
+        }
+        {
+            PhaseScope inner(&prof, "issue");
+        }
+    }
+    const auto &nodes = prof.nodes();
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_STREQ(nodes[0].label, "job");
+    EXPECT_EQ(nodes[0].parent, PhaseProfiler::kNoParent);
+    EXPECT_STREQ(nodes[1].label, "walk");
+    EXPECT_EQ(nodes[1].parent, 0u);
+    EXPECT_STREQ(nodes[2].label, "issue");
+    EXPECT_EQ(nodes[2].parent, 0u);
+}
+
+TEST(PhaseProfiler, ReentryAccumulatesIntoOneNode)
+{
+    PhaseProfiler prof;
+    for (int i = 0; i < 5; ++i) {
+        PhaseScope s(&prof, "walk");
+    }
+    ASSERT_EQ(prof.nodes().size(), 1u);
+    EXPECT_EQ(prof.nodes()[0].count, 5u);
+}
+
+TEST(PhaseProfiler, SameLabelUnderDifferentParentsIsTwoNodes)
+{
+    PhaseProfiler prof;
+    {
+        PhaseScope a(&prof, "baseline");
+        PhaseScope i(&prof, "issue");
+    }
+    {
+        PhaseScope b(&prof, "policy");
+        PhaseScope i(&prof, "issue");
+    }
+    EXPECT_EQ(prof.nodes().size(), 4u);
+}
+
+TEST(PhaseProfiler, JsonIsANestedArrayOfPhases)
+{
+    PhaseProfiler prof;
+    {
+        PhaseScope outer(&prof, "policy");
+        PhaseScope inner(&prof, "walk");
+    }
+    const minijson::Value v = minijson::parse(prof.toJson());
+    ASSERT_TRUE(v.isArray());
+    ASSERT_EQ(v.array.size(), 1u);
+    EXPECT_EQ(v.at(0).at("phase").str, "policy");
+    EXPECT_EQ(v.at(0).at("count").number, 1.0);
+    EXPECT_GE(v.at(0).at("wall_ns").number, 0.0);
+    ASSERT_EQ(v.at(0).at("children").array.size(), 1u);
+    EXPECT_EQ(v.at(0).at("children").at(0).at("phase").str, "walk");
+}
+
+TEST(PhaseProfiler, NullProfilerScopeIsANoop)
+{
+    PhaseScope s(nullptr, "nothing");
+    SUCCEED();
+}
+
+TEST(PhaseProfiler, SweepJobsProfileOnlyWhenAsked)
+{
+    const SweepGrid grid = tinyGrid();
+    const auto plain = runSweep(grid, tinyOptions());
+    ASSERT_EQ(plain.size(), 1u);
+    EXPECT_TRUE(plain[0].profileJson.empty());
+
+    SweepRunOptions profiled = tinyOptions();
+    profiled.profile = true;
+    const auto observed = runSweep(grid, profiled);
+    ASSERT_EQ(observed.size(), 1u);
+    ASSERT_FALSE(observed[0].profileJson.empty());
+    const minijson::Value v = minijson::parse(observed[0].profileJson);
+    ASSERT_TRUE(v.isArray());
+    const minijson::Value *baseline = findPhase(v, "baseline");
+    const minijson::Value *policy = findPhase(v, "policy");
+    ASSERT_NE(baseline, nullptr);
+    ASSERT_NE(policy, nullptr);
+    // The policy stage runs Smart Refresh, so its counter walk must
+    // appear as a nested child; the CBR baseline never walks.
+    EXPECT_NE(findPhase(policy->at("children"), "walk"), nullptr);
+    EXPECT_EQ(findPhase(baseline->at("children"), "walk"), nullptr);
+}
+
+TEST(PhaseProfiler, ProfilingNeverPerturbsDeterministicOutputs)
+{
+    const SweepGrid grid = tinyGrid();
+    SweepRunOptions plain = tinyOptions();
+    SweepRunOptions profiled = tinyOptions();
+    profiled.profile = true;
+    profiled.checkConservation = true;
+
+    // Execution-only knobs stay out of the config hash…
+    EXPECT_EQ(sweepConfigHash(grid, plain), sweepConfigHash(grid, profiled));
+
+    // …and out of every deterministic byte.
+    const auto a = runSweep(grid, plain);
+    const auto b = runSweep(grid, profiled);
+    std::ostringstream ja, jb;
+    writeSweepJson(grid, plain, a, ja);
+    writeSweepJson(grid, profiled, b, jb);
+    EXPECT_EQ(ja.str(), jb.str());
+}

@@ -150,6 +150,44 @@ TEST(StatDiff, JsonVerdictParsesAndNamesFailures)
     EXPECT_EQ(v.at("failures").at(0).at("absDiff").number, 1.0);
 }
 
+TEST(StatDiff, DisagreeingMetaBlocksStillCompareClean)
+{
+    // Two runs of the same experiment from different checkouts carry
+    // different provenance; the diff must judge the stats alone.
+    const auto a = flatten(R"({
+        "meta": {"schemaVersion": "smartref-stats-v1",
+                 "gitSha": "aaaa", "buildType": "Release",
+                 "configHash": "1111111111111111"},
+        "stats": {"x": {"value": 1.5}}
+    })");
+    const auto b = flatten(R"({
+        "meta": {"schemaVersion": "smartref-stats-v1",
+                 "gitSha": "bbbb", "buildType": "Debug",
+                 "configHash": "2222222222222222"},
+        "stats": {"x": {"value": 1.5}}
+    })");
+    const DiffResult r = diffMetrics(a, b, DiffTolerances{});
+    EXPECT_TRUE(r.pass());
+    EXPECT_EQ(r.passed, 1u);
+
+    // Only the *top-level* meta is provenance; a nested member named
+    // "meta" is data and must still be compared.
+    const auto c = flatten(R"({"inner": {"meta": {"depth": 3}}})");
+    const auto d = flatten(R"({"inner": {"meta": {"depth": 4}}})");
+    EXPECT_FALSE(diffMetrics(c, d, DiffTolerances{}).pass());
+}
+
+TEST(StatDiff, MetaOnlyArtifactsCompareEmpty)
+{
+    // Artifacts that disagree in nothing but meta flatten to the same
+    // (possibly empty) metric set — vacuously clean, never a crash.
+    const auto a = flatten(R"({"meta": {"gitSha": "aaaa"}})");
+    const auto b = flatten(R"({"meta": {"gitSha": "bbbb"}})");
+    const DiffResult r = diffMetrics(a, b, DiffTolerances{});
+    EXPECT_TRUE(r.pass());
+    EXPECT_EQ(r.passed, 0u);
+}
+
 TEST(StatDiff, MalformedTolerancesAreRejected)
 {
     EXPECT_THROW(parseTolerances(R"({"metrics": {"m": {"abs": -1}}})"),

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Did-you-mean suggestion tests: edit-distance budget, deterministic
+ * tie-breaking, message formatting, and the CLI integration — a typo'd
+ * trace category fails fast with the closest real category named.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/suggest.hh"
+#include "sim/tracer.hh"
+
+using namespace smartref;
+
+namespace {
+
+const std::vector<std::string> kCategories = {
+    "dram", "refresh", "counter", "monitor",
+    "rowbuf", "queue", "interval", "all"};
+
+} // namespace
+
+TEST(Suggest, FindsTheClosestCandidate)
+{
+    EXPECT_EQ(suggestClosest("refrsh", kCategories), "refresh");
+    EXPECT_EQ(suggestClosest("countre", kCategories), "counter");
+    // An exact match needs no suggestion.
+    EXPECT_EQ(suggestClosest("dram", kCategories), "");
+}
+
+TEST(Suggest, RespectsTheEditBudget)
+{
+    // Budget is max(2, len/3): a short token tolerates two edits…
+    EXPECT_EQ(suggestClosest("queu", kCategories), "queue");
+    // …but something far from every candidate suggests nothing.
+    EXPECT_EQ(suggestClosest("xyzzyplugh", kCategories), "");
+    EXPECT_EQ(suggestClosest("zzzzzzz", kCategories), "");
+}
+
+TEST(Suggest, LongPathsGetAProportionalBudget)
+{
+    const std::vector<std::string> paths = {
+        "system.ctrl.rowMisses", "system.ctrl.rowHits"};
+    // 4 edits off a 22-character path is within len/3.
+    EXPECT_EQ(suggestClosest("system.ctl.rowMises", paths),
+              "system.ctrl.rowMisses");
+}
+
+TEST(Suggest, TiesResolveLexicographically)
+{
+    const std::vector<std::string> candidates = {"aby", "abx"};
+    EXPECT_EQ(suggestClosest("abz", candidates), "abx");
+}
+
+TEST(Suggest, DidYouMeanFormatsOrStaysSilent)
+{
+    EXPECT_EQ(didYouMean("refrsh", kCategories),
+              " (did you mean 'refresh'?)");
+    EXPECT_EQ(didYouMean("xyzzyplugh", kCategories), "");
+}
+
+TEST(Suggest, EmptyInputsAreHandled)
+{
+    EXPECT_EQ(suggestClosest("ab", {}), "");
+    // An empty token is two edits from "all" — inside the budget.
+    EXPECT_EQ(suggestClosest("", kCategories), "");
+}
+
+TEST(Suggest, UnknownTraceCategoryFailsFastWithSuggestion)
+{
+    try {
+        parseTraceCategories("refrsh");
+        FAIL() << "expected a fatal error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("unknown trace category 'refrsh'"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("did you mean 'refresh'"), std::string::npos)
+            << what;
+    }
+    // Valid lists still parse (and "all"/"none" stay special).
+    EXPECT_NO_THROW(parseTraceCategories("refresh,counter"));
+    EXPECT_NO_THROW(parseTraceCategories("none"));
+}

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * smartref_inspect — query refresh-audit trails and energy ledgers.
+ *
+ * Takes the artifacts the simulator emits (`--audit-out` binary audit
+ * trails, `--ledger-out` ledger JSON) and answers the questions a
+ * debugging session actually asks: which outcomes dominate, which rows
+ * are hot, what happened in this time window, and how do two runs
+ * differ. File types are auto-detected (binary "SRAUDIT" magic vs
+ * ledger JSON schema), so there are no subcommands.
+ *
+ * Usage:
+ *   smartref_inspect FILE [FILE_B]
+ *                    [--outcome NAME]   keep one decision outcome
+ *                    [--rank N] [--bank N]
+ *                    [--from-ms X] [--to-ms X]  simulated-time window
+ *                    [--top N]          top rows (audit) / cells (ledger)
+ *                    [--histogram]      decision histogram only
+ *                    [--records N]      dump N matching records (NDJSON)
+ *                    [--version]        print the provenance build block
+ *
+ * With two files of the same kind the tool diffs them: per-outcome
+ * counts for audits, component totals for ledgers.
+ *
+ * Exit codes: 0 = done (diff: equal), 1 = diff found differences,
+ *             2 = usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ctrl/refresh_audit.hh"
+#include "harness/report.hh"
+#include "sim/logging.hh"
+#include "sim/mini_json.hh"
+#include "sim/provenance.hh"
+#include "sim/suggest.hh"
+#include "sim/types.hh"
+
+using namespace smartref;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " FILE [FILE_B] [--outcome NAME] [--rank N] [--bank N]"
+                 " [--from-ms X] [--to-ms X] [--top N] [--histogram]"
+                 " [--records N]\n";
+    return 2;
+}
+
+/** Record filters shared by the audit and ledger views. */
+struct Filters
+{
+    bool hasOutcome = false;
+    AuditOutcome outcome = AuditOutcome::Issued;
+    long rank = -1;     ///< -1 = any
+    long bank = -1;     ///< -1 = any
+    double fromMs = -1; ///< <0 = open
+    double toMs = -1;   ///< <0 = open
+
+    bool
+    any() const
+    {
+        return hasOutcome || rank >= 0 || bank >= 0 || fromMs >= 0 ||
+               toMs >= 0;
+    }
+
+    bool
+    inWindow(double ms) const
+    {
+        if (fromMs >= 0 && ms < fromMs)
+            return false;
+        if (toMs >= 0 && ms >= toMs)
+            return false;
+        return true;
+    }
+
+    bool
+    matches(const AuditRecord &r) const
+    {
+        if (hasOutcome && r.outcome != static_cast<std::uint8_t>(outcome))
+            return false;
+        if (rank >= 0 && r.rank != rank)
+            return false;
+        if (bank >= 0 && r.bank != bank)
+            return false;
+        return inWindow(static_cast<double>(r.tick) /
+                        static_cast<double>(kMillisecond));
+    }
+};
+
+struct AuditData
+{
+    AuditFileHeader header{};
+    std::vector<AuditRecord> records;
+};
+
+AuditData
+loadAudit(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SMARTREF_FATAL("cannot read '", path, "'");
+    AuditData data;
+    in.read(reinterpret_cast<char *>(&data.header),
+            sizeof(data.header));
+    if (!in ||
+        std::memcmp(data.header.magic, kAuditMagic,
+                    sizeof(kAuditMagic)) != 0)
+        SMARTREF_FATAL("'", path, "' is not an audit trail");
+    if (data.header.version != kAuditVersion)
+        SMARTREF_FATAL("'", path, "': unsupported audit version ",
+                       data.header.version);
+    if (data.header.recordBytes != sizeof(AuditRecord))
+        SMARTREF_FATAL("'", path, "': record size mismatch");
+    in.seekg(0, std::ios::end);
+    const std::streamoff bytes =
+        in.tellg() - std::streamoff(sizeof(data.header));
+    if (bytes < 0 ||
+        bytes % std::streamoff(sizeof(AuditRecord)) != 0)
+        SMARTREF_FATAL("'", path, "': truncated audit trail");
+    data.records.resize(static_cast<std::size_t>(bytes) /
+                        sizeof(AuditRecord));
+    in.seekg(sizeof(data.header));
+    in.read(reinterpret_cast<char *>(data.records.data()), bytes);
+    if (!in)
+        SMARTREF_FATAL("'", path, "': short read");
+    return data;
+}
+
+bool
+isAuditFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SMARTREF_FATAL("cannot read '", path, "'");
+    char magic[sizeof(kAuditMagic)] = {};
+    in.read(magic, sizeof(magic));
+    return in && std::memcmp(magic, kAuditMagic, sizeof(magic)) == 0;
+}
+
+minijson::Value
+loadLedger(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        SMARTREF_FATAL("cannot read '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    minijson::Value root = minijson::parse(text.str());
+    if (!root.has("schema") ||
+        root.at("schema").str != "smartref-ledger-v1") {
+        SMARTREF_FATAL("'", path,
+                       "' is neither an audit trail nor a ledger "
+                       "(expected schema smartref-ledger-v1)");
+    }
+    return root;
+}
+
+std::string
+fmtJoules(double j)
+{
+    return fmtDouble(j * 1e3, 6) + " mJ";
+}
+
+/** Outcome (and source) histogram of the matching records. */
+void
+printAuditHistogram(const AuditData &a, const Filters &f)
+{
+    std::array<std::uint64_t, kAuditOutcomeCount> byOutcome{};
+    std::array<std::uint64_t, kAuditSourceCount> bySource{};
+    std::uint64_t total = 0;
+    for (const AuditRecord &r : a.records) {
+        if (!f.matches(r))
+            continue;
+        ++total;
+        if (r.outcome < kAuditOutcomeCount)
+            ++byOutcome[r.outcome];
+        if (r.source < kAuditSourceCount)
+            ++bySource[r.source];
+    }
+    ReportTable outcomes({"outcome", "count", "share"});
+    for (std::size_t i = 0; i < kAuditOutcomeCount; ++i) {
+        outcomes.addRow(
+            {toString(static_cast<AuditOutcome>(i)),
+             std::to_string(byOutcome[i]),
+             fmtPercent(total ? static_cast<double>(byOutcome[i]) /
+                                    static_cast<double>(total)
+                              : 0.0)});
+    }
+    std::cout << "\n=== decision histogram (" << total
+              << " records) ===\n";
+    outcomes.print(std::cout);
+
+    ReportTable sources({"source", "count"});
+    for (std::size_t i = 0; i < kAuditSourceCount; ++i) {
+        sources.addRow({toString(static_cast<AuditSource>(i)),
+                        std::to_string(bySource[i])});
+    }
+    std::cout << "\n=== by source ===\n";
+    sources.print(std::cout);
+}
+
+/** The rows with the most matching records. */
+void
+printTopRows(const AuditData &a, const Filters &f, std::size_t top)
+{
+    std::map<std::uint64_t, std::uint64_t> counts; // packed coord -> n
+    for (const AuditRecord &r : a.records) {
+        if (!f.matches(r))
+            continue;
+        const std::uint64_t key = (std::uint64_t(r.rank) << 40) |
+                                  (std::uint64_t(r.bank) << 32) | r.row;
+        ++counts[key];
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> rows(
+        counts.begin(), counts.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &x, const auto &y) {
+                         return x.second > y.second;
+                     });
+    if (rows.size() > top)
+        rows.resize(top);
+    ReportTable table({"rank", "bank", "row", "records"});
+    for (const auto &[key, n] : rows) {
+        table.addRow({std::to_string((key >> 40) & 0xff),
+                      std::to_string((key >> 32) & 0xff),
+                      std::to_string(key & 0xffffffffu),
+                      std::to_string(n)});
+    }
+    std::cout << "\n=== top " << rows.size() << " rows ===\n";
+    table.print(std::cout);
+}
+
+/** Dump up to @p limit matching records as NDJSON (writeNdjson shape). */
+void
+printRecords(const AuditData &a, const Filters &f, std::uint64_t limit)
+{
+    std::uint64_t emitted = 0;
+    for (const AuditRecord &r : a.records) {
+        if (emitted >= limit)
+            break;
+        if (!f.matches(r))
+            continue;
+        std::cout << "{\"t\":" << r.tick
+                  << ",\"rank\":" << unsigned(r.rank)
+                  << ",\"bank\":" << unsigned(r.bank)
+                  << ",\"row\":" << r.row << ",\"outcome\":\""
+                  << toString(static_cast<AuditOutcome>(r.outcome))
+                  << "\",\"source\":\""
+                  << toString(static_cast<AuditSource>(r.source))
+                  << "\"}\n";
+        ++emitted;
+    }
+}
+
+void
+inspectAudit(const AuditData &a, const Filters &f, std::size_t top,
+             std::uint64_t records, bool histogramOnly)
+{
+    if (!histogramOnly) {
+        const auto &h = a.header;
+        std::cout << "audit trail: " << a.records.size() << " records, "
+                  << h.ranks << " rank(s) x " << h.banks << " bank(s) x "
+                  << h.rows << " row(s)\n";
+        if (!a.records.empty()) {
+            std::cout << "time span: "
+                      << static_cast<double>(a.records.front().tick) /
+                             static_cast<double>(kMillisecond)
+                      << " .. "
+                      << static_cast<double>(a.records.back().tick) /
+                             static_cast<double>(kMillisecond)
+                      << " ms\n";
+        }
+    }
+    printAuditHistogram(a, f);
+    if (!histogramOnly && top > 0)
+        printTopRows(a, f, top);
+    if (records > 0)
+        printRecords(a, f, records);
+}
+
+int
+diffAudits(const AuditData &a, const AuditData &b, const Filters &f)
+{
+    std::array<std::uint64_t, kAuditOutcomeCount> ca{}, cb{};
+    for (const AuditRecord &r : a.records)
+        if (f.matches(r) && r.outcome < kAuditOutcomeCount)
+            ++ca[r.outcome];
+    for (const AuditRecord &r : b.records)
+        if (f.matches(r) && r.outcome < kAuditOutcomeCount)
+            ++cb[r.outcome];
+    bool differ = false;
+    ReportTable table({"outcome", "A", "B", "delta"});
+    for (std::size_t i = 0; i < kAuditOutcomeCount; ++i) {
+        const auto d = static_cast<std::int64_t>(cb[i]) -
+                       static_cast<std::int64_t>(ca[i]);
+        differ = differ || d != 0;
+        table.addRow({toString(static_cast<AuditOutcome>(i)),
+                      std::to_string(ca[i]), std::to_string(cb[i]),
+                      std::to_string(d)});
+    }
+    std::cout << "\n=== audit diff (per-outcome counts) ===\n";
+    table.print(std::cout);
+    std::cout << (differ ? "trails differ\n" : "trails agree\n");
+    return differ ? 1 : 0;
+}
+
+/** Component energies of one rollup bucket. */
+struct Rollup
+{
+    double act = 0, read = 0, write = 0, refresh = 0, background = 0;
+
+    double
+    total() const
+    {
+        return act + read + write + refresh + background;
+    }
+};
+
+/**
+ * Per-rank and top-cell rollups of one ledger, honouring the rank/bank/
+ * time-window filters. Background energy is rank-level (there is no
+ * per-bank attribution for standby power), so it only joins the rank
+ * rollup.
+ */
+void
+inspectLedger(const minijson::Value &root, const Filters &f,
+              std::size_t top)
+{
+    std::map<long, Rollup> perRank;
+    std::map<std::pair<long, long>, Rollup> perCell;
+    for (const minijson::Value &iv : root.at("intervals").array) {
+        const double t0 = iv.at("t0_ps").number /
+                          static_cast<double>(kMillisecond);
+        if (!f.inWindow(t0))
+            continue;
+        for (const minijson::Value &cell : iv.at("cells").array) {
+            const long rank = static_cast<long>(cell.at("rank").number);
+            const long bank = static_cast<long>(cell.at("bank").number);
+            if ((f.rank >= 0 && rank != f.rank) ||
+                (f.bank >= 0 && bank != f.bank))
+                continue;
+            const minijson::Value &e = cell.at("energy");
+            Rollup &r = perRank[rank];
+            Rollup &c = perCell[{rank, bank}];
+            for (Rollup *dst : {&r, &c}) {
+                dst->act += e.at("act").number;
+                dst->read += e.at("read").number;
+                dst->write += e.at("write").number;
+                dst->refresh += e.at("refresh").number;
+            }
+        }
+        for (const minijson::Value &bg : iv.at("background").array) {
+            const long rank = static_cast<long>(bg.at("rank").number);
+            if (f.rank >= 0 && rank != f.rank)
+                continue;
+            perRank[rank].background += bg.at("energy").number;
+        }
+    }
+
+    if (root.has("totals") && !f.any()) {
+        const minijson::Value &t = root.at("totals");
+        ReportTable totals({"component", "energy"});
+        for (const auto &[name, v] : t.object)
+            totals.addRow({name, fmtJoules(v.number)});
+        std::cout << "\n=== ledger totals ===\n";
+        totals.print(std::cout);
+    }
+
+    ReportTable ranks(
+        {"rank", "act", "read", "write", "refresh", "background",
+         "total"});
+    for (const auto &[rank, r] : perRank) {
+        ranks.addRow({std::to_string(rank), fmtJoules(r.act),
+                      fmtJoules(r.read), fmtJoules(r.write),
+                      fmtJoules(r.refresh), fmtJoules(r.background),
+                      fmtJoules(r.total())});
+    }
+    std::cout << "\n=== per-rank rollup ===\n";
+    ranks.print(std::cout);
+
+    if (top > 0) {
+        std::vector<std::pair<std::pair<long, long>, Rollup>> cells(
+            perCell.begin(), perCell.end());
+        std::stable_sort(cells.begin(), cells.end(),
+                         [](const auto &x, const auto &y) {
+                             return x.second.total() > y.second.total();
+                         });
+        if (cells.size() > top)
+            cells.resize(top);
+        ReportTable table(
+            {"rank", "bank", "act", "read", "write", "refresh",
+             "total"});
+        for (const auto &[coord, r] : cells) {
+            table.addRow({std::to_string(coord.first),
+                          std::to_string(coord.second), fmtJoules(r.act),
+                          fmtJoules(r.read), fmtJoules(r.write),
+                          fmtJoules(r.refresh), fmtJoules(r.total())});
+        }
+        std::cout << "\n=== top " << cells.size()
+                  << " cells by energy ===\n";
+        table.print(std::cout);
+    }
+}
+
+int
+diffLedgers(const minijson::Value &a, const minijson::Value &b)
+{
+    const minijson::Value &ta = a.at("totals");
+    const minijson::Value &tb = b.at("totals");
+    bool differ = false;
+    ReportTable table({"component", "A", "B", "abs diff"});
+    for (const auto &[name, va] : ta.object) {
+        const double x = va.number;
+        const double y = tb.has(name) ? tb.at(name).number : 0.0;
+        differ = differ || x != y;
+        table.addRow({name, fmtJoules(x), fmtJoules(y),
+                      fmtJoules(y - x)});
+    }
+    for (const auto &[name, vb] : tb.object) {
+        if (!ta.has(name)) {
+            differ = true;
+            table.addRow({name, "(absent)", fmtJoules(vb.number), "-"});
+        }
+    }
+    std::cout << "\n=== ledger diff (component totals) ===\n";
+    table.print(std::cout);
+    std::cout << (differ ? "ledgers differ\n" : "ledgers agree\n");
+    return differ ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    Filters filters;
+    std::size_t top = 10;
+    std::uint64_t records = 0;
+    bool histogramOnly = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(usage(argv[0]));
+            }
+            return argv[++i];
+        };
+        if (arg == "--version") {
+            std::cout << versionText("smartref_inspect");
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--outcome") {
+            const std::string name = value();
+            filters.hasOutcome = true;
+            if (!parseAuditOutcome(name, filters.outcome)) {
+                std::cerr << "unknown outcome '" << name << "'"
+                          << didYouMean(name, auditOutcomeNames())
+                          << "\n";
+                return 2;
+            }
+        } else if (arg == "--rank") {
+            filters.rank = std::stol(value());
+        } else if (arg == "--bank") {
+            filters.bank = std::stol(value());
+        } else if (arg == "--from-ms") {
+            filters.fromMs = std::stod(value());
+        } else if (arg == "--to-ms") {
+            filters.toMs = std::stod(value());
+        } else if (arg == "--top") {
+            top = std::stoul(value());
+        } else if (arg == "--records") {
+            records = std::stoull(value());
+        } else if (arg == "--histogram") {
+            histogramOnly = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown flag '" << arg << "'\n";
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty() || files.size() > 2)
+        return usage(argv[0]);
+
+    try {
+        const bool auditA = isAuditFile(files[0]);
+        if (files.size() == 2) {
+            if (auditA != isAuditFile(files[1]))
+                SMARTREF_FATAL("cannot diff an audit trail against a "
+                               "ledger");
+            if (auditA)
+                return diffAudits(loadAudit(files[0]),
+                                  loadAudit(files[1]), filters);
+            return diffLedgers(loadLedger(files[0]),
+                               loadLedger(files[1]));
+        }
+        if (auditA)
+            inspectAudit(loadAudit(files[0]), filters, top, records,
+                         histogramOnly);
+        else
+            inspectLedger(loadLedger(files[0]), filters, top);
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "smartref_inspect: " << e.what() << "\n";
+        return 2;
+    }
+}

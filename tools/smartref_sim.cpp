@@ -20,13 +20,24 @@
  *                [--stats-json FILE]   machine-readable statistics dump
  *                [--stats-interval-ms N]  per-interval time series
  *                [--stats-interval-out FILE]
+ *                [--interval-cols LIST]  extra interval columns by dotted
+ *                                      stat path (validated up front)
  *                [--heatmap-out FILE]  spatial refresh heatmap JSON
  *                                      (+ .csv sibling)
+ *                [--audit-out FILE]    binary refresh decision audit trail
+ *                [--audit-json FILE]   NDJSON audit trail
+ *                [--ledger-out FILE]   energy attribution ledger JSON
+ *                [--ledger-csv FILE]   per-interval ledger grid CSV
+ *                [--ledger-check FILE] conservation-check JSON (for
+ *                                      smartref_statdiff --subset)
+ *                [--check-conservation]  verify the ledger invariant
+ *                [--profile-out FILE]  phase-profile JSON (host wall time)
  *                [--trace-out FILE]    Chrome trace_event JSON timeline
  *                [--trace-csv FILE]    compact CSV timeline
  *                [--trace-categories LIST]  e.g. refresh,counter (def all)
  *                [--log-level silent|warn|info|debug]
  *                [--list]              list benchmark profiles and exit
+ *                [--version]           print the provenance build block
  */
 
 #include <bit>
@@ -35,14 +46,19 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
+#include "ctrl/refresh_audit.hh"
 #include "ctrl/refresh_heatmap.hh"
+#include "dram/energy_ledger.hh"
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "sim/interval_stats.hh"
+#include "sim/phase_profiler.hh"
 #include "sim/provenance.hh"
 #include "sim/stats_json.hh"
+#include "sim/suggest.hh"
 #include "sim/tracer.hh"
 #include "trace/trace.hh"
 
@@ -126,17 +142,47 @@ configureTracer(const CliArgs &args)
             std::make_unique<CsvTraceSink>(args.traceCsvPath()));
 }
 
+/** Split a comma-separated list, dropping empty tokens. */
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string token;
+    std::istringstream in(list);
+    while (std::getline(in, token, ','))
+        if (!token.empty())
+            out.push_back(token);
+    return out;
+}
+
+/** Every full dotted stat path below @p group, for did-you-mean. */
+void
+collectStatPaths(const StatGroup &group, const std::string &prefix,
+                 std::vector<std::string> &out)
+{
+    for (const StatBase *stat : group.stats())
+        out.push_back(prefix + stat->name());
+    for (const StatGroup *child : group.children())
+        collectStatPaths(*child, prefix + child->statName() + ".", out);
+}
+
 /**
  * Build the interval sampler (when --stats-interval-ms is given) with
- * the standard refresh-dynamics columns, and start it.
+ * the standard refresh-dynamics columns plus any --interval-cols dotted
+ * stat paths (validated before the run starts), and start it.
  */
 std::unique_ptr<IntervalStats>
-makeSampler(const CliArgs &args, EventQueue &eq, MemoryController &ctrl,
-            DramModule &dram, SmartRefreshPolicy *smart)
+makeSampler(const CliArgs &args, const StatGroup &root, EventQueue &eq,
+            MemoryController &ctrl, DramModule &dram,
+            SmartRefreshPolicy *smart)
 {
     const std::uint64_t ms = args.statsIntervalMs();
-    if (ms == 0)
+    const std::string cols = args.getString("interval-cols");
+    if (ms == 0) {
+        if (!cols.empty())
+            SMARTREF_FATAL("--interval-cols requires --stats-interval-ms");
         return nullptr;
+    }
     auto sampler =
         std::make_unique<IntervalStats>(eq, Tick(ms) * kMillisecond);
     sampler->addDelta("refreshes", [&dram] {
@@ -161,8 +207,94 @@ makeSampler(const CliArgs &args, EventQueue &eq, MemoryController &ctrl,
                               [s] { return statValue(*s); });
         }
     }
+    for (const std::string &path : splitCommas(cols)) {
+        const StatBase *s = root.resolveStat(path);
+        if (!s) {
+            std::vector<std::string> names;
+            collectStatPaths(root,
+                             root.statName().empty()
+                                 ? ""
+                                 : root.statName() + ".",
+                             names);
+            SMARTREF_FATAL("unknown stat path '", path, "'",
+                           didYouMean(path, names));
+        }
+        sampler->addDelta(path, [s] { return statValue(*s); });
+    }
     sampler->start();
     return sampler;
+}
+
+/**
+ * Verify and drain the optional audit / ledger / profile artifacts.
+ * The overhead lump joins the ledger here because it is an analytic
+ * per-run quantity the DRAM module never sees.
+ */
+void
+finishLedgerAudit(const CliArgs &args, const DramModule &dram,
+                  double overheadJoules, const RefreshAudit *audit,
+                  EnergyLedger *ledger, const PhaseProfiler *profiler,
+                  const std::string &configHash)
+{
+    if (ledger) {
+        ledger->setOverhead(overheadJoules);
+        if (args.has("check-conservation")) {
+            dram.verifyLedger(true);
+            std::cout << "energy conservation verified on '"
+                      << dram.statName() << "' (ledger == power stats)\n";
+        }
+        RunMeta meta;
+        meta.schema = "smartref-ledger-v1";
+        meta.configHash = configHash;
+        if (!args.ledgerOutPath().empty()) {
+            ledger->writeJson(args.ledgerOutPath(), metaJson(meta));
+            std::cout << "energy ledger written to "
+                      << args.ledgerOutPath() << "\n";
+        }
+        if (!args.ledgerCsvPath().empty()) {
+            ledger->writeCsv(args.ledgerCsvPath());
+            std::cout << "energy ledger CSV written to "
+                      << args.ledgerCsvPath() << "\n";
+        }
+        if (!args.ledgerCheckPath().empty()) {
+            RunMeta checkMeta;
+            checkMeta.schema = "smartref-stats-v1";
+            checkMeta.configHash = configHash;
+            ledger->writeConservationCheckJson(
+                args.ledgerCheckPath(), dram.power().fullStatName(),
+                metaJson(checkMeta));
+            std::cout << "conservation check written to "
+                      << args.ledgerCheckPath() << "\n";
+        }
+    }
+    if (audit) {
+        if (!args.auditOutPath().empty()) {
+            audit->writeBinary(args.auditOutPath());
+            std::cout << "audit trail (" << audit->total()
+                      << " records) written to " << args.auditOutPath()
+                      << "\n";
+        }
+        if (!args.auditJsonPath().empty()) {
+            audit->writeNdjson(args.auditJsonPath());
+            std::cout << "audit NDJSON (" << audit->total()
+                      << " records) written to " << args.auditJsonPath()
+                      << "\n";
+        }
+    }
+    if (profiler && !args.profileOutPath().empty()) {
+        std::ofstream out(args.profileOutPath());
+        if (!out)
+            SMARTREF_FATAL("cannot write profile JSON '",
+                           args.profileOutPath(), "'");
+        RunMeta meta;
+        meta.schema = "smartref-profile-v1";
+        meta.configHash = configHash;
+        out << "{\"schema\":\"smartref-profile-v1\",\"meta\":"
+            << metaJson(meta) << ",\"phases\":" << profiler->toJson()
+            << "}\n";
+        std::cout << "phase profile written to "
+                  << args.profileOutPath() << "\n";
+    }
 }
 
 /** End-of-run observability output: interval CSV, JSON stats, heatmap,
@@ -170,7 +302,8 @@ makeSampler(const CliArgs &args, EventQueue &eq, MemoryController &ctrl,
 void
 finishObservability(const CliArgs &args, const StatGroup &root,
                     IntervalStats *sampler, const std::string &configHash,
-                    const RefreshHeatmap *heatmap)
+                    const RefreshHeatmap *heatmap,
+                    const PhaseProfiler *profiler)
 {
     if (sampler) {
         sampler->finish();
@@ -184,7 +317,13 @@ finishObservability(const CliArgs &args, const StatGroup &root,
         RunMeta meta;
         meta.schema = "smartref-stats-v1";
         meta.configHash = configHash;
-        writeStatsJson(root, args.statsJsonPath(), metaJson(meta));
+        // Host wall times are non-deterministic, so phase profiles ride
+        // as a top-level extra member, never inside "stats".
+        std::string extra;
+        if (profiler && !profiler->empty())
+            extra = "\"phases\": " + profiler->toJson();
+        writeStatsJson(root, args.statsJsonPath(), metaJson(meta),
+                       extra);
         std::cout << "JSON statistics written to "
                   << args.statsJsonPath() << "\n";
     }
@@ -219,6 +358,10 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    if (args.has("version")) {
+        std::cout << versionText("smartref_sim");
+        return 0;
+    }
     if (args.has("list")) {
         listProfiles();
         return 0;
@@ -257,6 +400,29 @@ main(int argc, char **argv)
                                  : "trace:" + tracePath);
     const std::string configHash = hex64(fnv1a64(cfgKey.str()));
 
+    const bool wantAudit =
+        !args.auditOutPath().empty() || !args.auditJsonPath().empty();
+#ifdef SMARTREF_AUDIT_DISABLED
+    if (wantAudit) {
+        SMARTREF_FATAL("this binary was built with SMARTREF_AUDIT=OFF; "
+                       "--audit-out/--audit-json are unavailable");
+    }
+#endif
+    std::unique_ptr<RefreshAudit> audit;
+    if (wantAudit) {
+        audit = std::make_unique<RefreshAudit>(RefreshAudit::Shape{
+            dram.org.ranks, dram.org.banks, dram.org.rows});
+    }
+    std::unique_ptr<EnergyLedger> ledger;
+    if (args.has("check-conservation") || !args.ledgerOutPath().empty() ||
+        !args.ledgerCsvPath().empty() || !args.ledgerCheckPath().empty()) {
+        ledger = std::make_unique<EnergyLedger>(
+            EnergyLedger::Shape{dram.org.ranks, dram.org.banks});
+    }
+    std::unique_ptr<PhaseProfiler> profiler;
+    if (!args.profileOutPath().empty())
+        profiler = std::make_unique<PhaseProfiler>();
+
     std::uint64_t violations = 0;
 
     if (threed) {
@@ -271,6 +437,9 @@ main(int argc, char **argv)
                 (1u << opts.counterBits) - 1);
             cfg.heatmap = heatmap.get();
         }
+        cfg.audit = audit.get();
+        cfg.ledger = ledger.get();
+        cfg.profiler = profiler.get();
         ThreeDSystem sys(cfg);
         const std::string benchName =
             args.getString("benchmark", "mummer");
@@ -279,8 +448,9 @@ main(int argc, char **argv)
             sys.addWorkload(wp);
 
         auto sampler =
-            makeSampler(args, sys.eventQueue(), sys.threeDController(),
-                        sys.threeDDram(), sys.smartPolicy());
+            makeSampler(args, sys, sys.eventQueue(),
+                        sys.threeDController(), sys.threeDDram(),
+                        sys.smartPolicy());
         sys.run(opts.warmup);
         const EnergySnapshot warm = captureSnapshot(sys);
         sys.run(opts.measure);
@@ -298,8 +468,12 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
+        finishLedgerAudit(args, sys.threeDDram(),
+                          sys.threeDPolicy().overheadEnergy(),
+                          audit.get(), ledger.get(), profiler.get(),
+                          configHash);
         finishObservability(args, sys, sampler.get(), configHash,
-                            cfg.heatmap);
+                            cfg.heatmap, profiler.get());
     } else {
         SystemConfig cfg;
         cfg.dram = dram;
@@ -327,8 +501,11 @@ main(int argc, char **argv)
                 (1u << bits) - 1);
             cfg.heatmap = heatmap.get();
         }
+        cfg.audit = audit.get();
+        cfg.ledger = ledger.get();
+        cfg.profiler = profiler.get();
         System sys(cfg);
-        auto sampler = makeSampler(args, sys.eventQueue(),
+        auto sampler = makeSampler(args, sys, sys.eventQueue(),
                                    sys.controller(), sys.dram(),
                                    sys.smartPolicy());
 
@@ -387,8 +564,12 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
+        finishLedgerAudit(args, sys.dram(),
+                          sys.refreshPolicy().overheadEnergy(),
+                          audit.get(), ledger.get(), profiler.get(),
+                          configHash);
         finishObservability(args, sys, sampler.get(), configHash,
-                            cfg.heatmap);
+                            cfg.heatmap, profiler.get());
     }
 
     return violations == 0 ? 0 : 1;

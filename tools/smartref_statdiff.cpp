@@ -15,6 +15,7 @@
  *                     [--subset]           metrics only in B are OK
  *                     [--json-out FILE]    machine verdict JSON
  *                     [--quiet]            suppress the human report
+ *                     [--version]          print the provenance block
  *
  * Exit codes: 0 = within tolerance, 1 = differences found,
  *             2 = usage or I/O error.
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "harness/statdiff.hh"
+#include "sim/provenance.hh"
 
 using namespace smartref;
 
@@ -64,6 +66,9 @@ main(int argc, char **argv)
             subset = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--version") {
+            std::cout << versionText("smartref_statdiff");
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;

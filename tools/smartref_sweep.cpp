@@ -22,11 +22,16 @@
  *                                        byte-identical for any -j N
  *                  [--telemetry-out FILE] live NDJSON execution
  *                                        telemetry (not deterministic)
+ *                  [--check-conservation] verify the energy-ledger
+ *                                        invariant inside every job
+ *                  [--profile]           collect per-job phase profiles
+ *                                        (telemetry NDJSON only)
  *                  [--seed S] [--seed-mode derived|fixed]
  *                  [--warmup-ms N] [--measure-ms N] [--segments N]
  *                  [--no-auto] [--progress]
  *                  [--log-level silent|warn|info|debug]
  *                  [--list-grids]        list predefined grids and exit
+ *                  [--version]           print the provenance build block
  *
  * Predefined grids (--grid): smoke, 2gb, 4gb, 3d64, 3d64-32ms, 3d32,
  * figures, bits, policies.
@@ -175,6 +180,10 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    if (args.has("version")) {
+        std::cout << versionText("smartref_sweep");
+        return 0;
+    }
     if (args.has("list-grids")) {
         listGrids();
         return 0;
@@ -193,6 +202,8 @@ main(int argc, char **argv)
     opts.baseSeed = eo.seed;
     opts.logLevel = eo.logLevel;
     opts.progress = args.has("progress") || eo.verbose;
+    opts.checkConservation = args.has("check-conservation");
+    opts.profile = args.has("profile");
     const std::string seedMode = args.getString("seed-mode", "derived");
     if (seedMode == "fixed")
         opts.seedMode = SeedMode::Fixed;
