@@ -41,7 +41,9 @@ SmartRefreshPolicy::SmartRefreshPolicy(const DramConfig &dramCfg,
       cbrRequested_(this, "cbrRequested",
                     "CBR refreshes requested (fallback/overlap)"),
       skippedByCounters_(this, "touchesDeferred",
-                         "counter touches that deferred a refresh")
+                         "counter touches that deferred a refresh"),
+      cancelledWhileHeld_(this, "cancelledWhileHeld",
+                          "DARP-held refreshes cancelled as redundant")
 {
     // Section 5: counter banks for the controller's maximum capacity;
     // the BIOS enables one bank per installed totalRows-worth of DRAM.
@@ -294,6 +296,31 @@ SmartRefreshPolicy::onRefreshIssued(const RefreshRequest &req)
     }
     bus_.recordAccesses(1);
     pending_.markIssued(req);
+}
+
+bool
+SmartRefreshPolicy::refreshStillNeeded(const RefreshRequest &req,
+                                       bool rowCurrentlyOpen) const
+{
+    (void)req;
+    // An open row's charge is in the sense amplifiers and will be
+    // restored by the eventual precharge (the idle-precharge timer
+    // bounds how long that takes, and the retention tracker does not
+    // age open rows), so a DARP-held refresh to it is redundant: the
+    // close notification resets the row's counter. A closed row keeps
+    // its expired counter, so the refresh must still issue.
+    return !rowCurrentlyOpen;
+}
+
+void
+SmartRefreshPolicy::onRefreshCancelled(const RefreshRequest &req)
+{
+    // Retire the pending-queue entry exactly as an issue would; the
+    // row's restore is carried by the upcoming precharge instead.
+    pending_.markIssued(req);
+    ++cancelledWhileHeld_;
+    SMARTREF_TRACE(TraceCategory::Refresh, eq_.now(), "smartCancelled",
+                   req.rank, req.bank, req.row);
 }
 
 double

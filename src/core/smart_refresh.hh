@@ -95,6 +95,9 @@ class SmartRefreshPolicy : public RefreshPolicy
     void onRowClosed(std::uint32_t rank, std::uint32_t bank,
                      std::uint32_t row) override;
     void onRefreshIssued(const RefreshRequest &req) override;
+    bool refreshStillNeeded(const RefreshRequest &req,
+                            bool rowCurrentlyOpen) const override;
+    void onRefreshCancelled(const RefreshRequest &req) override;
     double overheadEnergy() const override;
     std::string policyName() const override { return "smart"; }
 
@@ -202,6 +205,7 @@ class SmartRefreshPolicy : public RefreshPolicy
     Scalar smartRequested_;
     Scalar cbrRequested_;
     Scalar skippedByCounters_;
+    Scalar cancelledWhileHeld_;
 };
 
 } // namespace smartref

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DARP's per-bank demand predictor: a small integer EWMA over demand
+ * inter-arrival gaps that answers "will this bank stay idle long
+ * enough to hide a refresh?".
+ *
+ * The DARP scheduler (Chang et al., HPCA 2014) only pulls a refresh
+ * into a bank when it expects the bank to stay free of demand for at
+ * least the refresh latency. This predictor is deliberately tiny — one
+ * averaged gap and the last arrival tick per bank — because the
+ * hardware budget in the paper is a handful of counters per bank.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace smartref {
+
+/** Idle-gap predictor for one bank. */
+class DarpIdlePredictor
+{
+  public:
+    /** A demand access arrived at `now`. */
+    void
+    recordDemand(Tick now)
+    {
+        if (seen_) {
+            const std::int64_t gap =
+                static_cast<std::int64_t>(now) -
+                static_cast<std::int64_t>(lastArrival_);
+            // Integer EWMA with alpha = 1/4: avg += (gap - avg) / 4.
+            avgGap_ += (gap - avgGap_) / 4;
+            if (avgGap_ < 0)
+                avgGap_ = 0;
+        }
+        lastArrival_ = now;
+        seen_ = true;
+    }
+
+    /** Predicted tick of the next demand arrival to this bank. */
+    Tick
+    predictedNextArrival() const
+    {
+        return lastArrival_ + static_cast<Tick>(avgGap_);
+    }
+
+    /**
+     * Would the bank be expected to stay demand-free for `duration`
+     * starting at `now`? Banks that have never seen demand are idle.
+     */
+    bool
+    expectIdleFor(Tick now, Tick duration) const
+    {
+        if (!seen_)
+            return true;
+        return predictedNextArrival() >= now + duration;
+    }
+
+    bool hasSeenDemand() const { return seen_; }
+    std::int64_t averageGap() const { return avgGap_; }
+    Tick lastArrival() const { return lastArrival_; }
+
+  private:
+    bool seen_ = false;
+    Tick lastArrival_ = 0;
+    std::int64_t avgGap_ = 0;
+};
+
+} // namespace smartref

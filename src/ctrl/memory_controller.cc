@@ -33,8 +33,19 @@ MemoryController::MemoryController(DramModule &dram, EventQueue &eq,
                       "pages closed by the idle-precharge timer"),
       latency_(this, "latency", "demand latency (ticks)",
                0.0, 2.0e6, 64),
-      latencySum_(this, "latencySum", "sum of demand latencies (ticks)")
+      latencySum_(this, "latencySum", "sum of demand latencies (ticks)"),
+      demandBlocked_(this, "demandBlockedTicks",
+                     "ticks demand waited on in-flight refresh state"),
+      stallsAvoided_(this, "refreshStallsAvoided",
+                     "refreshes DARP moved into demand-idle banks"),
+      subarrayConflicts_(this, "subarrayConflicts",
+                         "demand arrivals hitting a subarray mid-refresh"),
+      darpDeferred_(this, "darpDeferred",
+                    "refreshes DARP held back at least once"),
+      darpCancelled_(this, "darpCancelled",
+                     "held refreshes the policy no longer needed")
 {
+    darpEnabled_ = parallelismUsesDarp(dram_.config().parallelism);
 }
 
 void
@@ -64,6 +75,7 @@ MemoryController::access(Addr addr, bool write, MemCallback cb)
         heatmap_->recordDemand(item.coord.rank, item.coord.bank, eq_.now());
 
     const std::size_t idx = engineIndex(item.coord.rank, item.coord.bank);
+    engines_[idx].predictor.recordDemand(eq_.now());
     noteEngineActivated(engines_[idx]);
     engines_[idx].queue.push_back(std::move(item));
     kick(idx);
@@ -93,9 +105,133 @@ MemoryController::pushRefresh(const RefreshRequest &req)
                            static_cast<double>(refreshBacklog_));
 
     const std::size_t idx = engineIndex(req.rank, item.ref.bank);
-    noteEngineActivated(engines_[idx]);
-    engines_[idx].queue.push_back(std::move(item));
+    Engine &engine = engines_[idx];
+
+    if (darpEnabled_) {
+        // DARP: only let the refresh through immediately when the bank
+        // is demand-idle and the predictor expects it to stay idle for
+        // the refresh duration; otherwise hold it and wait for a drain
+        // (or the defer window, whichever comes first).
+        const Tick lookahead = cfg_.darpIdleLookahead != 0
+                                   ? cfg_.darpIdleLookahead
+                                   : dram_.config().timing.tRFCrow;
+        const bool bankQuiet = !engine.busy && engine.queue.empty();
+        if (!bankQuiet ||
+            !engine.predictor.expectIdleFor(eq_.now(), lookahead)) {
+            ++darpDeferred_;
+            SMARTREF_AUDIT_RECORD(audit_, eq_.now(), item.ref.rank,
+                                  item.ref.bank, item.ref.row,
+                                  AuditOutcome::DarpDeferred,
+                                  AuditSource::Darp);
+            ++heldRefreshes_;
+            engine.heldRefresh.push_back(std::move(item));
+            eq_.scheduleAfter(cfg_.darpDeferWindow,
+                              [this, idx] { forceHeld(idx); });
+            // Quiet bank held back only by the predictor: re-check
+            // after an idle window instead of waiting for the drain
+            // hook (which needs demand) or the defer deadline.
+            if (bankQuiet)
+                armHeldDispatch(idx);
+            return;
+        }
+        item.darpOutcome =
+            static_cast<int>(AuditOutcome::DarpIdleIssued);
+    }
+
+    noteEngineActivated(engine);
+    engine.queue.push_back(std::move(item));
     kick(idx);
+}
+
+void
+MemoryController::armHeldDispatch(std::size_t engineIdx)
+{
+    // A drained engine is not the same as an idle bank: back-to-back
+    // demand leaves micro-gaps between requests, and slipping a refresh
+    // into one closes the open row mid-burst. Wait out an idle window
+    // first; any intervening activity bumps the generation and voids
+    // the timer (the next drain re-arms it).
+    Engine &engine = engines_[engineIdx];
+    const std::uint64_t gen = engine.activityGen;
+    const Tick wait = cfg_.darpIdleLookahead != 0
+                          ? cfg_.darpIdleLookahead
+                          : (cfg_.idlePrechargeAfter != 0
+                                 ? cfg_.idlePrechargeAfter
+                                 : dram_.config().timing.tRFCrow);
+    eq_.scheduleAfter(wait, [this, engineIdx, gen] {
+        Engine &e = engines_[engineIdx];
+        if (e.busy || !e.queue.empty() || e.activityGen != gen)
+            return;
+        tryDispatchHeld(engineIdx);
+    });
+}
+
+void
+MemoryController::tryDispatchHeld(std::size_t engineIdx)
+{
+    Engine &engine = engines_[engineIdx];
+    while (!engine.busy && !engine.heldRefresh.empty()) {
+        Item item = std::move(engine.heldRefresh.front());
+        engine.heldRefresh.pop_front();
+        --heldRefreshes_;
+        if (maybeCancelHeld(item))
+            continue;
+        // The bank just drained: slip the refresh in now, behind the
+        // write drain when that is what freed the bank.
+        item.darpOutcome = static_cast<int>(
+            engine.lastWasWrite ? AuditOutcome::DarpPiggybacked
+                                : AuditOutcome::DarpIdleIssued);
+        ++stallsAvoided_;
+        noteEngineActivated(engine);
+        engine.queue.push_back(std::move(item));
+        kick(engineIdx);
+    }
+}
+
+void
+MemoryController::forceHeld(std::size_t engineIdx)
+{
+    Engine &engine = engines_[engineIdx];
+    std::vector<Item> expired;
+    while (!engine.heldRefresh.empty() &&
+           engine.heldRefresh.front().ref.created + cfg_.darpDeferWindow <=
+               eq_.now()) {
+        Item item = std::move(engine.heldRefresh.front());
+        engine.heldRefresh.pop_front();
+        --heldRefreshes_;
+        if (maybeCancelHeld(item))
+            continue;
+        item.darpOutcome = static_cast<int>(AuditOutcome::DarpForced);
+        expired.push_back(std::move(item));
+    }
+    if (expired.empty())
+        return;
+    noteEngineActivated(engine);
+    // Jump ahead of queued demand: these refreshes are out of slack.
+    for (auto it = expired.rbegin(); it != expired.rend(); ++it)
+        engine.queue.push_front(std::move(*it));
+    kick(engineIdx);
+}
+
+bool
+MemoryController::maybeCancelHeld(const Item &item)
+{
+    const RefreshRequest &ref = item.ref;
+    // CBR-flagged refreshes already advanced the device's internal
+    // counter mirror; they may be delayed but never dropped.
+    if (ref.cbr || !policy_)
+        return false;
+    const bool rowOpen = dram_.isBankOpen(ref.rank, ref.bank) &&
+                         dram_.openRow(ref.rank, ref.bank) == ref.row;
+    if (policy_->refreshStillNeeded(ref, rowOpen))
+        return false;
+    SMARTREF_ASSERT(refreshBacklog_ > 0, "refresh backlog underflow");
+    --refreshBacklog_;
+    ++darpCancelled_;
+    SMARTREF_AUDIT_RECORD(audit_, eq_.now(), ref.rank, ref.bank, ref.row,
+                          AuditOutcome::DarpCancelled, AuditSource::Darp);
+    policy_->onRefreshCancelled(ref);
+    return true;
 }
 
 void
@@ -117,7 +253,7 @@ MemoryController::idle() const
                     "active-engine count drifted: tracked ",
                     activeEngines_, ", scan found ", scanned);
 #endif
-    return activeEngines_ == 0;
+    return activeEngines_ == 0 && heldRefreshes_ == 0;
 }
 
 void
@@ -146,14 +282,35 @@ MemoryController::startItem(std::size_t engineIdx, Item item)
 void
 MemoryController::finishEngine(std::size_t engineIdx)
 {
-    engines_[engineIdx].busy = false;
-    kick(engineIdx);
-    if (!engines_[engineIdx].busy) {
-        // Queue must be empty or kick() would have started an item.
-        SMARTREF_ASSERT(activeEngines_ > 0, "active-engine underflow");
-        --activeEngines_;
-        armIdlePrecharge(engineIdx);
+    Engine &engine = engines_[engineIdx];
+    engine.busy = false;
+    if (!engine.queue.empty()) {
+        // The engine stays active. kick() may complete the next item
+        // synchronously (SARP refreshes wait on no bank window) and
+        // recurse through finishEngine; each frame accounts only the
+        // transition it observed, so decide active-vs-idle *before*
+        // anything re-entrant can run.
+        kick(engineIdx);
+        return;
     }
+    SMARTREF_ASSERT(activeEngines_ > 0, "active-engine underflow");
+    --activeEngines_;
+    // DARP: the bank just drained. Piggyback a held refresh straight
+    // behind a write when the predictor expects the bank to stay quiet
+    // (the bus turnaround already broke the burst); otherwise wait for
+    // confirmed idleness before slipping one in.
+    if (darpEnabled_ && !engine.heldRefresh.empty()) {
+        const Tick lookahead = cfg_.darpIdleLookahead != 0
+                                   ? cfg_.darpIdleLookahead
+                                   : dram_.config().timing.tRFCrow;
+        if (engine.lastWasWrite &&
+            engine.predictor.expectIdleFor(eq_.now(), lookahead))
+            tryDispatchHeld(engineIdx);
+        else
+            armHeldDispatch(engineIdx);
+    }
+    if (!engine.busy)
+        armIdlePrecharge(engineIdx);
 }
 
 void
@@ -231,6 +388,16 @@ MemoryController::runDemand(std::size_t engineIdx, Item item)
 {
     const DramCoord &c = item.coord;
 
+    // Attribute refresh-induced demand blocking at the tick the demand
+    // reaches the bank scheduler: any in-flight refresh state (bank
+    // busy window, REFab rank stall, SARP subarray busy) that postpones
+    // this access is charged here.
+    const Tick blocked = dram_.refreshBlockedUntil(c.rank, c.bank, c.row);
+    if (blocked > eq_.now())
+        demandBlocked_ += static_cast<double>(blocked - eq_.now());
+    if (dram_.subarrayBlockedUntil(c.rank, c.bank, c.row) > eq_.now())
+        ++subarrayConflicts_;
+
     if (dram_.isBankOpen(c.rank, c.bank)) {
         if (dram_.openRow(c.rank, c.bank) == c.row) {
             ++rowHits_;
@@ -288,6 +455,7 @@ MemoryController::issueColumn(std::size_t engineIdx, Item item)
                     c.rank, c.bank, c.row, c.column};
     issueWhenReady(col, [this, engineIdx, item = std::move(item)](
                             Tick done, bool, std::uint32_t) mutable {
+        engines_[engineIdx].lastWasWrite = item.req.write;
         const Tick lat = done - item.req.arrival;
         latency_.sample(static_cast<double>(lat));
         latencySum_ += static_cast<double>(lat);
@@ -306,6 +474,7 @@ void
 MemoryController::runRefresh(std::size_t engineIdx, Item item)
 {
     const RefreshRequest req = item.ref;
+    const int darpOutcome = item.darpOutcome;
     // All refreshes carry a resolved (bank, row); the cbr flag only
     // changes whether an address was posted on the bus (energy).
     DramCommand cmd{DramCommandType::RefreshRasOnly, req.rank, req.bank,
@@ -315,8 +484,9 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
     // restored); issueWhenReady observes the pre-issue row state and
     // hands it to the callback, so access-aware policies learn which
     // row was written back without any shared out-of-band state.
-    issueWhenReady(cmd, [this, engineIdx, req](Tick, bool rowWasOpen,
-                                               std::uint32_t openRow) {
+    issueWhenReady(cmd, [this, engineIdx, req, darpOutcome](
+                            Tick, bool rowWasOpen,
+                            std::uint32_t openRow) {
         PhaseScope drainScope(profiler_, "drain");
         SMARTREF_ASSERT(refreshBacklog_ > 0, "refresh backlog underflow");
         --refreshBacklog_;
@@ -331,15 +501,28 @@ MemoryController::runRefresh(std::size_t engineIdx, Item item)
                                static_cast<double>(refreshBacklog_));
         if (heatmap_)
             heatmap_->recordRefresh(req.rank, req.bank);
+        // In subarray modes a refresh only closes the page when it
+        // lands in the open row's own subarray; the device applied the
+        // same predicate, so the post-issue bank state is the truth.
+        const bool pageSurvived =
+            rowWasOpen && dram_.isBankOpen(req.rank, req.bank);
         // The deadline-driven CBR fallback path is what the policy could
-        // not avoid; an addressed refresh is a decision the policy made.
+        // not avoid; an addressed refresh is a decision the policy made;
+        // DARP dispatch decisions and subarray-parallel refreshes carry
+        // their own outcomes.
+        AuditOutcome outcome = req.cbr ? AuditOutcome::ForcedDeadline
+                                       : AuditOutcome::Issued;
+        AuditSource source = AuditSource::Controller;
+        if (darpOutcome >= 0) {
+            outcome = static_cast<AuditOutcome>(darpOutcome);
+            source = AuditSource::Darp;
+        } else if (pageSurvived) {
+            outcome = AuditOutcome::SarpParallel;
+        }
         SMARTREF_AUDIT_RECORD(audit_, eq_.now(), req.rank, req.bank,
-                              req.row,
-                              req.cbr ? AuditOutcome::ForcedDeadline
-                                      : AuditOutcome::Issued,
-                              AuditSource::Controller);
+                              req.row, outcome, source);
         if (policy_) {
-            if (rowWasOpen)
+            if (rowWasOpen && !pageSurvived)
                 policy_->onRowClosed(req.rank, req.bank, openRow);
             policy_->onRefreshIssued(req);
         }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ctrl/address_mapper.hh"
+#include "ctrl/darp_predictor.hh"
 #include "ctrl/mem_request.hh"
 #include "ctrl/refresh_policy.hh"
 #include "dram/dram_module.hh"
@@ -43,6 +44,21 @@ struct ControllerConfig
      * the row's charge, so access-aware refresh policies are notified.
      */
     Tick idlePrechargeAfter = 200 * kNanosecond;
+
+    /**
+     * DARP only: how long a refresh may be held back waiting for its
+     * bank to go demand-idle before it is force-dispatched ahead of
+     * demand. Must stay well under the retention tracker's deadline
+     * slack (20 us) so held refreshes cannot cause violations.
+     */
+    Tick darpDeferWindow = 8 * kMicrosecond;
+
+    /**
+     * DARP only: the idle-gap the per-bank predictor must expect
+     * before a refresh is dispatched into an idle bank immediately.
+     * 0 means "one row refresh" (tRFCrow).
+     */
+    Tick darpIdleLookahead = 0;
 };
 
 /** Open-page memory controller for one DRAM module. */
@@ -115,6 +131,22 @@ class MemoryController : public StatGroup
     std::size_t maxRefreshBacklog() const { return maxRefreshBacklog_; }
     /** Largest request-to-issue delay of any refresh (ticks). */
     Tick maxRefreshDispatchDelay() const { return maxRefreshDelay_; }
+    /** Ticks demand spent blocked behind in-flight refresh state. */
+    double demandBlockedTicks() const { return demandBlocked_.value(); }
+    /** Refreshes DARP slipped into idle banks / behind write drains. */
+    std::uint64_t refreshStallsAvoided() const
+    {
+        return asU64(stallsAvoided_);
+    }
+    /** Demand arrivals that hit a subarray mid-refresh (SARP). */
+    std::uint64_t subarrayConflicts() const
+    {
+        return asU64(subarrayConflicts_);
+    }
+    /** Refreshes DARP held back at least once. */
+    std::uint64_t darpDeferred() const { return asU64(darpDeferred_); }
+    /** Held refreshes cancelled because the policy no longer needs them. */
+    std::uint64_t darpCancelled() const { return asU64(darpCancelled_); }
     ///@}
 
     /** Drain outstanding work: returns true when all queues are empty. */
@@ -137,6 +169,11 @@ class MemoryController : public StatGroup
         MemCallback cb;
         // Refresh fields
         RefreshRequest ref;
+        /**
+         * AuditOutcome a DARP dispatch decision stamped on this
+         * refresh, or -1 when the refresh took the normal path.
+         */
+        int darpOutcome = -1;
     };
 
     /** FIFO engine for one (rank, bank). */
@@ -146,6 +183,12 @@ class MemoryController : public StatGroup
         bool busy = false;
         /** Bumped on any activity; stale idle-precharge checks no-op. */
         std::uint64_t activityGen = 0;
+        /** DARP: refreshes held back until the bank goes demand-idle. */
+        std::deque<Item> heldRefresh;
+        /** DARP: was the last column burst from this bank a write? */
+        bool lastWasWrite = false;
+        /** DARP: per-bank demand inter-arrival predictor. */
+        DarpIdlePredictor predictor;
     };
 
     std::size_t
@@ -155,6 +198,17 @@ class MemoryController : public StatGroup
     }
 
     void kick(std::size_t engineIdx);
+    /** DARP: dispatch held refreshes once idleness is confirmed. */
+    void armHeldDispatch(std::size_t engineIdx);
+    /** DARP: dispatch held refreshes while the engine is drained. */
+    void tryDispatchHeld(std::size_t engineIdx);
+    /** DARP: force-dispatch held refreshes that hit the defer window. */
+    void forceHeld(std::size_t engineIdx);
+    /**
+     * DARP: offer a held refresh to the policy for cancellation.
+     * @return true when it was cancelled (caller drops the item)
+     */
+    bool maybeCancelHeld(const Item &item);
     void startItem(std::size_t engineIdx, Item item);
     void runDemand(std::size_t engineIdx, Item item);
     void issueColumn(std::size_t engineIdx, Item item);
@@ -209,6 +263,10 @@ class MemoryController : public StatGroup
     std::size_t refreshBacklog_ = 0;
     std::size_t maxRefreshBacklog_ = 0;
     Tick maxRefreshDelay_ = 0;
+    /** Held refreshes across all engines (DARP); part of idle(). */
+    std::size_t heldRefreshes_ = 0;
+    /** Whether the attached module's parallelism mode enables DARP. */
+    bool darpEnabled_ = false;
 
     Scalar reads_;
     Scalar writes_;
@@ -219,6 +277,11 @@ class MemoryController : public StatGroup
     Scalar idlePrecharges_;
     Histogram latency_;
     Scalar latencySum_;
+    Scalar demandBlocked_;
+    Scalar stallsAvoided_;
+    Scalar subarrayConflicts_;
+    Scalar darpDeferred_;
+    Scalar darpCancelled_;
 };
 
 } // namespace smartref

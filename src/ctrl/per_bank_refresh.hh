@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-bank refresh (REFpb): one independent refresh walker per
+ * (rank, bank), each cycling its own bank's rows at the per-bank
+ * spacing with start offsets staggered across banks so at most one
+ * bank per rank refreshes at a time under nominal scheduling.
+ *
+ * Unlike the module-wide RAS-only walker, each bank carries its own
+ * deadline account: the policy tracks how far each bank's walker has
+ * slipped behind its nominal schedule (the controller may delay
+ * refreshes behind demand, and DARP may hold them), exposing the worst
+ * per-bank deadline lag as a stat. Addresses are posted on the bus, so
+ * the overhead matches RAS-only refresh per request.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ctrl/bus_energy_model.hh"
+#include "ctrl/memory_controller.hh"
+#include "ctrl/refresh_policy.hh"
+#include "sim/event_queue.hh"
+
+namespace smartref {
+
+/** Per-bank (REFpb) refresh with per-bank deadline accounting. */
+class PerBankRefreshPolicy : public RefreshPolicy
+{
+  public:
+    PerBankRefreshPolicy(EventQueue &eq, const BusEnergyParams &busParams,
+                         StatGroup *parent);
+
+    void start() override;
+    void onRefreshIssued(const RefreshRequest &req) override;
+    double overheadEnergy() const override { return bus_.totalEnergy(); }
+    std::string policyName() const override { return "per-bank"; }
+
+    const BusEnergyModel &bus() const { return bus_; }
+
+    /** Worst observed issue lag behind a bank's nominal deadline. */
+    Tick maxDeadlineLag() const { return maxDeadlineLag_; }
+
+  private:
+    /** Walker state for one (rank, bank). */
+    struct BankWalker
+    {
+        std::uint32_t rank = 0;
+        std::uint32_t bank = 0;
+        std::uint32_t nextRow = 0;
+        /** Nominal tick the next refresh request is due. */
+        Tick nextDue = 0;
+    };
+
+    void step(std::size_t walkerIdx);
+
+    EventQueue &eq_;
+    BusEnergyModel bus_;
+    Tick spacing_ = 0; ///< per-bank request spacing (retention / rows)
+    std::vector<BankWalker> walkers_;
+    Tick maxDeadlineLag_ = 0;
+    Scalar requested_;
+    Scalar deadlineLagTicks_;
+};
+
+} // namespace smartref

@@ -18,6 +18,12 @@ toString(AuditOutcome outcome)
         return "skipped-counter-reset";
       case AuditOutcome::ForcedDeadline: return "forced-deadline";
       case AuditOutcome::Deferred: return "deferred";
+      case AuditOutcome::DarpDeferred: return "darp-deferred";
+      case AuditOutcome::DarpIdleIssued: return "darp-idle-issued";
+      case AuditOutcome::DarpPiggybacked: return "darp-piggybacked";
+      case AuditOutcome::DarpForced: return "darp-forced";
+      case AuditOutcome::DarpCancelled: return "darp-cancelled";
+      case AuditOutcome::SarpParallel: return "sarp-parallel";
     }
     return "?";
 }
@@ -30,6 +36,7 @@ toString(AuditSource source)
       case AuditSource::SmartWalk: return "smart-walk";
       case AuditSource::SmartSchedule: return "smart-schedule";
       case AuditSource::RetentionAware: return "retention-aware";
+      case AuditSource::Darp: return "darp";
     }
     return "?";
 }

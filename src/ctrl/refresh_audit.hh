@@ -19,6 +19,20 @@
  *                           class deadline has not expired).
  *  - `Deferred`           — Smart Refresh found an expired counter but
  *                           delayed the refresh to its stagger slot.
+ *  - `DarpDeferred`       — DARP held a refresh back because its bank
+ *                           had demand in flight (or predicted
+ *                           imminent).
+ *  - `DarpIdleIssued`     — DARP dispatched a held refresh into a
+ *                           demand-idle bank.
+ *  - `DarpPiggybacked`    — DARP dispatched a held refresh right after
+ *                           a write drain in the same bank.
+ *  - `DarpForced`         — a held refresh hit its defer window and was
+ *                           force-dispatched ahead of demand.
+ *  - `DarpCancelled`      — the policy answered that a held refresh is
+ *                           no longer needed (row currently open), so
+ *                           it was dropped instead of issued.
+ *  - `SarpParallel`       — a subarray refresh completed while its bank
+ *                           kept serving demand in other subarrays.
  *
  * Records are buffered allocation-free in fixed slabs (pointer-bump
  * appends; a new slab every 64 Ki records) and drained to a binary
@@ -52,8 +66,14 @@ enum class AuditOutcome : std::uint8_t {
     SkippedCounterReset = 2,
     ForcedDeadline = 3,
     Deferred = 4,
+    DarpDeferred = 5,
+    DarpIdleIssued = 6,
+    DarpPiggybacked = 7,
+    DarpForced = 8,
+    DarpCancelled = 9,
+    SarpParallel = 10,
 };
-constexpr std::size_t kAuditOutcomeCount = 5;
+constexpr std::size_t kAuditOutcomeCount = 11;
 
 /** Which component recorded the outcome. */
 enum class AuditSource : std::uint8_t {
@@ -61,8 +81,9 @@ enum class AuditSource : std::uint8_t {
     SmartWalk = 1,      ///< Smart Refresh counter walk
     SmartSchedule = 2,  ///< Smart Refresh stagger-slot scheduling
     RetentionAware = 3, ///< retention-aware row visit
+    Darp = 4,           ///< DARP hold/dispatch decisions
 };
-constexpr std::size_t kAuditSourceCount = 4;
+constexpr std::size_t kAuditSourceCount = 5;
 
 const char *toString(AuditOutcome outcome);
 const char *toString(AuditSource source);

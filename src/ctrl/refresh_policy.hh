@@ -64,6 +64,31 @@ class RefreshPolicy : public StatGroup
     virtual void onRefreshIssued(const RefreshRequest &req) { (void)req; }
     ///@}
 
+    /** @name DARP cancellation hooks. */
+    ///@{
+    /**
+     * Asked by the controller while a DARP-held refresh waits: is this
+     * refresh still needed? Access-aware policies may answer no when
+     * the target row is currently open (its charge will be restored by
+     * the eventual precharge), letting skips and reorders compose.
+     * CBR-flagged requests are never offered for cancellation.
+     */
+    virtual bool
+    refreshStillNeeded(const RefreshRequest &req,
+                       bool rowCurrentlyOpen) const
+    {
+        (void)req; (void)rowCurrentlyOpen;
+        return true;
+    }
+
+    /**
+     * A held refresh this policy requested was cancelled instead of
+     * issued (only after refreshStillNeeded returned false). Policies
+     * with pending-queue bookkeeping retire the entry here.
+     */
+    virtual void onRefreshCancelled(const RefreshRequest &req) { (void)req; }
+    ///@}
+
     /**
      * Attach a refresh decision audit trail (pure observation; not
      * owned, may be null). Policies without skip/defer decisions keep

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dram/dram_config.hh"
 #include "sim/types.hh"
@@ -32,6 +33,43 @@ class Bank
     Tick preAllowedAt() const { return preAllowedAt_; }
     /** Tick until which the bank is busy with a refresh. */
     Tick busyUntil() const { return busyUntil_; }
+
+    /**
+     * Tick until which an all-bank (REFab) refresh elsewhere in the
+     * rank stalls this bank. Kept separate from the per-command
+     * windows so refresh-blocked ticks stay attributable.
+     */
+    Tick refreshStall() const { return refreshStall_; }
+
+    void
+    stallForRefresh(Tick until)
+    {
+        refreshStall_ = maxTick(refreshStall_, until);
+    }
+
+    /** Size the per-subarray busy table (SARP modes only). */
+    void configureSubarrays(std::uint32_t n) { subarrayBusyUntil_.assign(n, 0); }
+
+    /** Tick until which subarray `sub` is busy with a refresh. */
+    Tick
+    subarrayBusyUntil(std::uint32_t sub) const
+    {
+        return sub < subarrayBusyUntil_.size() ? subarrayBusyUntil_[sub]
+                                               : Tick(0);
+    }
+
+    /** Latest busy-until across all subarrays. */
+    Tick
+    maxSubarrayBusyUntil() const
+    {
+        Tick m = 0;
+        for (Tick t : subarrayBusyUntil_)
+            m = maxTick(m, t);
+        return m;
+    }
+
+    /** Issue tick of the most recent subarray refresh. */
+    Tick lastRefreshStart() const { return lastRefreshStart_; }
 
     /** Apply an ACTIVATE issued at `now`. */
     void
@@ -84,6 +122,28 @@ class Bank
         return done;
     }
 
+    /**
+     * Apply a SARP subarray refresh issued at `now`: only the target
+     * subarray becomes busy; the bank-level windows are left alone so
+     * demand can proceed in other subarrays.
+     * @param closesOwnPage the open page lives in the refreshed
+     *        subarray, so the refresh implicitly precharges it
+     * @return completion tick of the refresh
+     */
+    Tick
+    refreshSubarray(std::uint32_t sub, Tick now, const DramTiming &t,
+                    bool closesOwnPage)
+    {
+        const Tick done =
+            now + (closesOwnPage ? t.tRP : Tick(0)) + t.tRFCrow;
+        if (closesOwnPage)
+            open_ = false;
+        if (sub < subarrayBusyUntil_.size())
+            subarrayBusyUntil_[sub] = maxTick(subarrayBusyUntil_[sub], done);
+        lastRefreshStart_ = now;
+        return done;
+    }
+
   private:
     static Tick maxTick(Tick a, Tick b) { return a > b ? a : b; }
 
@@ -93,6 +153,9 @@ class Bank
     Tick rdWrAllowedAt_ = 0;
     Tick preAllowedAt_ = 0;
     Tick busyUntil_ = 0;
+    Tick refreshStall_ = 0;
+    Tick lastRefreshStart_ = 0;
+    std::vector<Tick> subarrayBusyUntil_;
 };
 
 } // namespace smartref

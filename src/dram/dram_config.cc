@@ -26,6 +26,12 @@ DramConfig::validate() const
         SMARTREF_FATAL("config '", name,
                        "': too many rows for retention interval");
     }
+    if (org.subarraysPerBank == 0)
+        SMARTREF_FATAL("config '", name, "': zero subarrays per bank");
+    if (org.rows % org.subarraysPerBank != 0) {
+        SMARTREF_FATAL("config '", name,
+                       "': subarraysPerBank must divide rows");
+    }
 }
 
 DramConfig

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "dram/refresh_parallelism.hh"
 #include "sim/types.hh"
 
 namespace smartref {
@@ -26,6 +27,21 @@ struct DramOrganization
     std::uint32_t dataWidthBits = 72;   ///< module data width (64+8 ECC)
     std::uint32_t deviceWidthBits = 8;  ///< width of one DRAM device
     std::uint32_t burstLength = 4;      ///< transfers per access burst
+    std::uint32_t subarraysPerBank = 8; ///< subarrays per bank (SARP)
+
+    /** Rows per subarray (contiguous row ranges map to subarrays). */
+    std::uint32_t
+    rowsPerSubarray() const
+    {
+        return rows / subarraysPerBank;
+    }
+
+    /** Subarray index a row belongs to. */
+    std::uint32_t
+    subarrayOf(std::uint32_t row) const
+    {
+        return row / rowsPerSubarray();
+    }
 
     /** Payload bytes transferred per column access (excludes ECC bits). */
     std::uint32_t
@@ -117,6 +133,36 @@ struct DramConfig
      * kept in standby because it is on the processor's access path.
      */
     bool allowPowerDown = true;
+
+    /**
+     * How refreshes overlap with demand accesses. PerBank is the
+     * historical (and default) behaviour: a refresh occupies only its
+     * own bank. See refresh_parallelism.hh for the full family.
+     */
+    RefreshParallelism parallelism = RefreshParallelism::PerBank;
+
+    /**
+     * HiRA-style concurrent activation: in SARP modes, allow an
+     * ACTIVATE to a different subarray while a refresh is in flight in
+     * the same bank without the cross-subarray serialization penalty.
+     */
+    bool hiraConcurrentActivation = false;
+
+    /**
+     * Whether a refresh of `refreshRow` implicitly closes an open page
+     * on `openRow` of the same bank. Without subarrays every refresh
+     * closes the bank's page; with the SARP subarray model only a
+     * refresh landing in the open row's own subarray does. Shared by
+     * the device model (power/ledger accounting) and the controller
+     * (policy row-closed notifications) so the two cannot diverge.
+     */
+    bool
+    refreshClosesPage(std::uint32_t openRow, std::uint32_t refreshRow) const
+    {
+        if (!parallelismUsesSubarrays(parallelism))
+            return true;
+        return org.subarrayOf(openRow) == org.subarrayOf(refreshRow);
+    }
 
     /** Baseline distributed-refresh commands per second (all rows). */
     double

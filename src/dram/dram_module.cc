@@ -59,10 +59,23 @@ DramModule::checkAddress(const DramCommand &cmd) const
 }
 
 Tick
-DramModule::earliestRefresh(const Rank &rank, std::uint32_t bankIdx) const
+DramModule::earliestRefresh(const Rank &rank, std::uint32_t bankIdx,
+                            std::uint32_t row) const
 {
     const Bank &bank = rank.bank(bankIdx);
-    Tick earliest = std::max(bank.actAllowedAt(), bank.busyUntil());
+    if (parallelismUsesSubarrays(cfg_.parallelism)) {
+        // SARP: the refresh only needs its target subarray free (plus
+        // a precharge window when it lands in the open row's own
+        // subarray); demand in other subarrays keeps flowing.
+        Tick earliest = std::max(
+            {bank.refreshStall(), bank.busyUntil(),
+             bank.subarrayBusyUntil(cfg_.org.subarrayOf(row))});
+        if (bank.isOpen() && cfg_.refreshClosesPage(bank.openRow(), row))
+            earliest = std::max(earliest, bank.preAllowedAt());
+        return earliest;
+    }
+    Tick earliest = std::max({bank.actAllowedAt(), bank.busyUntil(),
+                              bank.refreshStall()});
     if (bank.isOpen())
         earliest = std::max(earliest, bank.preAllowedAt());
     return earliest;
@@ -75,11 +88,31 @@ DramModule::earliestIssue(const DramCommand &cmd) const
     const Bank &bank = rank.bank(cmd.bank);
 
     switch (cmd.type) {
-      case DramCommandType::Activate:
-        return std::max({bank.actAllowedAt(), bank.busyUntil(),
-                         rank.nextActAllowed()});
+      case DramCommandType::Activate: {
+        Tick earliest = std::max({bank.actAllowedAt(), bank.busyUntil(),
+                                  rank.nextActAllowed(),
+                                  bank.refreshStall()});
+        if (parallelismUsesSubarrays(cfg_.parallelism)) {
+            const std::uint32_t sub = cfg_.org.subarrayOf(cmd.row);
+            earliest = std::max(earliest, bank.subarrayBusyUntil(sub));
+            if (!cfg_.hiraConcurrentActivation) {
+                // Without HiRA's isolated local bitlines, an ACT may
+                // not start in the same tRRD window as an in-flight
+                // refresh of another subarray (shared peripherals),
+                // but need not wait for the whole refresh.
+                const Tick anyBusy = bank.maxSubarrayBusyUntil();
+                if (anyBusy > earliest) {
+                    earliest = std::max(
+                        earliest,
+                        std::min(anyBusy, bank.lastRefreshStart() +
+                                              cfg_.timing.tRRD));
+                }
+            }
+        }
+        return earliest;
+      }
       case DramCommandType::Precharge:
-        return bank.preAllowedAt();
+        return std::max(bank.preAllowedAt(), bank.refreshStall());
       case DramCommandType::Read:
       case DramCommandType::Write: {
         // The data bus is busy [issue + tCL, issue + tCL + tBurst); the
@@ -87,15 +120,15 @@ DramModule::earliestIssue(const DramCommand &cmd) const
         const Tick busConstraint = dataBusFreeAt_ > cfg_.timing.tCL
                                        ? dataBusFreeAt_ - cfg_.timing.tCL
                                        : Tick(0);
-        return std::max(bank.rdWrAllowedAt(), busConstraint);
+        return std::max({bank.rdWrAllowedAt(), busConstraint,
+                         bank.refreshStall()});
       }
       case DramCommandType::RefreshCbr: {
         const auto [b, row] = rank.peekCbrTarget();
-        (void)row;
-        return earliestRefresh(rank, b);
+        return earliestRefresh(rank, b, row);
       }
       case DramCommandType::RefreshRasOnly:
-        return earliestRefresh(rank, cmd.bank);
+        return earliestRefresh(rank, cmd.bank, cmd.row);
     }
     SMARTREF_PANIC("unknown command type");
 }
@@ -199,25 +232,36 @@ DramModule::issueRefresh(std::uint32_t rankIdx, std::uint32_t bankIdx,
     Rank &rank = ranks_[rankIdx];
     Bank &bank = rank.bank(bankIdx);
 
-    const bool wasOpen = bank.isOpen();
-    if (wasOpen) {
+    // In subarray modes only a refresh landing in the open row's own
+    // subarray implicitly precharges the page; otherwise the page
+    // survives and the refresh carries no open-page penalty. The same
+    // predicate drives the controller's row-closed notifications.
+    const bool closesPage =
+        bank.isOpen() && cfg_.refreshClosesPage(bank.openRow(), row);
+    if (closesPage) {
         // Closing the page restores the displaced row's charge.
         retention_.onRestore(rankIdx, bankIdx, bank.openRow(),
                              now + cfg_.timing.tRP);
     }
-    const Tick done = bank.refresh(now, cfg_.timing, wasOpen);
+    const Tick done =
+        parallelismUsesSubarrays(cfg_.parallelism)
+            ? bank.refreshSubarray(cfg_.org.subarrayOf(row), now,
+                                   cfg_.timing, closesPage)
+            : bank.refresh(now, cfg_.timing, closesPage);
     retention_.onRefresh(rankIdx, bankIdx, row, done);
-    power_.onRowRefresh(wasOpen);
+    power_.onRowRefresh(closesPage);
     if (ledger_) {
-        ledger_->onRefresh(now, rankIdx, bankIdx, wasOpen,
+        ledger_->onRefresh(now, rankIdx, bankIdx, closesPage,
                            power_.energyPerRowRefresh(),
                            power_.energyOpenPagePenalty());
     }
     SMARTREF_TRACE(TraceCategory::Dram, now,
                    ras ? "REF.ras" : "REF.cbr", rankIdx, bankIdx, row,
-                   wasOpen ? 1.0 : 0.0, done - now);
+                   closesPage ? 1.0 : 0.0, done - now);
     refreshesPerBank_[std::size_t(rankIdx) * cfg_.org.banks + bankIdx] +=
         1.0;
+    if (cfg_.parallelism == RefreshParallelism::None)
+        rank.stallAllBanks(done); // REFab: the whole rank stalls
     rank.noteBusy(done);
     return done;
 }

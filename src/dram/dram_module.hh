@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -67,6 +68,39 @@ class DramModule : public StatGroup
 
     /** Shared data bus availability. */
     Tick dataBusFreeAt() const { return dataBusFreeAt_; }
+
+    /**
+     * Tick until which an in-flight refresh blocks a demand access to
+     * (rank, bank, row): the bank-level refresh busy window, any
+     * all-bank (REFab) rank stall, and — in subarray modes — the
+     * target row's subarray busy window. Controllers use this to
+     * attribute demand-blocked-by-refresh ticks.
+     */
+    Tick
+    refreshBlockedUntil(std::uint32_t rank, std::uint32_t bank,
+                        std::uint32_t row) const
+    {
+        const Bank &b = ranks_[rank].bank(bank);
+        Tick t = std::max(b.busyUntil(), b.refreshStall());
+        if (parallelismUsesSubarrays(cfg_.parallelism))
+            t = std::max(t, b.subarrayBusyUntil(cfg_.org.subarrayOf(row)));
+        return t;
+    }
+
+    /**
+     * Tick until which the target row's own subarray is busy with a
+     * refresh (always 0 outside subarray modes). Used to count
+     * subarray conflicts separately from bank-level blocking.
+     */
+    Tick
+    subarrayBlockedUntil(std::uint32_t rank, std::uint32_t bank,
+                         std::uint32_t row) const
+    {
+        if (!parallelismUsesSubarrays(cfg_.parallelism))
+            return 0;
+        const Bank &b = ranks_[rank].bank(bank);
+        return b.subarrayBusyUntil(cfg_.org.subarrayOf(row));
+    }
 
     /**
      * The (bank, row) a rank's CBR counter will select `lookahead`
@@ -134,7 +168,8 @@ class DramModule : public StatGroup
     void integrateBackground(Rank &rank, Tick upTo);
     Tick issueRefresh(std::uint32_t rankIdx, std::uint32_t bankIdx,
                       std::uint32_t row, bool ras);
-    Tick earliestRefresh(const Rank &rank, std::uint32_t bankIdx) const;
+    Tick earliestRefresh(const Rank &rank, std::uint32_t bankIdx,
+                         std::uint32_t row) const;
 
     DramConfig cfg_;
     EventQueue &eq_;

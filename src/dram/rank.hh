@@ -22,6 +22,8 @@ class Rank
     explicit Rank(const DramOrganization &org)
         : banks_(org.banks), banksPerRank_(org.banks), rows_(org.rows)
     {
+        for (Bank &b : banks_)
+            b.configureSubarrays(org.subarraysPerBank);
     }
 
     Bank &bank(std::uint32_t b) { return banks_.at(b); }
@@ -58,6 +60,17 @@ class Rank
 
     /** When the rank last finished doing anything (for power-down). */
     Tick lastBusyEnd() const { return lastBusyEnd_; }
+
+    /**
+     * Stall every bank of the rank until `until` — the REFab all-bank
+     * refresh semantics where one refresh blocks the whole rank.
+     */
+    void
+    stallAllBanks(Tick until)
+    {
+        for (Bank &b : banks_)
+            b.stallForRefresh(until);
+    }
 
     /** Last tick background power was integrated up to. */
     Tick powerIntegratedTo() const { return powerIntegratedTo_; }

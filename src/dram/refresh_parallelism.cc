@@ -1,0 +1,37 @@
+#include "dram/refresh_parallelism.hh"
+
+#include "sim/logging.hh"
+
+namespace smartref {
+
+const char *
+toString(RefreshParallelism p)
+{
+    switch (p) {
+      case RefreshParallelism::None: return "none";
+      case RefreshParallelism::PerBank: return "refpb";
+      case RefreshParallelism::Darp: return "darp";
+      case RefreshParallelism::Sarp: return "sarp";
+      case RefreshParallelism::DSarp: return "all";
+    }
+    return "?";
+}
+
+RefreshParallelism
+parallelismFromString(const std::string &name)
+{
+    if (name == "none")
+        return RefreshParallelism::None;
+    if (name == "refpb")
+        return RefreshParallelism::PerBank;
+    if (name == "darp")
+        return RefreshParallelism::Darp;
+    if (name == "sarp")
+        return RefreshParallelism::Sarp;
+    if (name == "all")
+        return RefreshParallelism::DSarp;
+    SMARTREF_FATAL("unknown parallelism mode '", name,
+                   "' (none, refpb, darp, sarp, all)");
+}
+
+} // namespace smartref

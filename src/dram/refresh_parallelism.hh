@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Refresh-access parallelism modes (REFab/REFpb/DARP/SARP/DSARP).
+ *
+ * The mode decides how much of the device a refresh blocks and how the
+ * controller may reorder refreshes around demand traffic, following
+ * Chang et al., "Improving DRAM Performance by Parallelizing Refreshes
+ * with Accesses" (HPCA 2014) and HiRA (MICRO 2022):
+ *
+ *  - None  (REFab): an all-bank refresh stalls every bank of the rank
+ *    for the duration of the row refresh. The pessimistic baseline.
+ *  - PerBank (REFpb): a refresh occupies only its own bank; other
+ *    banks keep serving demand. This matches the repo's historical
+ *    behaviour and is therefore the default.
+ *  - Darp: REFpb plus out-of-order per-bank scheduling — the
+ *    controller pulls refreshes into demand-idle banks and piggybacks
+ *    them behind write drains, holding them briefly otherwise.
+ *  - Sarp: REFpb plus a subarray model — demand accesses proceed in
+ *    subarrays of the bank that are not being refreshed.
+ *  - DSarp: DARP and SARP combined (the paper's DSARP; CLI name
+ *    "all").
+ */
+
+#pragma once
+
+#include <string>
+
+namespace smartref {
+
+enum class RefreshParallelism
+{
+    None,    ///< all-bank refresh: the whole rank stalls ("none")
+    PerBank, ///< per-bank refresh, in-order ("refpb", default)
+    Darp,    ///< per-bank + demand-aware reordering ("darp")
+    Sarp,    ///< per-bank + subarray-level parallelism ("sarp")
+    DSarp,   ///< DARP + SARP combined ("all")
+};
+
+const char *toString(RefreshParallelism p);
+
+/** Parse a CLI/grid name; fatal on unknown names (lists valid ones). */
+RefreshParallelism parallelismFromString(const std::string &name);
+
+/** True when the mode reorders refreshes around demand (DARP layer). */
+inline bool
+parallelismUsesDarp(RefreshParallelism p)
+{
+    return p == RefreshParallelism::Darp || p == RefreshParallelism::DSarp;
+}
+
+/** True when the mode models subarrays under each bank (SARP layer). */
+inline bool
+parallelismUsesSubarrays(RefreshParallelism p)
+{
+    return p == RefreshParallelism::Sarp || p == RefreshParallelism::DSarp;
+}
+
+} // namespace smartref

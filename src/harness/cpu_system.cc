@@ -23,6 +23,10 @@ CpuSystem::CpuSystem(const CpuSystemConfig &cfg)
         policy_ = std::make_unique<RasOnlyRefreshPolicy>(
             eq_, deriveBusParams(BusEnergyParams{}, cfg_.dram.org), this);
         break;
+      case PolicyKind::PerBank:
+        policy_ = std::make_unique<PerBankRefreshPolicy>(
+            eq_, deriveBusParams(BusEnergyParams{}, cfg_.dram.org), this);
+        break;
       case PolicyKind::Smart: {
         SmartRefreshConfig sc = cfg_.smart;
         sc.bus = deriveBusParams(sc.bus, cfg_.dram.org);

@@ -26,6 +26,10 @@ operator-(const EnergySnapshot &b, const EnergySnapshot &a)
     d.demandAccesses = b.demandAccesses - a.demandAccesses;
     d.latencySumTicks = b.latencySumTicks - a.latencySumTicks;
     d.violations = b.violations - a.violations;
+    d.demandBlockedTicks = b.demandBlockedTicks - a.demandBlockedTicks;
+    d.refreshStallsAvoided =
+        b.refreshStallsAvoided - a.refreshStallsAvoided;
+    d.subarrayConflicts = b.subarrayConflicts - a.subarrayConflicts;
     return d;
 }
 
@@ -47,6 +51,9 @@ captureSnapshot(System &sys)
         sys.controller().demandReads() + sys.controller().demandWrites();
     s.latencySumTicks = sys.controller().latencySumTicks();
     s.violations = sys.dram().retention().violations();
+    s.demandBlockedTicks = sys.controller().demandBlockedTicks();
+    s.refreshStallsAvoided = sys.controller().refreshStallsAvoided();
+    s.subarrayConflicts = sys.controller().subarrayConflicts();
     return s;
 }
 
@@ -68,15 +75,28 @@ captureSnapshot(ThreeDSystem &sys)
     s.latencySumTicks = sys.cache().latencySum();
     s.violations = sys.threeDDram().retention().violations() +
                    sys.mainDram().retention().violations();
+    s.demandBlockedTicks = sys.threeDController().demandBlockedTicks();
+    s.refreshStallsAvoided =
+        sys.threeDController().refreshStallsAvoided();
+    s.subarrayConflicts = sys.threeDController().subarrayConflicts();
     return s;
 }
 
 namespace {
 
+/** NaN-safe percentile in ns (empty histograms report 0, not NaN,
+ *  because NaN would render as invalid JSON via jsonNumber). */
+double
+percentileNs(const Histogram &h, double p)
+{
+    const double v = h.percentile(p);
+    return std::isnan(v) ? 0.0 : v / static_cast<double>(kNanosecond);
+}
+
 RunResult
 reduce(const std::string &benchmark, const std::string &suite,
        const std::string &policy, const EnergySnapshot &delta,
-       std::size_t maxBacklog)
+       std::size_t maxBacklog, const Histogram *latency)
 {
     RunResult r;
     r.benchmark = benchmark;
@@ -101,6 +121,14 @@ reduce(const std::string &benchmark, const std::string &suite,
             : 0.0;
     r.violations = delta.violations;
     r.maxRefreshBacklog = maxBacklog;
+    r.demandBlockedByRefreshTicks = delta.demandBlockedTicks;
+    r.refreshStallsAvoided = delta.refreshStallsAvoided;
+    r.subarrayConflicts = delta.subarrayConflicts;
+    if (latency) {
+        r.latencyP50Ns = percentileNs(*latency, 0.50);
+        r.latencyP95Ns = percentileNs(*latency, 0.95);
+        r.latencyP99Ns = percentileNs(*latency, 0.99);
+    }
     return r;
 }
 
@@ -134,6 +162,7 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
     cfg.audit = opts.audit;
     cfg.ledger = opts.ledger;
     cfg.profiler = opts.profiler;
+    cfg.retentionClasses = opts.retentionClasses;
     std::unique_ptr<EnergyLedger> checkLedger;
     if (opts.checkConservation && !cfg.ledger) {
         checkLedger = std::make_unique<EnergyLedger>(
@@ -160,7 +189,8 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
         sys.dram().verifyLedger(true);
 
     RunResult r = reduce(profile.name, profile.suite, toString(policy),
-                         delta, sys.controller().maxRefreshBacklog());
+                         delta, sys.controller().maxRefreshBacklog(),
+                         &sys.controller().latencyHistogram());
     r.eventsExecuted = sys.eventQueue().executed();
     return r;
 }
@@ -208,6 +238,7 @@ runThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     cfg.audit = opts.audit;
     cfg.ledger = opts.ledger;
     cfg.profiler = opts.profiler;
+    cfg.retentionClasses = opts.retentionClasses;
     std::unique_ptr<EnergyLedger> checkLedger;
     if (opts.checkConservation && !cfg.ledger) {
         checkLedger = std::make_unique<EnergyLedger>(
@@ -231,8 +262,10 @@ runThreeD(const BenchmarkProfile &profile, const DramConfig &threeD,
     if (opts.checkConservation)
         sys.threeDDram().verifyLedger(true);
 
-    RunResult r = reduce(profile.name, profile.suite, toString(policy),
-                         delta, sys.threeDController().maxRefreshBacklog());
+    RunResult r =
+        reduce(profile.name, profile.suite, toString(policy), delta,
+               sys.threeDController().maxRefreshBacklog(),
+               &sys.threeDController().latencyHistogram());
     r.eventsExecuted = sys.eventQueue().executed();
     return r;
 }

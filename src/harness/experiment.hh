@@ -37,6 +37,12 @@ struct EnergySnapshot
     std::uint64_t demandAccesses = 0;
     double latencySumTicks = 0.0;
     std::uint64_t violations = 0;
+    /** Ticks demand spent blocked behind in-flight refresh state. */
+    double demandBlockedTicks = 0.0;
+    /** Refreshes DARP slipped into idle banks / behind write drains. */
+    std::uint64_t refreshStallsAvoided = 0;
+    /** Demand arrivals that hit a subarray mid-refresh (SARP). */
+    std::uint64_t subarrayConflicts = 0;
 
     double
     totalEnergy() const
@@ -68,6 +74,18 @@ struct RunResult
     double overheadJ = 0.0;
     double avgLatencyNs = 0.0;
     double latencySumSec = 0.0;
+    /**
+     * Whole-run demand read-latency percentiles in ns (percentiles do
+     * not difference across snapshots, so these cover warmup +
+     * measurement; 0 when no demand was sampled).
+     */
+    double latencyP50Ns = 0.0;
+    double latencyP95Ns = 0.0;
+    double latencyP99Ns = 0.0;
+    /** Demand-blocked-by-refresh time over the measurement window. */
+    double demandBlockedByRefreshTicks = 0.0;
+    std::uint64_t refreshStallsAvoided = 0;
+    std::uint64_t subarrayConflicts = 0;
     std::uint64_t demandAccesses = 0;
     std::uint64_t violations = 0;
     std::size_t maxRefreshBacklog = 0;
@@ -165,6 +183,13 @@ struct ExperimentOptions
      * check. Fatal (std::runtime_error) on a violation.
      */
     bool checkConservation = false;
+    /**
+     * Optional per-row retention-class map (shared, immutable).
+     * Required by the retention-aware policy; callers comparing
+     * policies attach it to the run under test only so the CBR
+     * baseline keeps the uniform worst-case retention model.
+     */
+    std::shared_ptr<const RetentionClassMap> retentionClasses;
 };
 
 /** Run one benchmark on a conventional module with one policy. */

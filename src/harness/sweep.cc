@@ -11,6 +11,7 @@
 #include <type_traits>
 
 #include "ctrl/bus_energy_model.hh"
+#include "dram/refresh_parallelism.hh"
 #include "harness/report.hh"
 #include "harness/sweep_telemetry.hh"
 #include "harness/system.hh"
@@ -94,6 +95,10 @@ pointKey(const SweepPoint &point)
     oss << "config=" << point.config << ";bench=" << point.benchmark
         << ";policy=" << point.policy << ";bits=" << point.counterBits
         << ";retentionMs=" << point.retentionMs;
+    // The historical default mode is omitted so pre-parallelism seeds
+    // (and the goldens derived from them) are unchanged.
+    if (point.parallelism != "refpb")
+        oss << ";par=" << point.parallelism;
     return oss.str();
 }
 
@@ -136,6 +141,8 @@ parseSweepGrid(const std::string &jsonText)
             for (const auto &e : value.array)
                 grid.retentionMs.push_back(
                     static_cast<std::uint64_t>(e.number));
+        } else if (key == "parallelism") {
+            grid.parallelism = strings(value);
         } else {
             SMARTREF_FATAL("unknown sweep grid member '", key, "'");
         }
@@ -177,25 +184,29 @@ expandGrid(const SweepGrid &grid, std::uint64_t baseSeed, SeedMode mode)
         if (bits < 1 || bits > 16)
             SMARTREF_FATAL("counterBits ", bits, " out of range [1,16]");
     }
+    for (const auto &par : grid.parallelism)
+        parallelismFromString(par); // fatal on unknown
 
     std::vector<SweepJob> jobs;
     jobs.reserve(grid.configs.size() * grid.retentionMs.size() *
                  grid.counterBits.size() * grid.policies.size() *
-                 benchmarks.size());
+                 grid.parallelism.size() * benchmarks.size());
     for (const auto &config : grid.configs) {
         for (std::uint64_t retention : grid.retentionMs) {
             for (std::uint32_t bits : grid.counterBits) {
                 for (const auto &policy : grid.policies) {
-                    for (const auto &benchmark : benchmarks) {
-                        SweepJob job;
-                        job.index = jobs.size();
-                        job.point = {config, benchmark, policy, bits,
-                                     retention};
-                        job.seed = mode == SeedMode::Fixed
-                                       ? baseSeed
-                                       : deriveJobSeed(baseSeed,
-                                                       job.point);
-                        jobs.push_back(std::move(job));
+                    for (const auto &par : grid.parallelism) {
+                        for (const auto &benchmark : benchmarks) {
+                            SweepJob job;
+                            job.index = jobs.size();
+                            job.point = {config, benchmark, policy,
+                                         bits, retention, par};
+                            job.seed = mode == SeedMode::Fixed
+                                           ? baseSeed
+                                           : deriveJobSeed(baseSeed,
+                                                           job.point);
+                            jobs.push_back(std::move(job));
+                        }
                     }
                 }
             }
@@ -212,6 +223,9 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
     DramConfig dram = dramConfigByName(job.point.config);
     if (job.point.retentionMs > 0)
         dram.timing.retention = Tick(job.point.retentionMs) * kMillisecond;
+    // Both runs of the comparison share the device mode: parallelism is
+    // a property of the module under test, not of the policy.
+    dram.parallelism = parallelismFromString(job.point.parallelism);
 
     ExperimentOptions eo;
     eo.warmup = opts.warmup;
@@ -245,6 +259,16 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
     }
     ExperimentOptions eoBase = eo;
     eoBase.heatmap = nullptr;
+    if (policy == PolicyKind::RetentionAware) {
+        // The retention-aware policy needs a per-row class map; derive
+        // it from the job's coordinate seed so -j1 and -jN sweeps see
+        // the same rows in the same classes. The CBR baseline run keeps
+        // the uniform worst-case retention model (eoBase has no map).
+        RetentionClassParams cp;
+        cp.seed = job.seed;
+        eo.retentionClasses = std::make_shared<const RetentionClassMap>(
+            dram.org.totalRows(), cp);
+    }
     if (isThreeDConfigName(job.point.config)) {
         {
             PhaseScope stage(eo.profiler, "baseline");
@@ -364,6 +388,13 @@ writeRunResult(std::ostream &os, const RunResult &r)
        << ",\"totalEnergyJ\":" << jsonNumber(r.totalEnergyJ)
        << ",\"overheadJ\":" << jsonNumber(r.overheadJ)
        << ",\"avgLatencyNs\":" << jsonNumber(r.avgLatencyNs)
+       << ",\"latencyP50Ns\":" << jsonNumber(r.latencyP50Ns)
+       << ",\"latencyP95Ns\":" << jsonNumber(r.latencyP95Ns)
+       << ",\"latencyP99Ns\":" << jsonNumber(r.latencyP99Ns)
+       << ",\"demandBlockedByRefreshTicks\":"
+       << jsonNumber(r.demandBlockedByRefreshTicks)
+       << ",\"refreshStallsAvoided\":" << r.refreshStallsAvoided
+       << ",\"subarrayConflicts\":" << r.subarrayConflicts
        << ",\"demandAccesses\":" << r.demandAccesses
        << ",\"violations\":" << r.violations
        << ",\"maxRefreshBacklog\":" << r.maxRefreshBacklog << "}";
@@ -393,6 +424,7 @@ struct SummaryGroup
     std::uint64_t retentionMs;
     std::uint32_t counterBits;
     std::string policy;
+    std::string parallelism;
     std::vector<const SweepJobResult *> members;
 };
 
@@ -405,11 +437,12 @@ groupResults(const std::vector<SweepJobResult> &results)
         if (groups.empty() || groups.back().config != p.config ||
             groups.back().retentionMs != p.retentionMs ||
             groups.back().counterBits != p.counterBits ||
-            groups.back().policy != p.policy) {
+            groups.back().policy != p.policy ||
+            groups.back().parallelism != p.parallelism) {
             // Grid order nests benchmark innermost, so equal-coordinate
             // jobs are always contiguous.
             groups.push_back({p.config, p.retentionMs, p.counterBits,
-                              p.policy, {}});
+                              p.policy, p.parallelism, {}});
         }
         groups.back().members.push_back(&r);
     }
@@ -452,6 +485,8 @@ writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
     writeArray(os, grid.counterBits, false);
     os << ",\"retentionMs\":";
     writeArray(os, grid.retentionMs, false);
+    os << ",\"parallelism\":";
+    writeArray(os, grid.parallelism, true);
     os << "}";
 
     os << ",\"options\":{\"warmupMs\":" << opts.warmup / kMillisecond
@@ -490,6 +525,7 @@ writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
            << ",\"policy\":" << quoted(p.policy)
            << ",\"counterBits\":" << p.counterBits
            << ",\"retentionMs\":" << p.retentionMs
+           << ",\"parallelism\":" << quoted(p.parallelism)
            // As a string: 64-bit seeds overflow JSON's double numbers.
            << ",\"seed\":" << quoted(std::to_string(r.job.seed))
            << ",\"baseline\":";
@@ -526,6 +562,7 @@ writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
            << ",\"retentionMs\":" << g.retentionMs
            << ",\"counterBits\":" << g.counterBits
            << ",\"policy\":" << quoted(g.policy)
+           << ",\"parallelism\":" << quoted(g.parallelism)
            << ",\"jobs\":" << g.members.size()
            << ",\"gmeanBaselineRefreshesPerSec\":" << jsonNumber(gmeanBase)
            << ",\"gmeanSmartRefreshesPerSec\":" << jsonNumber(gmeanSmart)
@@ -569,17 +606,19 @@ void
 writeSweepCsv(const std::vector<SweepJobResult> &results, std::ostream &os)
 {
     ReportTable table({"index", "config", "benchmark", "suite", "policy",
-                       "counterBits", "retentionMs", "seed",
-                       "baselineRefreshesPerSec", "smartRefreshesPerSec",
-                       "refreshReduction", "refreshEnergySaving",
-                       "totalEnergySaving", "perfImprovement",
+                       "counterBits", "retentionMs", "parallelism",
+                       "seed", "baselineRefreshesPerSec",
+                       "smartRefreshesPerSec", "refreshReduction",
+                       "refreshEnergySaving", "totalEnergySaving",
+                       "perfImprovement", "demandBlockedByRefreshTicks",
+                       "refreshStallsAvoided", "subarrayConflicts",
                        "violations"});
     for (const auto &r : results) {
         const auto &p = r.job.point;
         const auto &c = r.comparison;
         table.addRow({std::to_string(r.job.index), p.config, p.benchmark,
                       c.suite, p.policy, std::to_string(p.counterBits),
-                      std::to_string(p.retentionMs),
+                      std::to_string(p.retentionMs), p.parallelism,
                       std::to_string(r.job.seed),
                       jsonNumber(c.baseline.refreshesPerSec),
                       jsonNumber(c.smart.refreshesPerSec),
@@ -587,6 +626,9 @@ writeSweepCsv(const std::vector<SweepJobResult> &results, std::ostream &os)
                       jsonNumber(c.refreshEnergySaving()),
                       jsonNumber(c.totalEnergySaving()),
                       jsonNumber(c.perfImprovement()),
+                      jsonNumber(c.smart.demandBlockedByRefreshTicks),
+                      std::to_string(c.smart.refreshStallsAvoided),
+                      std::to_string(c.smart.subarrayConflicts),
                       std::to_string(c.baseline.violations +
                                      c.smart.violations)});
     }
@@ -625,6 +667,10 @@ sweepConfigHash(const SweepGrid &grid, const SweepRunOptions &opts)
     axis("policies", grid.policies);
     axis("counterBits", grid.counterBits);
     axis("retentionMs", grid.retentionMs);
+    // Keep the hash of pre-parallelism grids stable: the axis only
+    // contributes once it departs from the historical default.
+    if (grid.parallelism != std::vector<std::string>{"refpb"})
+        axis("parallelism", grid.parallelism);
     oss << ";warmupMs=" << opts.warmup / kMillisecond
         << ";measureMs=" << opts.measure / kMillisecond
         << ";segments=" << opts.segments
@@ -693,6 +739,7 @@ writeSweepHeatmapJson(const SweepGrid &grid, const SweepRunOptions &opts,
            << ",\"retentionMs\":" << g.retentionMs
            << ",\"counterBits\":" << g.counterBits
            << ",\"policy\":" << quoted(g.policy)
+           << ",\"parallelism\":" << quoted(g.parallelism)
            << ",\"jobs\":" << g.members.size() << ",\"heatmap\":";
         merged[i].writeJson(os);
         os << "}";
@@ -717,7 +764,7 @@ writeSweepHeatmapCsv(const std::vector<SweepJobResult> &results,
 {
     const auto groups = groupResults(results);
     const auto merged = mergeGroupHeatmaps(groups);
-    os << "config,retentionMs,counterBits,policy,"
+    os << "config,retentionMs,counterBits,policy,parallelism,"
        << "kind,rank,bank,segment,bucket,value\n";
     for (std::size_t i = 0; i < groups.size(); ++i) {
         const auto &g = groups[i];
@@ -726,7 +773,7 @@ writeSweepHeatmapCsv(const std::vector<SweepJobResult> &results,
         const std::string prefix = g.config + "," +
                                    std::to_string(g.retentionMs) + "," +
                                    std::to_string(g.counterBits) + "," +
-                                   g.policy + ",";
+                                   g.policy + "," + g.parallelism + ",";
         std::istringstream lines(body.str());
         std::string line;
         while (std::getline(lines, line))

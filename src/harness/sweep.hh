@@ -42,13 +42,21 @@ struct SweepPoint
     std::string policy = "smart";   ///< compared against the CBR baseline
     std::uint32_t counterBits = 3;
     std::uint64_t retentionMs = 0;  ///< 0 = the preset's own retention
+    /**
+     * Refresh-access parallelism mode ("none", "refpb", "darp",
+     * "sarp", "all" = DSARP). Applied to both runs of the comparison,
+     * so baseline and policy see the same device semantics. The
+     * default "refpb" is the historical behaviour and is omitted from
+     * pointKey() to keep existing seeds/goldens stable.
+     */
+    std::string parallelism = "refpb";
 };
 
 /**
  * A declarative sweep grid. Axes expand in canonical nesting order —
- * config (outermost), retentionMs, counterBits, policy, benchmark
- * (innermost) — so job indices are stable properties of the grid, not
- * of the execution.
+ * config (outermost), retentionMs, counterBits, policy, parallelism,
+ * benchmark (innermost) — so job indices are stable properties of the
+ * grid, not of the execution.
  */
 struct SweepGrid
 {
@@ -59,6 +67,8 @@ struct SweepGrid
     std::vector<std::string> policies = {"smart"};
     std::vector<std::uint32_t> counterBits = {3};
     std::vector<std::uint64_t> retentionMs = {0};
+    /** Parallelism modes (refresh_parallelism.hh names). */
+    std::vector<std::string> parallelism = {"refpb"};
 };
 
 /**

@@ -13,6 +13,7 @@ toString(PolicyKind kind)
       case PolicyKind::Cbr: return "cbr";
       case PolicyKind::Burst: return "burst";
       case PolicyKind::RasOnly: return "ras-only";
+      case PolicyKind::PerBank: return "per-bank";
       case PolicyKind::Smart: return "smart";
       case PolicyKind::RetentionAware: return "retention-aware";
     }
@@ -28,12 +29,15 @@ policyFromString(const std::string &name)
         return PolicyKind::Burst;
     if (name == "ras-only")
         return PolicyKind::RasOnly;
+    if (name == "per-bank")
+        return PolicyKind::PerBank;
     if (name == "smart")
         return PolicyKind::Smart;
     if (name == "retention-aware")
         return PolicyKind::RetentionAware;
     SMARTREF_FATAL("unknown policy '", name,
-                   "' (cbr, burst, ras-only, smart, retention-aware)");
+                   "' (cbr, burst, ras-only, per-bank, smart,"
+                   " retention-aware)");
 }
 
 BusEnergyParams
@@ -64,6 +68,10 @@ System::System(const SystemConfig &cfg)
         break;
       case PolicyKind::RasOnly:
         policy_ = std::make_unique<RasOnlyRefreshPolicy>(
+            eq_, deriveBusParams(cfg_.bus, cfg_.dram.org), this);
+        break;
+      case PolicyKind::PerBank:
+        policy_ = std::make_unique<PerBankRefreshPolicy>(
             eq_, deriveBusParams(cfg_.bus, cfg_.dram.org), this);
         break;
       case PolicyKind::Smart: {

@@ -14,6 +14,7 @@
 #include "ctrl/burst_refresh.hh"
 #include "ctrl/cbr_refresh.hh"
 #include "ctrl/memory_controller.hh"
+#include "ctrl/per_bank_refresh.hh"
 #include "ctrl/ras_only_refresh.hh"
 #include "ctrl/retention_aware_refresh.hh"
 #include "dram/dram_module.hh"
@@ -23,7 +24,14 @@
 namespace smartref {
 
 /** Selectable refresh policies. */
-enum class PolicyKind { Cbr, Burst, RasOnly, Smart, RetentionAware };
+enum class PolicyKind {
+    Cbr,
+    Burst,
+    RasOnly,
+    PerBank,
+    Smart,
+    RetentionAware,
+};
 
 const char *toString(PolicyKind kind);
 

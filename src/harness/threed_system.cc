@@ -28,6 +28,10 @@ ThreeDSystem::ThreeDSystem(const ThreeDSystemConfig &cfg)
         policy_ = std::make_unique<RasOnlyRefreshPolicy>(
             eq_, deriveBusParams(cfg_.bus, cfg_.threeD.org), this);
         break;
+      case PolicyKind::PerBank:
+        policy_ = std::make_unique<PerBankRefreshPolicy>(
+            eq_, deriveBusParams(cfg_.bus, cfg_.threeD.org), this);
+        break;
       case PolicyKind::Smart: {
         SmartRefreshConfig sc = cfg_.smart;
         sc.bus = deriveBusParams(sc.bus, cfg_.threeD.org);

@@ -178,6 +178,11 @@ printAuditHistogram(const AuditData &a, const Filters &f)
 {
     std::array<std::uint64_t, kAuditOutcomeCount> byOutcome{};
     std::array<std::uint64_t, kAuditSourceCount> bySource{};
+    // Trails written by a newer binary can carry codes this build does
+    // not know; surface them as unknown(N) rows rather than dropping
+    // them silently (the shares must still sum to 100%).
+    std::map<std::uint8_t, std::uint64_t> unknownOutcomes;
+    std::map<std::uint8_t, std::uint64_t> unknownSources;
     std::uint64_t total = 0;
     for (const AuditRecord &r : a.records) {
         if (!f.matches(r))
@@ -185,17 +190,27 @@ printAuditHistogram(const AuditData &a, const Filters &f)
         ++total;
         if (r.outcome < kAuditOutcomeCount)
             ++byOutcome[r.outcome];
+        else
+            ++unknownOutcomes[r.outcome];
         if (r.source < kAuditSourceCount)
             ++bySource[r.source];
+        else
+            ++unknownSources[r.source];
     }
     ReportTable outcomes({"outcome", "count", "share"});
+    const auto share = [total](std::uint64_t n) {
+        return fmtPercent(total ? static_cast<double>(n) /
+                                      static_cast<double>(total)
+                                : 0.0);
+    };
     for (std::size_t i = 0; i < kAuditOutcomeCount; ++i) {
-        outcomes.addRow(
-            {toString(static_cast<AuditOutcome>(i)),
-             std::to_string(byOutcome[i]),
-             fmtPercent(total ? static_cast<double>(byOutcome[i]) /
-                                    static_cast<double>(total)
-                              : 0.0)});
+        outcomes.addRow({toString(static_cast<AuditOutcome>(i)),
+                         std::to_string(byOutcome[i]),
+                         share(byOutcome[i])});
+    }
+    for (const auto &[code, count] : unknownOutcomes) {
+        outcomes.addRow({"unknown(" + std::to_string(code) + ")",
+                         std::to_string(count), share(count)});
     }
     std::cout << "\n=== decision histogram (" << total
               << " records) ===\n";
@@ -205,6 +220,10 @@ printAuditHistogram(const AuditData &a, const Filters &f)
     for (std::size_t i = 0; i < kAuditSourceCount; ++i) {
         sources.addRow({toString(static_cast<AuditSource>(i)),
                         std::to_string(bySource[i])});
+    }
+    for (const auto &[code, count] : unknownSources) {
+        sources.addRow({"unknown(" + std::to_string(code) + ")",
+                        std::to_string(count)});
     }
     std::cout << "\n=== by source ===\n";
     sources.print(std::cout);
@@ -292,21 +311,35 @@ inspectAudit(const AuditData &a, const Filters &f, std::size_t top,
 int
 diffAudits(const AuditData &a, const AuditData &b, const Filters &f)
 {
-    std::array<std::uint64_t, kAuditOutcomeCount> ca{}, cb{};
+    // Keyed rather than fixed-size so codes beyond this build's
+    // kAuditOutcomeCount still participate in the diff (as unknown(N))
+    // instead of being silently equal-by-omission.
+    std::map<std::uint8_t, std::uint64_t> ca, cb;
     for (const AuditRecord &r : a.records)
-        if (f.matches(r) && r.outcome < kAuditOutcomeCount)
+        if (f.matches(r))
             ++ca[r.outcome];
     for (const AuditRecord &r : b.records)
-        if (f.matches(r) && r.outcome < kAuditOutcomeCount)
+        if (f.matches(r))
             ++cb[r.outcome];
+    std::map<std::uint8_t, std::uint64_t> merged = ca;
+    for (const auto &[code, count] : cb)
+        merged.emplace(code, 0);
+    for (std::size_t i = 0; i < kAuditOutcomeCount; ++i)
+        merged.emplace(static_cast<std::uint8_t>(i), 0);
     bool differ = false;
     ReportTable table({"outcome", "A", "B", "delta"});
-    for (std::size_t i = 0; i < kAuditOutcomeCount; ++i) {
-        const auto d = static_cast<std::int64_t>(cb[i]) -
-                       static_cast<std::int64_t>(ca[i]);
+    for (const auto &[code, unused] : merged) {
+        (void)unused;
+        const std::uint64_t na = ca.count(code) ? ca[code] : 0;
+        const std::uint64_t nb = cb.count(code) ? cb[code] : 0;
+        const auto d = static_cast<std::int64_t>(nb) -
+                       static_cast<std::int64_t>(na);
         differ = differ || d != 0;
-        table.addRow({toString(static_cast<AuditOutcome>(i)),
-                      std::to_string(ca[i]), std::to_string(cb[i]),
+        const std::string name =
+            code < kAuditOutcomeCount
+                ? toString(static_cast<AuditOutcome>(code))
+                : "unknown(" + std::to_string(code) + ")";
+        table.addRow({name, std::to_string(na), std::to_string(nb),
                       std::to_string(d)});
     }
     std::cout << "\n=== audit diff (per-outcome counts) ===\n";

@@ -9,7 +9,10 @@
  *
  * Usage:
  *   smartref_sim [--config 2gb|4gb|3d64|3d64-32ms|3d32|edram]
- *                [--policy cbr|burst|ras-only|smart|retention-aware]
+ *                [--policy cbr|burst|ras-only|per-bank|smart|
+ *                          retention-aware]
+ *                [--parallelism none|refpb|darp|sarp|all]
+ *                                      refresh-access parallelism mode
  *                [--classes]           RAPID-style retention classes
  *                [--benchmark NAME | --idle | --light | --trace FILE]
  *                [--threed]            use the 3D cache system assembly
@@ -370,8 +373,10 @@ main(int argc, char **argv)
     const ExperimentOptions opts = args.experimentOptions();
     setLogLevel(opts.logLevel);
     configureTracer(args);
-    const DramConfig dram =
-        dramConfigByName(args.getString("config", "2gb"));
+    DramConfig dram = dramConfigByName(args.getString("config", "2gb"));
+    if (args.has("parallelism"))
+        dram.parallelism =
+            parallelismFromString(args.getString("parallelism"));
     const PolicyKind policy =
         policyFromString(args.getString("policy", "smart"));
     const std::string tracePath = args.getString("trace");
@@ -388,8 +393,12 @@ main(int argc, char **argv)
     // configuration hash so they can be attributed to one experiment.
     std::ostringstream cfgKey;
     cfgKey << "config=" << dram.name << ";policy=" << toString(policy)
-           << ";threed=" << (threed ? 1 : 0)
-           << ";classes=" << (args.has("classes") ? 1 : 0)
+           << ";threed=" << (threed ? 1 : 0);
+    // Same convention as sweepConfigHash: the historical default mode
+    // leaves pre-parallelism hashes untouched.
+    if (dram.parallelism != RefreshParallelism::PerBank)
+        cfgKey << ";par=" << toString(dram.parallelism);
+    cfgKey << ";classes=" << (args.has("classes") ? 1 : 0)
            << ";bits=" << opts.counterBits
            << ";segments=" << opts.segments
            << ";autoReconfigure=" << (opts.autoReconfigure ? 1 : 0)

@@ -26,6 +26,9 @@
  *                                        invariant inside every job
  *                  [--profile]           collect per-job phase profiles
  *                                        (telemetry NDJSON only)
+ *                  [--parallelism A,B,..] override the grid's refresh
+ *                                        parallelism axis (none, refpb,
+ *                                        darp, sarp, all)
  *                  [--seed S] [--seed-mode derived|fixed]
  *                  [--warmup-ms N] [--measure-ms N] [--segments N]
  *                  [--no-auto] [--progress]
@@ -34,7 +37,7 @@
  *                  [--version]           print the provenance build block
  *
  * Predefined grids (--grid): smoke, 2gb, 4gb, 3d64, 3d64-32ms, 3d32,
- * figures, bits, policies.
+ * figures, bits, policies, policy-grid.
  */
 
 #include <chrono>
@@ -111,9 +114,19 @@ predefinedGrids()
                      {"policies",
                       {"2gb"},
                       {"all"},
-                      {"burst", "ras-only", "smart", "retention-aware"},
+                      {"burst", "ras-only", "per-bank", "smart",
+                       "retention-aware"},
                       {3},
                       {0}}});
+    grids.push_back({"policy-grid",
+                     "refresh-parallelism x policy smoke grid (CI gate)",
+                     {"policy-grid",
+                      {"2gb"},
+                      {"mummer", "radix"},
+                      {"cbr", "smart"},
+                      {3},
+                      {0},
+                      {"none", "refpb", "darp", "sarp", "all"}}});
     return grids;
 }
 
@@ -129,18 +142,51 @@ listGrids()
     table.print(std::cout);
 }
 
+std::vector<std::string>
+splitCommas(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
 SweepGrid
 resolveGrid(const CliArgs &args)
 {
-    if (args.has("grid-file"))
-        return loadSweepGrid(args.getString("grid-file"));
-    const std::string name = args.getString("grid", "smoke");
-    for (const auto &g : predefinedGrids()) {
-        if (name == g.name)
-            return g.grid;
+    SweepGrid grid;
+    if (args.has("grid-file")) {
+        grid = loadSweepGrid(args.getString("grid-file"));
+    } else {
+        const std::string name = args.getString("grid", "smoke");
+        bool found = false;
+        for (const auto &g : predefinedGrids()) {
+            if (name == g.name) {
+                grid = g.grid;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            SMARTREF_FATAL("unknown grid '", name,
+                           "' (see --list-grids, or use --grid-file)");
     }
-    SMARTREF_FATAL("unknown grid '", name,
-                   "' (see --list-grids, or use --grid-file)");
+    if (args.has("parallelism")) {
+        grid.parallelism = splitCommas(args.getString("parallelism"));
+        if (grid.parallelism.empty())
+            SMARTREF_FATAL("--parallelism needs at least one mode");
+    }
+    return grid;
 }
 
 /**
