@@ -25,7 +25,7 @@ SmartRefreshPolicy::SmartRefreshPolicy(const DramConfig &dramCfg,
                    ? static_cast<std::uint32_t>(std::bit_width(
                          cfg.retentionClasses->maxMultiplier() - 1))
                    : 0u),
-          cfg.segments)),
+          cfg.segments, cfg.sparseCounters)),
       stagger_(std::make_unique<StaggerScheduler>(*counters_, cfg.segments,
                                                   retention_,
                                                   cfg.counterBits)),

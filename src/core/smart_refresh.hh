@@ -54,6 +54,14 @@ struct SmartRefreshConfig
     bool autoReconfigure = true;     ///< Section 4.6 on/off circuit
     bool startInCbrMode = false;     ///< begin disabled (tests/idle runs)
     /**
+     * Hierarchical sparse counter storage: idle segments stay in the
+     * analytic pristine closed form and the walk skips their SRAM
+     * traffic (billed as summary reads / skipped touches instead). Off
+     * by default — dense storage is the paper's modeled hardware and
+     * the byte-exact golden behaviour. See core/counter_array.hh.
+     */
+    bool sparseCounters = false;
+    /**
      * Section 5: the controller is built before the DRAM size is known,
      * so it carries counter banks for its maximum permissible capacity
      * and the BIOS enables only as many as the installed module needs.

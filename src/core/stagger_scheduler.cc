@@ -31,19 +31,11 @@ StaggerScheduler::StaggerScheduler(CounterArray &counters,
 void
 StaggerScheduler::initialiseStaggered()
 {
-    const std::uint32_t numValues = 1u << counters_.bits();
-    for (std::uint32_t s = 0; s < segments_; ++s) {
-        const std::uint64_t base = std::uint64_t(s) * perSegment_;
-        for (std::uint64_t p = 0; p < perSegment_; ++p) {
-            const std::uint64_t idx = base + p;
-            // Spread expiry phases; never start above the row's reset
-            // value (class deadlines must hold from the first interval).
-            const auto pattern = static_cast<std::uint8_t>(
-                counters_.maxValue() - (p % numValues));
-            counters_.init(idx,
-                           std::min(pattern, counters_.resetValue(idx)));
-        }
-    }
+    // Spread expiry phases; never start above the row's reset value
+    // (class deadlines must hold from the first interval). The array
+    // owns the pattern so its sparse mode can express it as the
+    // pristine closed form instead of writing every byte.
+    counters_.resetToStaggeredPattern(segments_);
     position_ = 0;
 }
 

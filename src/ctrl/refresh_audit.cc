@@ -112,6 +112,7 @@ RefreshAudit::writeBinary(const std::string &path) const
     header.ranks = shape_.ranks;
     header.banks = shape_.banks;
     header.rows = shape_.rows;
+    header.channels = channels_;
     out.write(reinterpret_cast<const char *>(&header), sizeof(header));
     for (const auto &slab : slabs_) {
         out.write(reinterpret_cast<const char *>(slab->records.data()),
@@ -128,8 +129,12 @@ RefreshAudit::writeNdjson(const std::string &path) const
     std::ofstream out(path);
     if (!out)
         SMARTREF_FATAL("cannot write audit NDJSON '", path, "'");
-    forEach([&out](const AuditRecord &r) {
-        out << "{\"t\":" << r.tick << ",\"rank\":" << unsigned(r.rank)
+    const bool multi = channels_ > 1;
+    forEach([&out, multi](const AuditRecord &r) {
+        out << "{\"t\":" << r.tick;
+        if (multi)
+            out << ",\"channel\":" << unsigned(r.channel);
+        out << ",\"rank\":" << unsigned(r.rank)
             << ",\"bank\":" << unsigned(r.bank) << ",\"row\":" << r.row
             << ",\"outcome\":\""
             << toString(static_cast<AuditOutcome>(r.outcome))

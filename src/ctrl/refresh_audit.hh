@@ -36,9 +36,14 @@
  *
  * Records are buffered allocation-free in fixed slabs (pointer-bump
  * appends; a new slab every 64 Ki records) and drained to a binary
- * sink (32-byte "SRAUDIT" header + raw 16-byte records, native
+ * sink (32-byte "SRAUDIT" header + raw 24-byte records, native
  * endianness) and/or an NDJSON sink. Per-outcome summary counters are
  * always maintained, so the histogram is O(1) to read.
+ *
+ * Multi-channel runs (DramConfig::channels > 1) give each channel its
+ * own trail stamped with setChannel(); the sharded runner merges them
+ * by (tick, channel) into one trail whose header carries the channel
+ * count (format version 2).
  *
  * Like tracing, the record sites compile out: configure with
  * `-DSMARTREF_AUDIT=OFF` and `SMARTREF_AUDIT_RECORD` expands to
@@ -55,6 +60,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace smartref {
@@ -94,7 +100,8 @@ bool parseAuditOutcome(const std::string &name, AuditOutcome &out);
 /** All outcome names, for CLI validation / did-you-mean. */
 std::vector<std::string> auditOutcomeNames();
 
-/** One refresh opportunity. 16 bytes, trivially copyable. */
+/** One refresh opportunity. 24 bytes, trivially copyable. The
+ *  explicit padding keeps the on-disk bytes fully determined. */
 struct AuditRecord
 {
     Tick tick;          ///< simulated time (ps)
@@ -103,25 +110,27 @@ struct AuditRecord
     std::uint8_t bank;
     std::uint8_t outcome;   ///< AuditOutcome
     std::uint8_t source;    ///< AuditSource
+    std::uint8_t channel;   ///< memory channel (0 in single-channel runs)
+    std::uint8_t reserved[7]; ///< zero
 };
-static_assert(sizeof(AuditRecord) == 16, "audit record must stay compact");
+static_assert(sizeof(AuditRecord) == 24, "audit record must stay compact");
 static_assert(std::is_trivially_copyable_v<AuditRecord>);
 
 /** Binary sink header; followed by raw AuditRecords. */
 struct AuditFileHeader
 {
     char magic[8];              ///< "SRAUDIT\0"
-    std::uint32_t version;      ///< 1
+    std::uint32_t version;      ///< 2
     std::uint32_t recordBytes;  ///< sizeof(AuditRecord)
-    std::uint32_t ranks;
+    std::uint32_t ranks;        ///< per channel
     std::uint32_t banks;
     std::uint32_t rows;
-    std::uint32_t reserved;     ///< 0
+    std::uint32_t channels;     ///< 1 for single-channel trails
 };
 static_assert(sizeof(AuditFileHeader) == 32);
 
 constexpr char kAuditMagic[8] = {'S', 'R', 'A', 'U', 'D', 'I', 'T', '\0'};
-constexpr std::uint32_t kAuditVersion = 1;
+constexpr std::uint32_t kAuditVersion = 2;
 
 /** Slab-buffered audit trail for one module's refresh domain. */
 class RefreshAudit
@@ -151,9 +160,37 @@ class RefreshAudit
             tick, row, static_cast<std::uint8_t>(rank),
             static_cast<std::uint8_t>(bank),
             static_cast<std::uint8_t>(outcome),
-            static_cast<std::uint8_t>(source)};
+            static_cast<std::uint8_t>(source), channel_, {}};
         --freeInSlab_;
     }
+
+    /** Append an already-built record (sharded-run merging). */
+    void
+    append(const AuditRecord &r)
+    {
+        ++counts_[static_cast<std::size_t>(r.outcome)];
+        if (freeInSlab_ == 0)
+            addSlab();
+        Slab &s = *slabs_.back();
+        s.records[s.used++] = r;
+        --freeInSlab_;
+    }
+
+    /**
+     * Channel id stamped into every subsequent record (per-channel
+     * trails in a sharded run; 0 for single-channel runs).
+     */
+    void
+    setChannel(std::uint32_t channel)
+    {
+        SMARTREF_ASSERT(channel <= 255,
+                        "audit records store the channel in one byte");
+        channel_ = static_cast<std::uint8_t>(channel);
+    }
+
+    /** Channel count written to the binary header (merged trails). */
+    void setChannels(std::uint32_t channels) { channels_ = channels; }
+    std::uint32_t channels() const { return channels_; }
 
     Shape shape() const { return shape_; }
     std::uint64_t total() const;
@@ -197,6 +234,8 @@ class RefreshAudit
     std::vector<std::unique_ptr<Slab>> slabs_;
     std::size_t freeInSlab_ = 0;
     std::array<std::uint64_t, kAuditOutcomeCount> counts_{};
+    std::uint8_t channel_ = 0;
+    std::uint32_t channels_ = 1;
 };
 
 /**

@@ -32,6 +32,8 @@ DramConfig::validate() const
         SMARTREF_FATAL("config '", name,
                        "': subarraysPerBank must divide rows");
     }
+    if (channels == 0)
+        SMARTREF_FATAL("config '", name, "': need at least one channel");
 }
 
 DramConfig
@@ -153,6 +155,40 @@ edram_16MB()
 }
 
 DramConfig
+server_128GB()
+{
+    // One channel is a 16 GB DDR2-style registered module: the 4 GB
+    // paper module's 8-bank organisation with four times the rows and
+    // x4 devices. The DDR2-667 timings/currents are kept so energy
+    // numbers stay comparable with the paper's Table 1 modules; the
+    // point of the preset is scale (1 Mi refresh targets per channel),
+    // not a new device generation.
+    DramConfig c = ddr2_4GB();
+    c.name = "server-128GB";
+    c.org.rows = 65536;
+    c.channels = 8;
+    return c;
+}
+
+DramConfig
+server_256GB()
+{
+    DramConfig c = server_128GB();
+    c.name = "server-256GB";
+    c.org.rows = 131072; // 32 GB per channel
+    return c;
+}
+
+DramConfig
+server_512GB()
+{
+    DramConfig c = server_256GB();
+    c.name = "server-512GB";
+    c.channels = 16;
+    return c;
+}
+
+DramConfig
 dramConfigByName(const std::string &name)
 {
     if (name == "2gb")
@@ -167,8 +203,15 @@ dramConfigByName(const std::string &name)
         return dram3d_32MB();
     if (name == "edram")
         return edram_16MB();
+    if (name == "128gb")
+        return server_128GB();
+    if (name == "256gb")
+        return server_256GB();
+    if (name == "512gb")
+        return server_512GB();
     SMARTREF_FATAL("unknown config '", name,
-                   "' (2gb, 4gb, 3d64, 3d64-32ms, 3d32, edram)");
+                   "' (2gb, 4gb, 3d64, 3d64-32ms, 3d32, edram, 128gb, "
+                   "256gb, 512gb)");
 }
 
 bool

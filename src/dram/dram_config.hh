@@ -128,6 +128,16 @@ struct DramConfig
     DramPowerParams power;
 
     /**
+     * Independent memory channels. `org` describes ONE channel's
+     * module; a config with `channels > 1` is simulated as that many
+     * isolated per-channel systems (own event queue, controller, DRAM
+     * and refresh policy) advanced in epoch lock-step and merged
+     * deterministically — see harness/sharded.hh and docs/scaling.md.
+     * The historical single-channel behaviour is channels == 1.
+     */
+    std::uint32_t channels = 1;
+
+    /**
      * Whether ranks may enter precharge power-down when idle. Main-memory
      * DIMMs do (the ITSY-style low-power baseline); the 3D DRAM cache is
      * kept in standby because it is on the processor's access path.
@@ -180,6 +190,20 @@ struct DramConfig
         return timing.retention / org.totalRows();
     }
 
+    /** Usable capacity across all channels (ECC excluded). */
+    std::uint64_t
+    totalCapacityBytes() const
+    {
+        return std::uint64_t(channels) * org.capacityBytes();
+    }
+
+    /** Refresh targets across all channels. */
+    std::uint64_t
+    totalRowsAllChannels() const
+    {
+        return std::uint64_t(channels) * org.totalRows();
+    }
+
     /** Validate internal consistency; fatals on error. */
     void validate() const;
 };
@@ -210,11 +234,26 @@ DramConfig dram3d_32MB();
  */
 DramConfig edram_16MB();
 
+/** @name Server-scale multi-channel configurations (docs/scaling.md). */
+///@{
+
+/** 128 GB server machine: 8 channels x 16 GB DDR2-style modules. */
+DramConfig server_128GB();
+
+/** 256 GB server machine: 8 channels x 32 GB. */
+DramConfig server_256GB();
+
+/** 512 GB server machine: 16 channels x 32 GB. */
+DramConfig server_512GB();
+
+///@}
+
 ///@}
 
 /**
  * Look up a preset by its CLI name: "2gb", "4gb", "3d64", "3d64-32ms",
- * "3d32" or "edram". Fatal on an unknown name.
+ * "3d32", "edram", "128gb", "256gb" or "512gb". Fatal on an unknown
+ * name.
  */
 DramConfig dramConfigByName(const std::string &name);
 

@@ -151,6 +151,68 @@ EnergyLedger::setOverhead(double joules)
     totals_.overhead = joules;
 }
 
+void
+EnergyLedger::setChannels(std::uint32_t channels)
+{
+    SMARTREF_ASSERT(channels > 0 && shape_.ranks % channels == 0,
+                    "channel count must divide the merged rank axis");
+    channels_ = channels;
+}
+
+void
+EnergyLedger::absorbChannel(const EnergyLedger &src,
+                            std::uint32_t rankOffset)
+{
+    SMARTREF_ASSERT(src.shape_.banks == shape_.banks,
+                    "absorbing a ledger with a different bank count");
+    SMARTREF_ASSERT(rankOffset + src.shape_.ranks <= shape_.ranks,
+                    "channel rank window out of the merged shape");
+    SMARTREF_ASSERT(src.interval_ == interval_,
+                    "absorbing a ledger with a different interval");
+
+    for (std::size_t idx = 0; idx < src.intervals_.size(); ++idx) {
+        const Interval &from = src.intervals_[idx];
+        // Materialize the destination interval (and everything before
+        // it) through the same lazy-growth path the hooks use.
+        Interval &to = intervalAt(Tick(idx) * interval_);
+        for (std::uint32_t r = 0; r < src.shape_.ranks; ++r) {
+            for (std::uint32_t b = 0; b < shape_.banks; ++b) {
+                const Cell &c =
+                    from.cells[std::size_t(r) * shape_.banks + b];
+                Cell &d = to.cells[std::size_t(rankOffset + r) *
+                                       shape_.banks +
+                                   b];
+                d.acts += c.acts;
+                d.reads += c.reads;
+                d.writes += c.writes;
+                d.refreshesClosed += c.refreshesClosed;
+                d.refreshesOpen += c.refreshesOpen;
+            }
+            for (std::size_t s = 0; s < 3; ++s) {
+                to.background[rankOffset + r].ticks[s] +=
+                    from.background[r].ticks[s];
+            }
+        }
+    }
+
+    totals_.act += src.totals_.act;
+    totals_.read += src.totals_.read;
+    totals_.write += src.totals_.write;
+    totals_.refresh += src.totals_.refresh;
+    totals_.background += src.totals_.background;
+    totals_.overhead += src.totals_.overhead;
+
+    // Per-op energies and state powers are properties of the config,
+    // identical across channels; adopt whatever the source learned.
+    if (src.eAct_ != 0) eAct_ = src.eAct_;
+    if (src.eRead_ != 0) eRead_ = src.eRead_;
+    if (src.eWrite_ != 0) eWrite_ = src.eWrite_;
+    if (src.eRefresh_ != 0) eRefresh_ = src.eRefresh_;
+    if (src.ePenalty_ != 0) ePenalty_ = src.ePenalty_;
+    for (std::size_t s = 0; s < 3; ++s)
+        if (src.watts_[s] != 0) watts_[s] = src.watts_[s];
+}
+
 EnergyLedger::Cell
 EnergyLedger::cellTotals() const
 {
@@ -222,8 +284,13 @@ EnergyLedger::writeJson(std::ostream &os,
     os << "{\"schema\":\"smartref-ledger-v1\"";
     if (!metaJson.empty())
         os << ",\n \"meta\":" << metaJson;
+    // Single-channel artifacts keep the historical byte-exact shape;
+    // merged multi-channel views additionally carry the channel axis.
     os << ",\n \"shape\":{\"ranks\":" << shape_.ranks
-       << ",\"banks\":" << shape_.banks << "}"
+       << ",\"banks\":" << shape_.banks;
+    if (channels_ > 1)
+        os << ",\"channels\":" << channels_;
+    os << "}"
        << ",\n \"interval_ps\":" << interval_
        << ",\n \"energyPerOp\":{\"act\":" << eAct_
        << ",\"read\":" << eRead_ << ",\"write\":" << eWrite_
@@ -265,8 +332,15 @@ EnergyLedger::writeJson(std::ostream &os,
                     c.refreshesClosed + c.refreshesOpen;
                 if (c.acts + c.reads + c.writes + refreshes == 0)
                     continue; // keep the artifact compact
-                os << (firstCell ? "" : ",") << "{\"rank\":" << r
-                   << ",\"bank\":" << b << ",\"acts\":" << c.acts
+                os << (firstCell ? "" : ",") << "{";
+                if (channels_ > 1) {
+                    const std::uint32_t per = shape_.ranks / channels_;
+                    os << "\"channel\":" << r / per << ",\"rank\":"
+                       << r % per;
+                } else {
+                    os << "\"rank\":" << r;
+                }
+                os << ",\"bank\":" << b << ",\"acts\":" << c.acts
                    << ",\"reads\":" << c.reads
                    << ",\"writes\":" << c.writes
                    << ",\"refreshesClosed\":" << c.refreshesClosed
@@ -287,7 +361,14 @@ EnergyLedger::writeJson(std::ostream &os,
         for (std::uint32_t r = 0; r < shape_.ranks; ++r) {
             const RankBackground &bg = iv.background[r];
             double joules = 0;
-            os << (r ? "," : "") << "{\"rank\":" << r << ",\"ticks\":{";
+            os << (r ? "," : "") << "{";
+            if (channels_ > 1) {
+                const std::uint32_t per = shape_.ranks / channels_;
+                os << "\"channel\":" << r / per << ",\"rank\":" << r % per;
+            } else {
+                os << "\"rank\":" << r;
+            }
+            os << ",\"ticks\":{";
             for (std::size_t s = 0; s < 3; ++s) {
                 os << (s ? "," : "") << "\"" << kStateNames[s]
                    << "\":" << bg.ticks[s];

@@ -127,6 +127,25 @@ class EnergyLedger
      */
     void setOverhead(double joules);
 
+    /**
+     * Declare this ledger a merged multi-channel view: the rank axis is
+     * channel-major (rank r belongs to channel r / (ranks/channels)).
+     * Exports then label every cell with its channel. Must divide the
+     * rank count.
+     */
+    void setChannels(std::uint32_t channels);
+    std::uint32_t channels() const { return channels_; }
+
+    /**
+     * Fold one channel's ledger into this merged view at the given rank
+     * offset: per-interval cell counts and background residency add
+     * element-wise, shadow totals sum, and the per-op energies / state
+     * powers learned from hooks are adopted (they are identical across
+     * channels of one config). Deterministic — called in fixed channel
+     * order by the sharded runner. Interval lengths must match.
+     */
+    void absorbChannel(const EnergyLedger &src, std::uint32_t rankOffset);
+
     Shape shape() const { return shape_; }
     Tick intervalLength() const { return interval_; }
     const std::vector<Interval> &intervals() const { return intervals_; }
@@ -170,6 +189,7 @@ class EnergyLedger
 
     Shape shape_;
     Tick interval_;
+    std::uint32_t channels_ = 1;
     std::vector<Interval> intervals_;
     Totals totals_;
 

@@ -86,6 +86,8 @@ CliArgs::experimentOptions() const
     opts.segments = static_cast<std::uint32_t>(getU64("segments", 8));
     opts.autoReconfigure = !has("no-auto");
     opts.seed = getU64("seed", 42);
+    opts.shardJobs = jobs();
+    opts.sparseCounters = has("sparse-counters");
     opts.verbose = has("verbose");
     opts.logLevel = parseLogLevel(getString("log-level", "warn"));
     // --verbose predates --log-level and stays as an alias for debug;

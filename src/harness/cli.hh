@@ -30,7 +30,8 @@ class CliArgs
     /**
      * Build ExperimentOptions from the standard flags:
      * --warmup-ms N, --measure-ms N, --bits B, --segments N, --seed S,
-     * --no-auto (disable reconfiguration),
+     * --no-auto (disable reconfiguration), --sparse-counters,
+     * -j N (shard workers for multi-channel configs),
      * --log-level {silent,warn,info,debug}, --verbose (alias for
      * --log-level debug).
      */

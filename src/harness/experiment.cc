@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "dram/energy_ledger.hh"
+#include "harness/sharded.hh"
 #include "sim/logging.hh"
 #include "sim/phase_profiler.hh"
 #include "sim/thread_pool.hh"
@@ -140,6 +141,7 @@ smartConfig(const ExperimentOptions &opts)
     sc.segments = opts.segments;
     sc.queueCapacity = opts.segments;
     sc.autoReconfigure = opts.autoReconfigure;
+    sc.sparseCounters = opts.sparseCounters;
     return sc;
 }
 
@@ -150,6 +152,9 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
                 PolicyKind policy, const ExperimentOptions &opts,
                 double absRowScale)
 {
+    if (dram.channels > 1)
+        return runShardedConventional(profile, dram, policy, opts,
+                                      absRowScale);
     if (opts.verbose) {
         std::cerr << "  [" << dram.name << "/" << toString(policy) << "] "
                   << profile.name << "..." << std::endl;
@@ -192,6 +197,70 @@ runConventional(const BenchmarkProfile &profile, const DramConfig &dram,
                          delta, sys.controller().maxRefreshBacklog(),
                          &sys.controller().latencyHistogram());
     r.eventsExecuted = sys.eventQueue().executed();
+    return r;
+}
+
+RunResult
+runShardedConventional(const BenchmarkProfile &profile,
+                       const DramConfig &dram, PolicyKind policy,
+                       const ExperimentOptions &opts, double absRowScale)
+{
+    if (opts.verbose) {
+        std::cerr << "  [" << dram.name << "/" << toString(policy) << "/"
+                  << dram.channels << "ch] " << profile.name << "..."
+                  << std::endl;
+    }
+    SystemConfig cfg;
+    cfg.dram = dram;
+    cfg.policy = policy;
+    cfg.smart = smartConfig(opts);
+    cfg.heatmap = opts.heatmap;
+    cfg.audit = opts.audit;
+    cfg.ledger = opts.ledger;
+    cfg.profiler = opts.profiler;
+    cfg.retentionClasses = opts.retentionClasses;
+    std::unique_ptr<EnergyLedger> checkLedger;
+    if (opts.checkConservation && !cfg.ledger) {
+        checkLedger = std::make_unique<EnergyLedger>(EnergyLedger::Shape{
+            dram.channels * dram.org.ranks, dram.org.banks});
+        cfg.ledger = checkLedger.get();
+    }
+    ShardedSystem sys(cfg, opts.shardJobs);
+
+    DramConfig chDram = dram;
+    chDram.channels = 1;
+    for (std::uint32_t c = 0; c < dram.channels; ++c) {
+        for (const auto &wp :
+             conventionalParams(profile, chDram, absRowScale,
+                                shardChannelSeed(opts.seed, c))) {
+            sys.channel(c).addWorkload(wp);
+        }
+    }
+
+    sys.run(opts.warmup);
+    const EnergySnapshot atWarm = sys.captureMergedSnapshot();
+    sys.run(opts.measure);
+    const EnergySnapshot atEnd = sys.captureMergedSnapshot();
+
+    const std::uint64_t stale = sys.finalCheck();
+    EnergySnapshot delta = atEnd - atWarm;
+    delta.violations += stale;
+
+    if (opts.checkConservation)
+        sys.verifyLedgers(true);
+    sys.mergeObservers();
+
+    // Whole-run latency percentiles over all channels' demand traffic.
+    StatGroup scratch("sharded");
+    const Histogram &shape = sys.channel(0).controller().latencyHistogram();
+    Histogram latency(&scratch, "latency", "merged demand latency",
+                      shape.bucketLo(), shape.bucketHi(),
+                      shape.numBuckets());
+    sys.mergeLatency(latency);
+
+    RunResult r = reduce(profile.name, profile.suite, toString(policy),
+                         delta, sys.maxRefreshBacklog(), &latency);
+    r.eventsExecuted = sys.eventsExecuted();
     return r;
 }
 

@@ -154,6 +154,20 @@ struct ExperimentOptions
     std::uint32_t segments = 8;
     bool autoReconfigure = true;
     std::uint64_t seed = 42;
+    /**
+     * Worker threads for the per-channel fan-out when the config has
+     * channels > 1 (see harness/sharded.hh). Execution-only: results
+     * are byte-identical for any value, so this never enters seeds,
+     * keys or hashes.
+     */
+    unsigned shardJobs = 1;
+    /**
+     * Smart Refresh hierarchical sparse counter storage (see
+     * core/counter_array.hh). Changes the modeled SRAM billing, so
+     * callers must key/hash it when set; off by default keeps golden
+     * outputs byte-identical.
+     */
+    bool sparseCounters = false;
     bool verbose = false;           ///< progress on stderr
     LogLevel logLevel = LogLevel::Warn; ///< runtime log verbosity
     /**
@@ -192,11 +206,26 @@ struct ExperimentOptions
     std::shared_ptr<const RetentionClassMap> retentionClasses;
 };
 
-/** Run one benchmark on a conventional module with one policy. */
+/**
+ * Run one benchmark on a conventional module with one policy. Configs
+ * with channels > 1 are delegated to runShardedConventional().
+ */
 RunResult runConventional(const BenchmarkProfile &profile,
                           const DramConfig &dram, PolicyKind policy,
                           const ExperimentOptions &opts,
                           double absRowScale = 1.0);
+
+/**
+ * Run one benchmark across every channel of a multi-channel config in
+ * epoch lock-step (harness/sharded.hh) and reduce the merged totals to
+ * the same RunResult a single-channel run reports. Each channel gets
+ * its own workload stream seeded by shardChannelSeed(); the merged
+ * metrics are byte-identical for any opts.shardJobs.
+ */
+RunResult runShardedConventional(const BenchmarkProfile &profile,
+                                 const DramConfig &dram, PolicyKind policy,
+                                 const ExperimentOptions &opts,
+                                 double absRowScale = 1.0);
 
 /** CBR baseline vs Smart Refresh on a conventional module. */
 ComparisonResult compareConventional(const BenchmarkProfile &profile,

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Per-channel event-engine sharding for server-scale configurations.
+ *
+ * A DramConfig with `channels > 1` describes that many *isolated*
+ * per-channel memory systems: each channel owns its own event queue,
+ * memory controller, DRAM module and refresh policy, exactly as if it
+ * were a standalone single-channel simulation. ShardedSystem builds one
+ * System per channel and advances all of them in epoch lock-step —
+ * every channel runs to the same epoch boundary before any channel
+ * starts the next epoch — optionally fanning the per-epoch channel
+ * steps out over a work-stealing thread pool.
+ *
+ * Determinism contract (the sweep's byte-identity gate extends here):
+ *
+ *  - Channels never interact, so each channel's simulation is the same
+ *    regardless of which worker thread advances it or how epochs are
+ *    sliced (an EventQueue run to T in slices equals one run to T).
+ *  - Every merge is performed on the calling thread in fixed channel
+ *    order (0, 1, ..., N-1): snapshot sums, heatmap cell sums, ledger
+ *    absorption, latency-histogram sums, and the audit k-way merge
+ *    ordered by (tick, channel).
+ *
+ * Together these make every aggregate byte-identical for any
+ * `shardJobs`, including 1. Host-dependent quantities (wall time, RSS)
+ * never enter the merged artifacts.
+ *
+ * Workload seeding: each channel derives its own stream seed via
+ * shardChannelSeed(), so channels see decorrelated traffic while the
+ * whole run stays a pure function of the base seed.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/system.hh"
+
+namespace smartref {
+
+class ThreadPool;
+
+/**
+ * Epoch length for the lock-step barrier. Short enough to bound how
+ * far channels drift apart in memory footprint, long enough that the
+ * barrier cost is noise; purely an execution detail (any epoch length
+ * yields identical results).
+ */
+constexpr Tick kDefaultShardEpoch = 4 * kMillisecond;
+
+/** Deterministic per-channel workload seed derived from the base seed. */
+std::uint64_t shardChannelSeed(std::uint64_t baseSeed,
+                               std::uint32_t channel);
+
+/** N isolated per-channel Systems advanced in epoch lock-step. */
+class ShardedSystem
+{
+  public:
+    /**
+     * @param cfg       system template; `cfg.dram.channels` (> 1
+     *        allowed) selects the shard count, and each shard is built
+     *        from this config with channels forced to 1. The observer
+     *        pointers are the *merged* sinks: when non-null, each shard
+     *        gets a private same-shaped observer and mergeObservers()
+     *        folds them in. A merged ledger must be shaped
+     *        {channels * ranks, banks}; heatmap and audit keep the
+     *        per-channel shape (heatmap cells sum across channels, the
+     *        audit trail carries a channel id per record). The phase
+     *        profiler is attached to channel 0 only (host-timing
+     *        telemetry; never deterministic output).
+     * @param shardJobs worker threads for the per-epoch channel fan-out
+     *        (1 = serial; results are identical either way)
+     * @param epoch     lock-step epoch length
+     */
+    explicit ShardedSystem(const SystemConfig &cfg, unsigned shardJobs = 1,
+                           Tick epoch = kDefaultShardEpoch);
+    ~ShardedSystem();
+
+    std::uint32_t channels() const { return channels_; }
+    System &channel(std::size_t c) { return *shards_[c].sys; }
+
+    /** Advance every channel by `duration` in epoch lock-step. */
+    void run(Tick duration);
+
+    /** Common simulated time of all channels. */
+    Tick now() const;
+
+    /** Events executed across all channels (telemetry only). */
+    std::uint64_t eventsExecuted() const;
+
+    /** Largest refresh backlog observed on any channel. */
+    std::size_t maxRefreshBacklog() const;
+
+    /** Retention final check summed over channels (stale-row count). */
+    std::uint64_t finalCheck();
+
+    /** Verify each channel's energy-conservation invariant. */
+    void verifyLedgers(bool fatalOnError);
+
+    /**
+     * Channel-order sum of per-channel snapshots. All channels sit at
+     * the same simulated tick (asserted); the merged snapshot keeps
+     * that tick and sums every other field.
+     */
+    EnergySnapshot captureMergedSnapshot();
+
+    /** Merge per-channel demand-latency histograms into `into`. */
+    void mergeLatency(Histogram &into) const;
+
+    /**
+     * Fold the per-shard observers into the merged sinks passed via
+     * the config, in fixed channel order. Call once, after the last
+     * run() window.
+     */
+    void mergeObservers();
+
+    /** Resident counter-storage bytes summed over channels (Smart). */
+    std::uint64_t residentCounterBytes();
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<RefreshHeatmap> heatmap;
+        std::unique_ptr<RefreshAudit> audit;
+        std::unique_ptr<EnergyLedger> ledger;
+        std::unique_ptr<System> sys;
+    };
+
+    template <typename Body>
+    void forEachChannel(const Body &body);
+
+    SystemConfig cfg_;
+    std::uint32_t channels_;
+    Tick epoch_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<Shard> shards_;
+    bool merged_ = false;
+};
+
+} // namespace smartref

@@ -236,6 +236,8 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
     eo.seed = job.seed;
     eo.logLevel = opts.logLevel;
     eo.checkConservation = opts.checkConservation;
+    eo.shardJobs = opts.shardJobs;
+    eo.sparseCounters = opts.sparseCounters;
     PhaseProfiler profiler; // this job's own; jobs never share one
     if (opts.profile)
         eo.profiler = &profiler;
@@ -278,10 +280,11 @@ runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
         PhaseScope stage(eo.profiler, "policy");
         result.comparison.smart = runThreeD(profile, dram, policy, eo);
     } else {
-        // The 4 GB module spreads each footprint over ~1.3x the rows
-        // of the 2 GB calibration (see benchmark_profiles.hh).
-        const double scale =
-            job.point.config == "4gb" ? kFourGBRowScale : 1.0;
+        // Larger modules spread each footprint over more rows than the
+        // 2 GB calibration; the scale follows the row-buffer geometry
+        // (absRowScaleFor), not the config's name, so new configs are
+        // never silently unscaled.
+        const double scale = absRowScaleFor(dram.org);
         {
             PhaseScope stage(eo.profiler, "baseline");
             result.comparison.baseline = runConventional(
@@ -677,6 +680,12 @@ sweepConfigHash(const SweepGrid &grid, const SweepRunOptions &opts)
         << ";autoReconfigure=" << (opts.autoReconfigure ? 1 : 0)
         << ";baseSeed=" << opts.baseSeed
         << ";seedMode=" << toString(opts.seedMode);
+    // Sparse counters change the modeled SRAM traffic, so they are a
+    // real configuration axis — but only when switched on, keeping
+    // every historical hash stable. shardJobs stays excluded: it is
+    // execution-only, like jobs.
+    if (opts.sparseCounters)
+        oss << ";sparse=1";
     return hex64(fnv1a64(oss.str()));
 }
 

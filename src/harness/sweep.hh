@@ -169,6 +169,20 @@ struct SweepRunOptions
      * Execution-only, like checkConservation.
      */
     bool profile = false;
+    /**
+     * Worker threads *inside* each multi-channel job (the sharded
+     * per-channel engine, harness/sharded.hh). Execution-only, like
+     * `jobs`: aggregates are byte-identical for any value, so it never
+     * enters seeds or sweepConfigHash.
+     */
+    unsigned shardJobs = 1;
+    /**
+     * Run every job with the hierarchical sparse CounterArray. This
+     * changes the modeled SRAM traffic (skipped pristine segments bill
+     * no reads), so it joins sweepConfigHash — but only when set,
+     * keeping historical hashes stable.
+     */
+    bool sparseCounters = false;
 };
 
 /** Run one already-expanded job (exposed for tests). */

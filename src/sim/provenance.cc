@@ -3,6 +3,10 @@
 #include <ostream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "sim/provenance_info.hh"
 
 namespace smartref {
@@ -94,6 +98,10 @@ writeMetaJson(std::ostream &os, const RunMeta &run)
         os << ",\"configHash\":\"" << escaped(run.configHash) << "\"";
     if (!run.seedMode.empty())
         os << ",\"seedMode\":\"" << escaped(run.seedMode) << "\"";
+    if (run.peakRssBytes)
+        os << ",\"peakRssBytes\":" << run.peakRssBytes;
+    if (run.bytesPerSimulatedRow > 0.0)
+        os << ",\"bytesPerSimulatedRow\":" << run.bytesPerSimulatedRow;
     os << "}";
 }
 
@@ -103,6 +111,25 @@ metaJson(const RunMeta &run)
     std::ostringstream os;
     writeMetaJson(os, run);
     return os.str();
+}
+
+std::uint64_t
+currentPeakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // ru_maxrss is bytes on Darwin...
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    // ...and kilobytes on Linux.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ULL;
+#endif
+#else
+    return 0;
+#endif
 }
 
 std::string

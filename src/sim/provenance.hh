@@ -50,12 +50,28 @@ std::uint64_t fnv1a64(std::string_view s);
 /** Fixed-width (16 digit) lowercase hex of a 64-bit value. */
 std::string hex64(std::uint64_t v);
 
-/** Run-scoped provenance fields; empty members are omitted from JSON. */
+/** Run-scoped provenance fields; empty/zero members are omitted. */
 struct RunMeta
 {
     std::string schema;     ///< e.g. "smartref-sweep-v1"
     std::string configHash; ///< hex64(fnv1a64(canonical config string))
     std::string seedMode;   ///< "derived" / "fixed"; empty = not a sweep
+
+    /**
+     * Peak resident set of the producing process. Host-dependent, so it
+     * may only be set on artifacts that are already outside the
+     * byte-identity contract (the timing sidecar, BENCH_*.json) —
+     * never on deterministic stats/aggregate dumps.
+     */
+    std::uint64_t peakRssBytes = 0;
+
+    /**
+     * Modeled counter-storage bytes per simulated row
+     * (residentCounterBytes / total rows). Deterministic — derived from
+     * the configuration and the workload, not the host — so statdiff
+     * can flag memory regressions between runs.
+     */
+    double bytesPerSimulatedRow = 0.0;
 };
 
 /**
@@ -67,6 +83,13 @@ std::string metaJson(const RunMeta &run);
 
 /** Stream form of metaJson(). */
 void writeMetaJson(std::ostream &os, const RunMeta &run);
+
+/**
+ * Peak resident set size of this process in bytes (getrusage). Host-
+ * and allocator-dependent: use it to fill RunMeta::peakRssBytes for
+ * non-deterministic artifacts only. Returns 0 where unsupported.
+ */
+std::uint64_t currentPeakRssBytes();
 
 /**
  * The human-readable provenance build block every tool's `--version`

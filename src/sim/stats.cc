@@ -129,6 +129,30 @@ Histogram::percentile(double p) const
     return max_;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    SMARTREF_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                        counts_.size() == other.counts_.size(),
+                    "merging histograms of different shapes");
+    if (other.samples_ == 0)
+        return;
+    if (samples_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    samples_ += other.samples_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+}
+
 double
 Histogram::stddev() const
 {

@@ -124,6 +124,15 @@ class Histogram : public StatBase
     double bucketHi() const { return hi_; }
     std::size_t numBuckets() const { return counts_.size(); }
 
+    /**
+     * Bucket-wise sum of `other` into this histogram (same lo/hi/bucket
+     * shape required; fatal otherwise). Deterministic: merging the same
+     * histograms in the same order always yields the same state, which
+     * is what lets the sharded runner combine per-channel latency
+     * distributions into -jN-independent percentiles.
+     */
+    void merge(const Histogram &other);
+
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
 

@@ -107,6 +107,19 @@ makeParams(const BenchmarkProfile &profile, std::uint64_t footprintRows,
 
 } // namespace
 
+double
+absRowScaleFor(const DramOrganization &org)
+{
+    // 8 row buffers (2 ranks x 4 banks) is the 2 GB calibration point.
+    const double buffers =
+        static_cast<double>(org.ranks) * static_cast<double>(org.banks);
+    if (buffers <= 8.0)
+        return 1.0;
+    // Exact at the calibration points: log2(16/8) == 1.0 makes the
+    // 4 GB module's scale bit-identical to kFourGBRowScale.
+    return 1.0 + (kFourGBRowScale - 1.0) * std::log2(buffers / 8.0);
+}
+
 std::vector<WorkloadParams>
 conventionalParams(const BenchmarkProfile &profile, const DramConfig &cfg,
                    double absRowScale, std::uint64_t seed)

@@ -82,6 +82,19 @@ conventionalParams(const BenchmarkProfile &profile, const DramConfig &cfg,
 constexpr double kFourGBRowScale = 1.3;
 
 /**
+ * Row scale derived from the module geometry instead of a config-name
+ * match. The paper's 1.3x for the 4 GB module comes from doubling the
+ * row buffers (8 banks instead of 4): more open rows let the OS scatter
+ * each footprint over proportionally more DRAM rows. Generalised as
+ * 1 + (1.3 - 1) * log2(rowBuffers / 8): exactly 1.0 at the 2 GB
+ * module's 8 row buffers and exactly kFourGBRowScale at 16, so the
+ * existing goldens are bit-unchanged, while new large configs (the
+ * multi-channel server presets included — the scale is per channel)
+ * are no longer silently unscaled.
+ */
+double absRowScaleFor(const DramOrganization &org);
+
+/**
  * Workload parameters for a 3D DRAM cache run. Visit rates are derived
  * from the 64 ms calibration regardless of the config's retention, so
  * the same stream drives both the 64 ms and 32 ms experiments.

@@ -12,6 +12,7 @@
  * Usage:
  *   smartref_inspect FILE [FILE_B]
  *                    [--outcome NAME]   keep one decision outcome
+ *                    [--channel N]      keep one memory channel
  *                    [--rank N] [--bank N]
  *                    [--from-ms X] [--to-ms X]  simulated-time window
  *                    [--top N]          top rows (audit) / cells (ledger)
@@ -27,12 +28,14 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "ctrl/refresh_audit.hh"
@@ -51,7 +54,8 @@ int
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " FILE [FILE_B] [--outcome NAME] [--rank N] [--bank N]"
+              << " FILE [FILE_B] [--outcome NAME] [--channel N]"
+                 " [--rank N] [--bank N]"
                  " [--from-ms X] [--to-ms X] [--top N] [--histogram]"
                  " [--records N]\n";
     return 2;
@@ -62,6 +66,7 @@ struct Filters
 {
     bool hasOutcome = false;
     AuditOutcome outcome = AuditOutcome::Issued;
+    long channel = -1;  ///< -1 = any
     long rank = -1;     ///< -1 = any
     long bank = -1;     ///< -1 = any
     double fromMs = -1; ///< <0 = open
@@ -70,8 +75,8 @@ struct Filters
     bool
     any() const
     {
-        return hasOutcome || rank >= 0 || bank >= 0 || fromMs >= 0 ||
-               toMs >= 0;
+        return hasOutcome || channel >= 0 || rank >= 0 || bank >= 0 ||
+               fromMs >= 0 || toMs >= 0;
     }
 
     bool
@@ -88,6 +93,8 @@ struct Filters
     matches(const AuditRecord &r) const
     {
         if (hasOutcome && r.outcome != static_cast<std::uint8_t>(outcome))
+            return false;
+        if (channel >= 0 && r.channel != channel)
             return false;
         if (rank >= 0 && r.rank != rank)
             return false;
@@ -117,9 +124,12 @@ loadAudit(const std::string &path)
         std::memcmp(data.header.magic, kAuditMagic,
                     sizeof(kAuditMagic)) != 0)
         SMARTREF_FATAL("'", path, "' is not an audit trail");
-    if (data.header.version != kAuditVersion)
+    if (data.header.version != kAuditVersion) {
         SMARTREF_FATAL("'", path, "': unsupported audit version ",
-                       data.header.version);
+                       data.header.version, " (this build reads version ",
+                       kAuditVersion,
+                       "; re-run the simulator to regenerate the trail)");
+    }
     if (data.header.recordBytes != sizeof(AuditRecord))
         SMARTREF_FATAL("'", path, "': record size mismatch");
     in.seekg(0, std::ios::end);
@@ -176,26 +186,32 @@ fmtJoules(double j)
 void
 printAuditHistogram(const AuditData &a, const Filters &f)
 {
-    std::array<std::uint64_t, kAuditOutcomeCount> byOutcome{};
+    // Multi-channel trails (header v2 with channels > 1) get one
+    // histogram bucket per (channel, outcome), labelled "chN/Outcome";
+    // single-channel trails keep the historical unlabelled buckets.
+    const bool multi = a.header.channels > 1 && f.channel < 0;
+    std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t>
+        byOutcome; // (channel, outcome code) -> count
     std::array<std::uint64_t, kAuditSourceCount> bySource{};
     // Trails written by a newer binary can carry codes this build does
     // not know; surface them as unknown(N) rows rather than dropping
     // them silently (the shares must still sum to 100%).
-    std::map<std::uint8_t, std::uint64_t> unknownOutcomes;
     std::map<std::uint8_t, std::uint64_t> unknownSources;
     std::uint64_t total = 0;
     for (const AuditRecord &r : a.records) {
         if (!f.matches(r))
             continue;
         ++total;
-        if (r.outcome < kAuditOutcomeCount)
-            ++byOutcome[r.outcome];
-        else
-            ++unknownOutcomes[r.outcome];
+        ++byOutcome[{multi ? r.channel : std::uint8_t(0), r.outcome}];
         if (r.source < kAuditSourceCount)
             ++bySource[r.source];
         else
             ++unknownSources[r.source];
+    }
+    if (!multi) {
+        // Keep the zero rows of known outcomes visible.
+        for (std::size_t i = 0; i < kAuditOutcomeCount; ++i)
+            byOutcome.insert({{0, static_cast<std::uint8_t>(i)}, 0});
     }
     ReportTable outcomes({"outcome", "count", "share"});
     const auto share = [total](std::uint64_t n) {
@@ -203,14 +219,15 @@ printAuditHistogram(const AuditData &a, const Filters &f)
                                       static_cast<double>(total)
                                 : 0.0);
     };
-    for (std::size_t i = 0; i < kAuditOutcomeCount; ++i) {
-        outcomes.addRow({toString(static_cast<AuditOutcome>(i)),
-                         std::to_string(byOutcome[i]),
-                         share(byOutcome[i])});
-    }
-    for (const auto &[code, count] : unknownOutcomes) {
-        outcomes.addRow({"unknown(" + std::to_string(code) + ")",
-                         std::to_string(count), share(count)});
+    for (const auto &[key, count] : byOutcome) {
+        const auto [ch, code] = key;
+        std::string name =
+            code < kAuditOutcomeCount
+                ? toString(static_cast<AuditOutcome>(code))
+                : "unknown(" + std::to_string(code) + ")";
+        if (multi)
+            name = "ch" + std::to_string(ch) + "/" + name;
+        outcomes.addRow({name, std::to_string(count), share(count)});
     }
     std::cout << "\n=== decision histogram (" << total
               << " records) ===\n";
@@ -233,11 +250,13 @@ printAuditHistogram(const AuditData &a, const Filters &f)
 void
 printTopRows(const AuditData &a, const Filters &f, std::size_t top)
 {
+    const bool multi = a.header.channels > 1;
     std::map<std::uint64_t, std::uint64_t> counts; // packed coord -> n
     for (const AuditRecord &r : a.records) {
         if (!f.matches(r))
             continue;
-        const std::uint64_t key = (std::uint64_t(r.rank) << 40) |
+        const std::uint64_t key = (std::uint64_t(r.channel) << 48) |
+                                  (std::uint64_t(r.rank) << 40) |
                                   (std::uint64_t(r.bank) << 32) | r.row;
         ++counts[key];
     }
@@ -249,12 +268,19 @@ printTopRows(const AuditData &a, const Filters &f, std::size_t top)
                      });
     if (rows.size() > top)
         rows.resize(top);
-    ReportTable table({"rank", "bank", "row", "records"});
+    std::vector<std::string> headers = {"rank", "bank", "row",
+                                        "records"};
+    if (multi)
+        headers.insert(headers.begin(), "channel");
+    ReportTable table(headers);
     for (const auto &[key, n] : rows) {
-        table.addRow({std::to_string((key >> 40) & 0xff),
-                      std::to_string((key >> 32) & 0xff),
-                      std::to_string(key & 0xffffffffu),
-                      std::to_string(n)});
+        std::vector<std::string> row = {
+            std::to_string((key >> 40) & 0xff),
+            std::to_string((key >> 32) & 0xff),
+            std::to_string(key & 0xffffffffu), std::to_string(n)};
+        if (multi)
+            row.insert(row.begin(), std::to_string((key >> 48) & 0xff));
+        table.addRow(row);
     }
     std::cout << "\n=== top " << rows.size() << " rows ===\n";
     table.print(std::cout);
@@ -264,14 +290,17 @@ printTopRows(const AuditData &a, const Filters &f, std::size_t top)
 void
 printRecords(const AuditData &a, const Filters &f, std::uint64_t limit)
 {
+    const bool multi = a.header.channels > 1;
     std::uint64_t emitted = 0;
     for (const AuditRecord &r : a.records) {
         if (emitted >= limit)
             break;
         if (!f.matches(r))
             continue;
-        std::cout << "{\"t\":" << r.tick
-                  << ",\"rank\":" << unsigned(r.rank)
+        std::cout << "{\"t\":" << r.tick;
+        if (multi)
+            std::cout << ",\"channel\":" << unsigned(r.channel);
+        std::cout << ",\"rank\":" << unsigned(r.rank)
                   << ",\"bank\":" << unsigned(r.bank)
                   << ",\"row\":" << r.row << ",\"outcome\":\""
                   << toString(static_cast<AuditOutcome>(r.outcome))
@@ -288,8 +317,10 @@ inspectAudit(const AuditData &a, const Filters &f, std::size_t top,
 {
     if (!histogramOnly) {
         const auto &h = a.header;
-        std::cout << "audit trail: " << a.records.size() << " records, "
-                  << h.ranks << " rank(s) x " << h.banks << " bank(s) x "
+        std::cout << "audit trail: " << a.records.size() << " records, ";
+        if (h.channels > 1)
+            std::cout << h.channels << " channel(s) x ";
+        std::cout << h.ranks << " rank(s) x " << h.banks << " bank(s) x "
                   << h.rows << " row(s)\n";
         if (!a.records.empty()) {
             std::cout << "time span: "
@@ -370,22 +401,32 @@ void
 inspectLedger(const minijson::Value &root, const Filters &f,
               std::size_t top)
 {
-    std::map<long, Rollup> perRank;
-    std::map<std::pair<long, long>, Rollup> perCell;
+    // Multi-channel ledgers label cells with (channel, per-channel
+    // rank); single-channel ledgers keep the bare global rank. A
+    // channel of -1 below means "the file has no channel labels".
+    std::map<std::pair<long, long>, Rollup> perRank; // (ch, rank)
+    std::map<std::tuple<long, long, long>, Rollup> perCell;
+    const auto channelOf = [](const minijson::Value &v) {
+        return v.has("channel")
+                   ? static_cast<long>(v.at("channel").number)
+                   : -1;
+    };
     for (const minijson::Value &iv : root.at("intervals").array) {
         const double t0 = iv.at("t0_ps").number /
                           static_cast<double>(kMillisecond);
         if (!f.inWindow(t0))
             continue;
         for (const minijson::Value &cell : iv.at("cells").array) {
+            const long ch = channelOf(cell);
             const long rank = static_cast<long>(cell.at("rank").number);
             const long bank = static_cast<long>(cell.at("bank").number);
-            if ((f.rank >= 0 && rank != f.rank) ||
+            if ((f.channel >= 0 && ch != f.channel) ||
+                (f.rank >= 0 && rank != f.rank) ||
                 (f.bank >= 0 && bank != f.bank))
                 continue;
             const minijson::Value &e = cell.at("energy");
-            Rollup &r = perRank[rank];
-            Rollup &c = perCell[{rank, bank}];
+            Rollup &r = perRank[{ch, rank}];
+            Rollup &c = perCell[{ch, rank, bank}];
             for (Rollup *dst : {&r, &c}) {
                 dst->act += e.at("act").number;
                 dst->read += e.at("read").number;
@@ -394,12 +435,19 @@ inspectLedger(const minijson::Value &root, const Filters &f,
             }
         }
         for (const minijson::Value &bg : iv.at("background").array) {
+            const long ch = channelOf(bg);
             const long rank = static_cast<long>(bg.at("rank").number);
-            if (f.rank >= 0 && rank != f.rank)
+            if ((f.channel >= 0 && ch != f.channel) ||
+                (f.rank >= 0 && rank != f.rank))
                 continue;
-            perRank[rank].background += bg.at("energy").number;
+            perRank[{ch, rank}].background += bg.at("energy").number;
         }
     }
+    const auto rankLabel = [](long ch, long rank) {
+        return ch >= 0 ? "ch" + std::to_string(ch) + "/" +
+                             std::to_string(rank)
+                       : std::to_string(rank);
+    };
 
     if (root.has("totals") && !f.any()) {
         const minijson::Value &t = root.at("totals");
@@ -413,18 +461,18 @@ inspectLedger(const minijson::Value &root, const Filters &f,
     ReportTable ranks(
         {"rank", "act", "read", "write", "refresh", "background",
          "total"});
-    for (const auto &[rank, r] : perRank) {
-        ranks.addRow({std::to_string(rank), fmtJoules(r.act),
-                      fmtJoules(r.read), fmtJoules(r.write),
-                      fmtJoules(r.refresh), fmtJoules(r.background),
-                      fmtJoules(r.total())});
+    for (const auto &[coord, r] : perRank) {
+        ranks.addRow({rankLabel(coord.first, coord.second),
+                      fmtJoules(r.act), fmtJoules(r.read),
+                      fmtJoules(r.write), fmtJoules(r.refresh),
+                      fmtJoules(r.background), fmtJoules(r.total())});
     }
     std::cout << "\n=== per-rank rollup ===\n";
     ranks.print(std::cout);
 
     if (top > 0) {
-        std::vector<std::pair<std::pair<long, long>, Rollup>> cells(
-            perCell.begin(), perCell.end());
+        std::vector<std::pair<std::tuple<long, long, long>, Rollup>>
+            cells(perCell.begin(), perCell.end());
         std::stable_sort(cells.begin(), cells.end(),
                          [](const auto &x, const auto &y) {
                              return x.second.total() > y.second.total();
@@ -435,10 +483,11 @@ inspectLedger(const minijson::Value &root, const Filters &f,
             {"rank", "bank", "act", "read", "write", "refresh",
              "total"});
         for (const auto &[coord, r] : cells) {
-            table.addRow({std::to_string(coord.first),
-                          std::to_string(coord.second), fmtJoules(r.act),
-                          fmtJoules(r.read), fmtJoules(r.write),
-                          fmtJoules(r.refresh), fmtJoules(r.total())});
+            const auto [ch, rank, bank] = coord;
+            table.addRow({rankLabel(ch, rank), std::to_string(bank),
+                          fmtJoules(r.act), fmtJoules(r.read),
+                          fmtJoules(r.write), fmtJoules(r.refresh),
+                          fmtJoules(r.total())});
         }
         std::cout << "\n=== top " << cells.size()
                   << " cells by energy ===\n";
@@ -506,6 +555,8 @@ main(int argc, char **argv)
                           << "\n";
                 return 2;
             }
+        } else if (arg == "--channel") {
+            filters.channel = std::stol(value());
         } else if (arg == "--rank") {
             filters.rank = std::stol(value());
         } else if (arg == "--bank") {

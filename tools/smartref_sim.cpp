@@ -8,12 +8,17 @@
  * profiles, or a recorded trace file (DRAMsim-style trace-driven mode).
  *
  * Usage:
- *   smartref_sim [--config 2gb|4gb|3d64|3d64-32ms|3d32|edram]
+ *   smartref_sim [--config 2gb|4gb|128gb|256gb|512gb|3d64|3d64-32ms|
+ *                          3d32|edram]
  *                [--policy cbr|burst|ras-only|per-bank|smart|
  *                          retention-aware]
  *                [--parallelism none|refpb|darp|sarp|all]
  *                                      refresh-access parallelism mode
  *                [--classes]           RAPID-style retention classes
+ *                [--sparse-counters]   lazily-chunked counter array
+ *                [-j N]                shard workers for multi-channel
+ *                                      configs (aggregates are
+ *                                      byte-identical for any N)
  *                [--benchmark NAME | --idle | --light | --trace FILE]
  *                [--threed]            use the 3D cache system assembly
  *                [--warmup-ms N] [--measure-ms N]
@@ -57,6 +62,7 @@
 #include "harness/cli.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sharded.hh"
 #include "sim/interval_stats.hh"
 #include "sim/phase_profiler.hh"
 #include "sim/provenance.hh"
@@ -231,20 +237,23 @@ makeSampler(const CliArgs &args, const StatGroup &root, EventQueue &eq,
 /**
  * Verify and drain the optional audit / ledger / profile artifacts.
  * The overhead lump joins the ledger here because it is an analytic
- * per-run quantity the DRAM module never sees.
+ * per-run quantity the DRAM module never sees. @p dram is null for
+ * sharded multi-channel runs, whose caller has already verified every
+ * channel's ledger.
  */
 void
-finishLedgerAudit(const CliArgs &args, const DramModule &dram,
+finishLedgerAudit(const CliArgs &args, const DramModule *dram,
                   double overheadJoules, const RefreshAudit *audit,
                   EnergyLedger *ledger, const PhaseProfiler *profiler,
                   const std::string &configHash)
 {
     if (ledger) {
         ledger->setOverhead(overheadJoules);
-        if (args.has("check-conservation")) {
-            dram.verifyLedger(true);
+        if (args.has("check-conservation") && dram) {
+            dram->verifyLedger(true);
             std::cout << "energy conservation verified on '"
-                      << dram.statName() << "' (ledger == power stats)\n";
+                      << dram->statName()
+                      << "' (ledger == power stats)\n";
         }
         RunMeta meta;
         meta.schema = "smartref-ledger-v1";
@@ -260,11 +269,13 @@ finishLedgerAudit(const CliArgs &args, const DramModule &dram,
                       << args.ledgerCsvPath() << "\n";
         }
         if (!args.ledgerCheckPath().empty()) {
+            SMARTREF_ASSERT(dram,
+                            "--ledger-check needs a single-module run");
             RunMeta checkMeta;
             checkMeta.schema = "smartref-stats-v1";
             checkMeta.configHash = configHash;
             ledger->writeConservationCheckJson(
-                args.ledgerCheckPath(), dram.power().fullStatName(),
+                args.ledgerCheckPath(), dram->power().fullStatName(),
                 metaJson(checkMeta));
             std::cout << "conservation check written to "
                       << args.ledgerCheckPath() << "\n";
@@ -388,6 +399,7 @@ main(int argc, char **argv)
     smart.segments = opts.segments;
     smart.queueCapacity = opts.segments;
     smart.autoReconfigure = opts.autoReconfigure;
+    smart.sparseCounters = opts.sparseCounters;
 
     // Every artifact of this run (stats JSON, heatmap) carries the same
     // configuration hash so they can be attributed to one experiment.
@@ -398,6 +410,10 @@ main(int argc, char **argv)
     // leaves pre-parallelism hashes untouched.
     if (dram.parallelism != RefreshParallelism::PerBank)
         cfgKey << ";par=" << toString(dram.parallelism);
+    // Same stability convention: sparse counters change the modeled
+    // SRAM traffic, so they enter the hash only when switched on.
+    if (opts.sparseCounters)
+        cfgKey << ";sparse=1";
     cfgKey << ";classes=" << (args.has("classes") ? 1 : 0)
            << ";bits=" << opts.counterBits
            << ";segments=" << opts.segments
@@ -425,8 +441,11 @@ main(int argc, char **argv)
     std::unique_ptr<EnergyLedger> ledger;
     if (args.has("check-conservation") || !args.ledgerOutPath().empty() ||
         !args.ledgerCsvPath().empty() || !args.ledgerCheckPath().empty()) {
-        ledger = std::make_unique<EnergyLedger>(
-            EnergyLedger::Shape{dram.org.ranks, dram.org.banks});
+        // Multi-channel runs merge into a channel-major rank axis
+        // (channel = rank / org.ranks); single-channel shapes are
+        // unchanged (channels == 1).
+        ledger = std::make_unique<EnergyLedger>(EnergyLedger::Shape{
+            dram.channels * dram.org.ranks, dram.org.banks});
     }
     std::unique_ptr<PhaseProfiler> profiler;
     if (!args.profileOutPath().empty())
@@ -477,11 +496,92 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
-        finishLedgerAudit(args, sys.threeDDram(),
+        finishLedgerAudit(args, &sys.threeDDram(),
                           sys.threeDPolicy().overheadEnergy(),
                           audit.get(), ledger.get(), profiler.get(),
                           configHash);
         finishObservability(args, sys, sampler.get(), configHash,
+                            cfg.heatmap, profiler.get());
+    } else if (dram.channels > 1) {
+        // Multi-channel server configs run on the per-channel sharded
+        // engine (harness/sharded.hh): one event queue per channel
+        // advanced in epoch lock-step on up to -j N workers, with
+        // deterministic merges, so every artifact below is
+        // byte-identical for any -j value.
+        for (const char *flag :
+             {"trace", "trace-out", "trace-csv", "stats-out",
+              "stats-json", "stats-interval-ms", "stats-interval-out",
+              "interval-cols", "ledger-check", "classes"}) {
+            if (args.has(flag)) {
+                SMARTREF_FATAL("--", flag,
+                               " is not yet supported with channels"
+                               " > 1 (config '", dram.name, "')");
+            }
+        }
+
+        SystemConfig cfg;
+        cfg.dram = dram;
+        cfg.policy = policy;
+        cfg.smart = smart;
+        cfg.ctrl.scheme =
+            schemeByName(args.getString("scheme", "row-rank-bank"));
+        std::unique_ptr<RefreshHeatmap> heatmap;
+        if (!args.heatmapOutPath().empty()) {
+            // Per-channel shape: channels overlay onto one grid.
+            heatmap = std::make_unique<RefreshHeatmap>(
+                dram.org.ranks, dram.org.banks, opts.segments,
+                (1u << opts.counterBits) - 1);
+            cfg.heatmap = heatmap.get();
+        }
+        cfg.audit = audit.get();
+        cfg.ledger = ledger.get();
+        cfg.profiler = profiler.get();
+
+        ShardedSystem sys(cfg, opts.shardJobs);
+        DramConfig chDram = dram;
+        chDram.channels = 1;
+        std::string label;
+        for (std::uint32_t c = 0; c < dram.channels; ++c) {
+            const std::uint64_t seed = shardChannelSeed(opts.seed, c);
+            if (args.has("idle")) {
+                label = "idle-os";
+                sys.channel(c).addWorkload(idleParams(chDram, seed));
+            } else if (args.has("light")) {
+                label = "light-activity";
+                sys.channel(c).addWorkload(lightParams(chDram, seed));
+            } else {
+                label = args.getString("benchmark", "mummer");
+                for (const auto &wp : conventionalParams(
+                         findProfile(label), chDram, 1.0, seed))
+                    sys.channel(c).addWorkload(wp);
+            }
+        }
+
+        sys.run(opts.warmup);
+        const EnergySnapshot warm = sys.captureMergedSnapshot();
+        sys.run(opts.measure);
+        EnergySnapshot d = sys.captureMergedSnapshot() - warm;
+        d.violations += sys.finalCheck();
+        violations = d.violations;
+        printSummary(dram.name + " / " + toString(policy) + " / " +
+                         label,
+                     d, sys.maxRefreshBacklog(), 0.0, false);
+        std::cout << "channels: " << dram.channels
+                  << ", resident counter bytes: "
+                  << sys.residentCounterBytes() << "\n";
+
+        if (args.has("check-conservation")) {
+            sys.verifyLedgers(true);
+            std::cout << "energy conservation verified on all "
+                      << dram.channels << " channels\n";
+        }
+        double overhead = 0.0;
+        for (std::uint32_t c = 0; c < dram.channels; ++c)
+            overhead += sys.channel(c).refreshPolicy().overheadEnergy();
+        sys.mergeObservers();
+        finishLedgerAudit(args, nullptr, overhead, audit.get(),
+                          ledger.get(), profiler.get(), configHash);
+        finishObservability(args, sys.channel(0), nullptr, configHash,
                             cfg.heatmap, profiler.get());
     } else {
         SystemConfig cfg;
@@ -573,7 +673,7 @@ main(int argc, char **argv)
             std::cout << "full statistics written to " << statsOut
                       << "\n";
         }
-        finishLedgerAudit(args, sys.dram(),
+        finishLedgerAudit(args, &sys.dram(),
                           sys.refreshPolicy().overheadEnergy(),
                           audit.get(), ledger.get(), profiler.get(),
                           configHash);

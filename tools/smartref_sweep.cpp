@@ -10,6 +10,11 @@
  *
  * Usage:
  *   smartref_sweep [--grid NAME | --grid-file FILE] [-j N]
+ *                  [--shard-jobs N]      worker threads inside each
+ *                                        multi-channel job (sharded
+ *                                        engine; execution-only)
+ *                  [--sparse-counters]   hierarchical sparse counter
+ *                                        array in every job
  *                  [--out-dir DIR]       output directory (default ".")
  *                  [--json FILE]         aggregate JSON path override
  *                  [--csv FILE]          per-job CSV path override
@@ -37,7 +42,7 @@
  *                  [--version]           print the provenance build block
  *
  * Predefined grids (--grid): smoke, 2gb, 4gb, 3d64, 3d64-32ms, 3d32,
- * figures, bits, policies, policy-grid.
+ * figures, bits, policies, policy-grid, server.
  */
 
 #include <chrono>
@@ -127,6 +132,14 @@ predefinedGrids()
                       {3},
                       {0},
                       {"none", "refpb", "darp", "sarp", "all"}}});
+    grids.push_back({"server",
+                     "multi-channel server modules, 128-512 GB",
+                     {"server",
+                      {"128gb", "256gb", "512gb"},
+                      {"mummer", "radix"},
+                      {"smart"},
+                      {3},
+                      {0}}});
     return grids;
 }
 
@@ -208,6 +221,9 @@ writeTiming(const std::string &path, const SweepGrid &grid,
     RunMeta meta;
     meta.schema = "smartref-sweep-timing-v1";
     meta.configHash = sweepConfigHash(grid, opts);
+    // The timing sidecar is already host-dependent, so it is the one
+    // sweep artifact allowed to carry the process peak RSS.
+    meta.peakRssBytes = currentPeakRssBytes();
     out << "{\"meta\":" << metaJson(meta) << ",\"grid\":\"" << grid.name
         << "\",\"jobs\":" << opts.jobs
         << ",\"jobCount\":" << results.size()
@@ -250,6 +266,8 @@ main(int argc, char **argv)
     opts.progress = args.has("progress") || eo.verbose;
     opts.checkConservation = args.has("check-conservation");
     opts.profile = args.has("profile");
+    opts.shardJobs = static_cast<unsigned>(args.getU64("shard-jobs", 1));
+    opts.sparseCounters = args.has("sparse-counters");
     const std::string seedMode = args.getString("seed-mode", "derived");
     if (seedMode == "fixed")
         opts.seedMode = SeedMode::Fixed;
