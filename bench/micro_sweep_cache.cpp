@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Microbenchmark for the content-addressed sweep result cache: the
+ * cold / warm / mixed-delta wall times of the same grid, the numbers
+ * the CI sweep-cache gate cares about.
+ *
+ * Measured shapes:
+ *
+ *  - cold: a fresh cache directory, every job simulates and stores;
+ *  - warm: the identical grid again, every job is a hit — this must be
+ *    at least 10x faster than cold and byte-identical, and the binary
+ *    itself enforces both (exit 1 otherwise), so running it IS the
+ *    gate;
+ *  - mixed: a superset grid (one extra benchmark); only the delta
+ *    simulates while the shared points hit.
+ *
+ * Plain chrono timing, one machine-readable JSON file:
+ *
+ *     micro_sweep_cache [BENCH_sweep_cache.json]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hh"
+#include "harness/result_cache.hh"
+#include "harness/sweep.hh"
+
+using namespace smartref;
+
+namespace {
+
+SweepGrid
+benchGrid()
+{
+    SweepGrid grid;
+    grid.name = "cache-bench";
+    grid.configs = {"2gb", "3d64"};
+    grid.benchmarks = {"mummer", "gcc", "radix"};
+    grid.policies = {"smart"};
+    grid.counterBits = {3};
+    grid.retentionMs = {0};
+    return grid;
+}
+
+SweepRunOptions
+benchOptions(ResultCache *cache)
+{
+    SweepRunOptions opts;
+    // Short but not trivial windows: cold work is measurable (hundreds
+    // of ms), warm lookups stay in the low-millisecond range.
+    opts.warmup = 2 * kMillisecond;
+    opts.measure = 8 * kMillisecond;
+    opts.cache = cache;
+    return opts;
+}
+
+/** Run the grid once; returns wall seconds and the aggregate bytes. */
+double
+timedSweep(const SweepGrid &grid, const SweepRunOptions &opts,
+           std::string &aggregate)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runSweep(grid, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::ostringstream oss;
+    writeSweepJson(grid, opts, results, oss);
+    aggregate = oss.str();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out = argc > 1 ? argv[1] : "BENCH_sweep_cache.json";
+    constexpr double kMinWarmSpeedup = 10.0;
+
+    const std::string cacheDir =
+        (std::filesystem::temp_directory_path() / "smartref-bench-cache")
+            .string();
+    std::filesystem::remove_all(cacheDir);
+    ResultCache cache(cacheDir);
+
+    const SweepGrid grid = benchGrid();
+    const SweepRunOptions opts = benchOptions(&cache);
+
+    std::string coldJson, warmJson, mixedJson;
+    const double coldWall = timedSweep(grid, opts, coldJson);
+    const ResultCacheStats coldStats = cache.stats();
+
+    const double warmWall = timedSweep(grid, opts, warmJson);
+    const ResultCacheStats warmStats = cache.stats();
+    const std::uint64_t warmHits = warmStats.hits - coldStats.hits;
+    const std::uint64_t warmMisses = warmStats.misses - coldStats.misses;
+    const double speedup = coldWall / warmWall;
+
+    // The delta grid: one extra benchmark on both configs.
+    SweepGrid superset = grid;
+    superset.name = "cache-bench-delta";
+    superset.benchmarks.push_back("fasta");
+    const double mixedWall = timedSweep(superset, opts, mixedJson);
+    const ResultCacheStats mixedStats = cache.stats();
+    const std::uint64_t mixedHits = mixedStats.hits - warmStats.hits;
+    const std::uint64_t mixedMisses =
+        mixedStats.misses - warmStats.misses;
+
+    std::ofstream os(out);
+    os.precision(6);
+    os << "{\n"
+       << "  \"bench\": \"sweep_cache\",\n"
+       << "  \"meta\": " << bench::benchMetaJson("sweep_cache") << ",\n"
+       << "  \"jobs\": " << (coldStats.misses) << ",\n"
+       << "  \"cold\": {\n"
+       << "    \"wall_s\": " << coldWall << ",\n"
+       << "    \"misses\": " << coldStats.misses << ",\n"
+       << "    \"stores\": " << coldStats.stores << "\n"
+       << "  },\n"
+       << "  \"warm\": {\n"
+       << "    \"wall_s\": " << warmWall << ",\n"
+       << "    \"hits\": " << warmHits << ",\n"
+       << "    \"misses\": " << warmMisses << ",\n"
+       << "    \"speedup\": " << speedup << ",\n"
+       << "    \"byte_identical\": "
+       << (coldJson == warmJson ? "true" : "false") << "\n"
+       << "  },\n"
+       << "  \"mixed\": {\n"
+       << "    \"wall_s\": " << mixedWall << ",\n"
+       << "    \"hits\": " << mixedHits << ",\n"
+       << "    \"misses\": " << mixedMisses << "\n"
+       << "  },\n"
+       << "  \"min_warm_speedup\": " << kMinWarmSpeedup << "\n"
+       << "}\n";
+
+    std::cout << "cold  " << coldWall << " s  (" << coldStats.misses
+              << " misses, " << coldStats.stores << " stores)\n"
+              << "warm  " << warmWall << " s  (" << warmHits
+              << " hits, " << warmMisses << " misses)  speedup "
+              << speedup << "x\n"
+              << "mixed " << mixedWall << " s  (" << mixedHits
+              << " hits, " << mixedMisses << " misses)\n"
+              << "wrote " << out << "\n";
+
+    // The binary is its own gate: a warm replay must be all hits,
+    // byte-identical, and at least 10x faster; the mixed run must
+    // simulate exactly the delta.
+    bool ok = true;
+    if (warmMisses != 0 || warmHits != coldStats.misses) {
+        std::cerr << "FAIL: warm run was not 100% hits\n";
+        ok = false;
+    }
+    if (coldJson != warmJson) {
+        std::cerr << "FAIL: warm aggregate differs from cold\n";
+        ok = false;
+    }
+    if (speedup < kMinWarmSpeedup) {
+        std::cerr << "FAIL: warm speedup " << speedup << "x < "
+                  << kMinWarmSpeedup << "x\n";
+        ok = false;
+    }
+    if (mixedMisses != 2 || mixedHits != coldStats.misses) {
+        std::cerr << "FAIL: mixed run did not simulate exactly the "
+                     "delta\n";
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -1,12 +1,15 @@
 #include "harness/experiment.hh"
 
+#include <charconv>
 #include <cmath>
 #include <iostream>
 #include <mutex>
+#include <stdexcept>
 
 #include "dram/energy_ledger.hh"
 #include "harness/sharded.hh"
 #include "sim/logging.hh"
+#include "sim/mini_json.hh"
 #include "sim/phase_profiler.hh"
 #include "sim/thread_pool.hh"
 
@@ -420,6 +423,108 @@ geometricMean(const std::vector<double> &values)
     for (double v : values)
         logSum += std::log(std::max(v, 1e-12));
     return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+namespace {
+
+/** Shortest round-trip decimal form (exact, locale-independent). */
+std::string
+cacheNumber(double v)
+{
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    SMARTREF_ASSERT(res.ec == std::errc(), "to_chars failed");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+cacheQuoted(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+double
+requiredNumber(const minijson::Value &v, const char *name)
+{
+    const minijson::Value &m = v.at(name);
+    if (!m.isNumber())
+        throw std::runtime_error(std::string("member '") + name +
+                                 "' is not a number");
+    return m.number;
+}
+
+} // namespace
+
+void
+writeRunResultJson(std::ostream &os, const RunResult &r)
+{
+    os << "{\"benchmark\":" << cacheQuoted(r.benchmark)
+       << ",\"suite\":" << cacheQuoted(r.suite)
+       << ",\"policy\":" << cacheQuoted(r.policy)
+       << ",\"simSeconds\":" << cacheNumber(r.simSeconds)
+       << ",\"refreshesPerSec\":" << cacheNumber(r.refreshesPerSec)
+       << ",\"refreshEnergyJ\":" << cacheNumber(r.refreshEnergyJ)
+       << ",\"totalEnergyJ\":" << cacheNumber(r.totalEnergyJ)
+       << ",\"overheadJ\":" << cacheNumber(r.overheadJ)
+       << ",\"avgLatencyNs\":" << cacheNumber(r.avgLatencyNs)
+       << ",\"latencySumSec\":" << cacheNumber(r.latencySumSec)
+       << ",\"latencyP50Ns\":" << cacheNumber(r.latencyP50Ns)
+       << ",\"latencyP95Ns\":" << cacheNumber(r.latencyP95Ns)
+       << ",\"latencyP99Ns\":" << cacheNumber(r.latencyP99Ns)
+       << ",\"demandBlockedByRefreshTicks\":"
+       << cacheNumber(r.demandBlockedByRefreshTicks)
+       << ",\"refreshStallsAvoided\":" << r.refreshStallsAvoided
+       << ",\"subarrayConflicts\":" << r.subarrayConflicts
+       << ",\"demandAccesses\":" << r.demandAccesses
+       << ",\"violations\":" << r.violations
+       << ",\"maxRefreshBacklog\":" << r.maxRefreshBacklog
+       << ",\"eventsExecuted\":" << r.eventsExecuted << "}";
+}
+
+RunResult
+runResultFromJson(const minijson::Value &v)
+{
+    RunResult r;
+    r.benchmark = v.at("benchmark").str;
+    r.suite = v.at("suite").str;
+    r.policy = v.at("policy").str;
+    r.simSeconds = requiredNumber(v, "simSeconds");
+    r.refreshesPerSec = requiredNumber(v, "refreshesPerSec");
+    r.refreshEnergyJ = requiredNumber(v, "refreshEnergyJ");
+    r.totalEnergyJ = requiredNumber(v, "totalEnergyJ");
+    r.overheadJ = requiredNumber(v, "overheadJ");
+    r.avgLatencyNs = requiredNumber(v, "avgLatencyNs");
+    r.latencySumSec = requiredNumber(v, "latencySumSec");
+    r.latencyP50Ns = requiredNumber(v, "latencyP50Ns");
+    r.latencyP95Ns = requiredNumber(v, "latencyP95Ns");
+    r.latencyP99Ns = requiredNumber(v, "latencyP99Ns");
+    r.demandBlockedByRefreshTicks =
+        requiredNumber(v, "demandBlockedByRefreshTicks");
+    r.refreshStallsAvoided = static_cast<std::uint64_t>(
+        requiredNumber(v, "refreshStallsAvoided"));
+    r.subarrayConflicts = static_cast<std::uint64_t>(
+        requiredNumber(v, "subarrayConflicts"));
+    r.demandAccesses =
+        static_cast<std::uint64_t>(requiredNumber(v, "demandAccesses"));
+    r.violations =
+        static_cast<std::uint64_t>(requiredNumber(v, "violations"));
+    r.maxRefreshBacklog =
+        static_cast<std::size_t>(requiredNumber(v, "maxRefreshBacklog"));
+    r.eventsExecuted =
+        static_cast<std::uint64_t>(requiredNumber(v, "eventsExecuted"));
+    return r;
 }
 
 } // namespace smartref

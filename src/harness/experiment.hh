@@ -21,6 +21,10 @@
 #include "sim/logging.hh"
 #include "trace/benchmark_profiles.hh"
 
+namespace minijson {
+class Value;
+}
+
 namespace smartref {
 
 /** Point-in-time capture of every accumulating quantity we report. */
@@ -144,6 +148,23 @@ struct ComparisonResult
                    : 0.0;
     }
 };
+
+/**
+ * Complete JSON form of a RunResult — every field, including the ones
+ * the sweep aggregates omit (latencySumSec, eventsExecuted), with
+ * shortest-round-trip double formatting. This is the storage schema of
+ * the content-addressed result cache: parsing it back through
+ * runResultFromJson() reproduces the struct bit-for-bit, so aggregates
+ * built from cached results are byte-identical to fresh ones.
+ */
+void writeRunResultJson(std::ostream &os, const RunResult &r);
+
+/**
+ * Inverse of writeRunResultJson(). Throws std::runtime_error on any
+ * missing or mistyped member — the result cache treats that as a
+ * corrupt entry (miss), never as a partial result.
+ */
+RunResult runResultFromJson(const minijson::Value &v);
 
 /** Shared knobs for experiment runs. */
 struct ExperimentOptions

@@ -13,11 +13,11 @@
 #include "ctrl/bus_energy_model.hh"
 #include "dram/refresh_parallelism.hh"
 #include "harness/report.hh"
+#include "harness/result_cache.hh"
 #include "harness/sweep_telemetry.hh"
 #include "harness/system.hh"
 #include "harness/threed_system.hh"
 #include "sim/logging.hh"
-#include "sim/mini_json.hh"
 #include "sim/phase_profiler.hh"
 #include "sim/provenance.hh"
 #include "sim/thread_pool.hh"
@@ -26,18 +26,6 @@
 namespace smartref {
 
 namespace {
-
-// fnv1a64 comes from sim/provenance.hh: the same constants this file
-// always used for seed derivation, now shared with the config hashes.
-
-std::uint64_t
-splitmix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
 
 /**
  * Shortest round-trip decimal form of a double. std::to_chars is both
@@ -80,140 +68,7 @@ quoted(const std::string &s)
     return out;
 }
 
-const char *
-toString(SeedMode mode)
-{
-    return mode == SeedMode::Derived ? "derived" : "fixed";
-}
-
 } // namespace
-
-std::string
-pointKey(const SweepPoint &point)
-{
-    std::ostringstream oss;
-    oss << "config=" << point.config << ";bench=" << point.benchmark
-        << ";policy=" << point.policy << ";bits=" << point.counterBits
-        << ";retentionMs=" << point.retentionMs;
-    // The historical default mode is omitted so pre-parallelism seeds
-    // (and the goldens derived from them) are unchanged.
-    if (point.parallelism != "refpb")
-        oss << ";par=" << point.parallelism;
-    return oss.str();
-}
-
-std::uint64_t
-deriveJobSeed(std::uint64_t baseSeed, const SweepPoint &point)
-{
-    return splitmix64(baseSeed ^ fnv1a64(pointKey(point)));
-}
-
-SweepGrid
-parseSweepGrid(const std::string &jsonText)
-{
-    const minijson::Value root = minijson::parse(jsonText);
-    if (!root.isObject())
-        SMARTREF_FATAL("sweep grid JSON must be an object");
-
-    SweepGrid grid;
-    auto strings = [](const minijson::Value &v) {
-        std::vector<std::string> out;
-        for (const auto &e : v.array)
-            out.push_back(e.str);
-        return out;
-    };
-    for (const auto &[key, value] : root.object) {
-        if (key == "name") {
-            grid.name = value.str;
-        } else if (key == "configs") {
-            grid.configs = strings(value);
-        } else if (key == "benchmarks") {
-            grid.benchmarks = strings(value);
-        } else if (key == "policies") {
-            grid.policies = strings(value);
-        } else if (key == "counterBits") {
-            grid.counterBits.clear();
-            for (const auto &e : value.array)
-                grid.counterBits.push_back(
-                    static_cast<std::uint32_t>(e.number));
-        } else if (key == "retentionMs") {
-            grid.retentionMs.clear();
-            for (const auto &e : value.array)
-                grid.retentionMs.push_back(
-                    static_cast<std::uint64_t>(e.number));
-        } else if (key == "parallelism") {
-            grid.parallelism = strings(value);
-        } else {
-            SMARTREF_FATAL("unknown sweep grid member '", key, "'");
-        }
-    }
-    return grid;
-}
-
-SweepGrid
-loadSweepGrid(const std::string &path)
-{
-    std::ifstream in(path);
-    if (!in)
-        SMARTREF_FATAL("cannot read sweep grid '", path, "'");
-    std::ostringstream oss;
-    oss << in.rdbuf();
-    return parseSweepGrid(oss.str());
-}
-
-std::vector<SweepJob>
-expandGrid(const SweepGrid &grid, std::uint64_t baseSeed, SeedMode mode)
-{
-    // Validate every axis value up front so a typo fails before hours
-    // of simulation, not in the middle of a parallel run.
-    std::vector<std::string> benchmarks;
-    if (grid.benchmarks.size() == 1 && grid.benchmarks[0] == "all") {
-        for (const auto &p : allProfiles())
-            benchmarks.push_back(p.name);
-    } else {
-        for (const auto &name : grid.benchmarks) {
-            findProfile(name); // fatal on unknown
-            benchmarks.push_back(name);
-        }
-    }
-    for (const auto &config : grid.configs)
-        dramConfigByName(config).validate();
-    for (const auto &policy : grid.policies)
-        policyFromString(policy);
-    for (std::uint32_t bits : grid.counterBits) {
-        if (bits < 1 || bits > 16)
-            SMARTREF_FATAL("counterBits ", bits, " out of range [1,16]");
-    }
-    for (const auto &par : grid.parallelism)
-        parallelismFromString(par); // fatal on unknown
-
-    std::vector<SweepJob> jobs;
-    jobs.reserve(grid.configs.size() * grid.retentionMs.size() *
-                 grid.counterBits.size() * grid.policies.size() *
-                 grid.parallelism.size() * benchmarks.size());
-    for (const auto &config : grid.configs) {
-        for (std::uint64_t retention : grid.retentionMs) {
-            for (std::uint32_t bits : grid.counterBits) {
-                for (const auto &policy : grid.policies) {
-                    for (const auto &par : grid.parallelism) {
-                        for (const auto &benchmark : benchmarks) {
-                            SweepJob job;
-                            job.index = jobs.size();
-                            job.point = {config, benchmark, policy,
-                                         bits, retention, par};
-                            job.seed = mode == SeedMode::Fixed
-                                           ? baseSeed
-                                           : deriveJobSeed(baseSeed,
-                                                           job.point);
-                            jobs.push_back(std::move(job));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    return jobs;
-}
 
 SweepJobResult
 runSweepJob(const SweepJob &job, const SweepRunOptions &opts)
@@ -313,57 +168,140 @@ runSweep(const SweepGrid &grid, const SweepRunOptions &opts)
     const auto sweepStart = std::chrono::steady_clock::now();
     std::mutex progressMu;
     std::size_t done = 0;
-    const auto runOne = [&](std::size_t i) {
+    const auto progressLine = [&](std::size_t i) {
+        if (!opts.progress)
+            return;
+        std::lock_guard<std::mutex> lk(progressMu);
+        ++done;
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - sweepStart)
+                .count();
+        // Naive linear ETA: remaining jobs at the observed mean
+        // rate. Good enough for a ticker; never in aggregates.
+        const double eta =
+            elapsed / static_cast<double>(done) *
+            static_cast<double>(jobs.size() - done);
+        std::cerr << "  [" << done << "/" << jobs.size() << "] "
+                  << pointKey(jobs[i].point) << " ["
+                  << fmtPercent(
+                         results[i].comparison.refreshReduction())
+                  << ", "
+                  << fmtDouble(results[i].wallSeconds, 1) << "s, eta "
+                  << fmtDouble(eta, 1) << "s"
+                  << (results[i].cached ? ", cached" : "") << "]"
+                  << std::endl;
+    };
+
+    // Probe phase: serve hits from the result cache on the calling
+    // thread, in grid order, before anything touches the thread pool.
+    // Heatmap collection bypasses probing (entries carry no heatmap),
+    // but finished jobs are still stored for later heatmap-less runs.
+    std::vector<ResultCacheKey> keys;
+    std::vector<char> hit;
+    if (opts.cache) {
+        keys.resize(jobs.size());
+        hit.assign(jobs.size(), 0);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            keys[i] = resultCacheKey(jobs[i], opts);
+        if (!opts.collectHeatmaps) {
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                const auto probeStart = std::chrono::steady_clock::now();
+                if (!opts.cache->lookup(keys[i], results[i]))
+                    continue;
+                hit[i] = 1;
+                // Entries store the point and seed, not the grid index:
+                // re-stamp the grid-local job.
+                results[i].job = jobs[i];
+                results[i].wallSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - probeStart)
+                        .count();
+                if (!opts.cacheVerify) {
+                    if (opts.telemetry) {
+                        opts.telemetry->jobStart(jobs[i]);
+                        opts.telemetry->jobFinish(results[i]);
+                    }
+                    progressLine(i);
+                }
+            }
+        }
+    }
+
+    // Schedule only what the cache could not serve — plus every hit
+    // when cacheVerify demands a recompute-and-compare.
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (opts.cache && hit[i] && !opts.cacheVerify)
+            continue;
+        pending.push_back(i);
+    }
+
+    const auto runOne = [&](std::size_t k) {
+        const std::size_t i = pending[k];
         if (opts.telemetry)
             opts.telemetry->jobStart(jobs[i]);
-        results[i] = runSweepJob(jobs[i], opts);
+        SweepJobResult fresh = runSweepJob(jobs[i], opts);
+        if (opts.cache) {
+            if (hit[i]) {
+                // cacheVerify: the stored result must be bit-equal to
+                // the recompute — anything else means a stale or
+                // foreign cache (or nondeterminism) and is fatal.
+                const std::string stored =
+                    ResultCache::comparisonJson(results[i].comparison);
+                const std::string recomputed =
+                    ResultCache::comparisonJson(fresh.comparison);
+                if (stored != recomputed)
+                    SMARTREF_FATAL(
+                        "cache verify failed for '",
+                        pointKey(jobs[i].point), "' (key ", keys[i].hex,
+                        "):\n  cached: ", stored,
+                        "\n  fresh:  ", recomputed);
+                opts.cache->countVerified();
+                fresh.cached = true; // served (and verified) from cache
+            } else {
+                opts.cache->store(keys[i], jobs[i], fresh);
+            }
+        }
+        results[i] = std::move(fresh);
         if (opts.telemetry)
             opts.telemetry->jobFinish(results[i]);
-        if (opts.progress) {
-            std::lock_guard<std::mutex> lk(progressMu);
-            ++done;
-            const double elapsed =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - sweepStart)
-                    .count();
-            // Naive linear ETA: remaining jobs at the observed mean
-            // rate. Good enough for a ticker; never in aggregates.
-            const double eta =
-                elapsed / static_cast<double>(done) *
-                static_cast<double>(jobs.size() - done);
-            std::cerr << "  [" << done << "/" << jobs.size() << "] "
-                      << pointKey(jobs[i].point) << " ["
-                      << fmtPercent(
-                             results[i].comparison.refreshReduction())
-                      << ", "
-                      << fmtDouble(results[i].wallSeconds, 1) << "s, eta "
-                      << fmtDouble(eta, 1) << "s]"
-                      << std::endl;
-        }
+        progressLine(i);
     };
     // Own the pool (rather than the parallelFor(jobs, ...) convenience)
     // so its scheduling counters can be reported to the telemetry sink.
-    if (opts.jobs <= 1 || jobs.size() <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            runOne(i);
+    ResultCacheStats cacheStats;
+    const ResultCacheStats *cacheStatsPtr = nullptr;
+    const auto finishStats = [&]() {
+        if (opts.cache) {
+            cacheStats = opts.cache->stats();
+            cacheStatsPtr = &cacheStats;
+        }
+    };
+    if (opts.jobs <= 1 || pending.size() <= 1) {
+        for (std::size_t k = 0; k < pending.size(); ++k)
+            runOne(k);
         if (opts.telemetry) {
             const double wall = std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -
                                     sweepStart)
                                     .count();
-            opts.telemetry->sweepFinish(wall, nullptr);
+            finishStats();
+            opts.telemetry->sweepFinish(wall, nullptr, cacheStatsPtr);
         }
     } else {
         ThreadPool pool(static_cast<unsigned>(
-            std::min<std::size_t>(opts.jobs, jobs.size())));
-        parallelFor(pool, jobs.size(), runOne);
+            std::min<std::size_t>(opts.jobs, pending.size())));
+        parallelFor(pool, pending.size(), runOne);
         if (opts.telemetry) {
             const double wall = std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -
                                     sweepStart)
                                     .count();
             const ThreadPool::Stats poolStats = pool.stats();
-            opts.telemetry->sweepFinish(wall, &poolStats);
+            finishStats();
+            opts.telemetry->sweepFinish(wall, &poolStats, cacheStatsPtr);
         }
     }
     return results;
@@ -475,7 +413,7 @@ writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
     RunMeta meta;
     meta.schema = "smartref-sweep-v1";
     meta.configHash = sweepConfigHash(grid, opts);
-    meta.seedMode = toString(opts.seedMode);
+    meta.seedMode = seedModeName(opts.seedMode);
     os << ",\"meta\":" << metaJson(meta);
 
     os << ",\"grid\":{\"name\":" << quoted(grid.name) << ",\"configs\":";
@@ -497,7 +435,7 @@ writeSweepJson(const SweepGrid &grid, const SweepRunOptions &opts,
        << ",\"segments\":" << opts.segments << ",\"autoReconfigure\":"
        << (opts.autoReconfigure ? "true" : "false")
        << ",\"baseSeed\":" << opts.baseSeed
-       << ",\"seedMode\":" << quoted(toString(opts.seedMode)) << "}";
+       << ",\"seedMode\":" << quoted(seedModeName(opts.seedMode)) << "}";
 
     // Geometry/energy anchors of each preset in the grid: the Table 1
     // baseline refresh rate and the Table 3 address-bus energy. CI's
@@ -679,7 +617,7 @@ sweepConfigHash(const SweepGrid &grid, const SweepRunOptions &opts)
         << ";segments=" << opts.segments
         << ";autoReconfigure=" << (opts.autoReconfigure ? 1 : 0)
         << ";baseSeed=" << opts.baseSeed
-        << ";seedMode=" << toString(opts.seedMode);
+        << ";seedMode=" << seedModeName(opts.seedMode);
     // Sparse counters change the modeled SRAM traffic, so they are a
     // real configuration axis — but only when switched on, keeping
     // every historical hash stable. shardJobs stays excluded: it is
@@ -733,7 +671,7 @@ writeSweepHeatmapJson(const SweepGrid &grid, const SweepRunOptions &opts,
     RunMeta meta;
     meta.schema = "smartref-sweep-heatmap-v1";
     meta.configHash = sweepConfigHash(grid, opts);
-    meta.seedMode = toString(opts.seedMode);
+    meta.seedMode = seedModeName(opts.seedMode);
 
     const auto groups = groupResults(results);
     const auto merged = mergeGroupHeatmaps(groups);

@@ -1,12 +1,18 @@
 /**
  * @file
- * Parallel experiment-sweep subsystem.
+ * Sweep execution + reduction layer.
  *
- * A sweep is a declarative grid over (module config, retention, counter
- * bits, policy, benchmark). The grid expands — in a fixed canonical
- * order — into independent jobs, each a full baseline-vs-policy
- * comparison; the runner fans the jobs out over a work-stealing thread
- * pool (sim/thread_pool.hh) and reduces the results *in grid order*.
+ * The sweep subsystem is split into three layers:
+ *
+ *  - job spec (harness/sweep_spec.hh): the declarative grid, canonical
+ *    expansion into jobs, coordinate-derived seeding;
+ *  - execution (this file): fan the expanded jobs out over a
+ *    work-stealing thread pool (sim/thread_pool.hh) and reduce the
+ *    results *in grid order*;
+ *  - storage (harness/result_cache.hh): a content-addressed store of
+ *    finished job results, keyed by the provenance FNV-1a canonical
+ *    string, which the runner consults so only cache misses are ever
+ *    scheduled.
  *
  * Determinism contract:
  *  - every job's seed derives from its grid coordinates (deriveJobSeed),
@@ -14,9 +20,13 @@
  *    or changing -j N never perturbs another job's stream;
  *  - each job runs an isolated simulation (own event queue, own stats);
  *  - aggregate outputs (JSON/CSV) are written from the grid-ordered
- *    result vector with fixed number formatting.
+ *    result vector with fixed number formatting;
+ *  - a cached result is byte-for-byte the result the simulation would
+ *    produce, so aggregates are identical whether a sweep was served
+ *    cold, warm, or mixed.
  * Consequently `-j 1` and `-j N` produce byte-identical aggregates; CI
- * re-verifies this on every PR (the sweep-smoke job).
+ * re-verifies this on every PR (the sweep-smoke job), and the
+ * sweep-cache job re-verifies cold-vs-warm identity.
  */
 
 #pragma once
@@ -29,99 +39,20 @@
 
 #include "ctrl/refresh_heatmap.hh"
 #include "harness/experiment.hh"
+#include "harness/sweep_spec.hh"
 
 namespace smartref {
 
 class SweepTelemetry;
-
-/** Coordinates of one job in a sweep grid. */
-struct SweepPoint
-{
-    std::string config = "2gb";     ///< preset name (dramConfigByName)
-    std::string benchmark = "mummer"; ///< profile name
-    std::string policy = "smart";   ///< compared against the CBR baseline
-    std::uint32_t counterBits = 3;
-    std::uint64_t retentionMs = 0;  ///< 0 = the preset's own retention
-    /**
-     * Refresh-access parallelism mode ("none", "refpb", "darp",
-     * "sarp", "all" = DSARP). Applied to both runs of the comparison,
-     * so baseline and policy see the same device semantics. The
-     * default "refpb" is the historical behaviour and is omitted from
-     * pointKey() to keep existing seeds/goldens stable.
-     */
-    std::string parallelism = "refpb";
-};
-
-/**
- * A declarative sweep grid. Axes expand in canonical nesting order —
- * config (outermost), retentionMs, counterBits, policy, parallelism,
- * benchmark (innermost) — so job indices are stable properties of the
- * grid, not of the execution.
- */
-struct SweepGrid
-{
-    std::string name = "sweep";     ///< used for output file names
-    std::vector<std::string> configs = {"2gb"};
-    /** Profile names; the single entry "all" expands to all 32. */
-    std::vector<std::string> benchmarks = {"all"};
-    std::vector<std::string> policies = {"smart"};
-    std::vector<std::uint32_t> counterBits = {3};
-    std::vector<std::uint64_t> retentionMs = {0};
-    /** Parallelism modes (refresh_parallelism.hh names). */
-    std::vector<std::string> parallelism = {"refpb"};
-};
-
-/**
- * Parse a grid from its JSON description:
- *
- *   { "name": "fig06", "configs": ["2gb"], "benchmarks": ["all"],
- *     "policies": ["smart"], "counterBits": [3], "retentionMs": [0] }
- *
- * Missing members keep the SweepGrid defaults; unknown members are
- * fatal (bad user configuration). Throws std::runtime_error on
- * malformed JSON.
- */
-SweepGrid parseSweepGrid(const std::string &jsonText);
-
-/** parseSweepGrid over a file's contents (fatal when unreadable). */
-SweepGrid loadSweepGrid(const std::string &path);
-
-/** How job seeds are chosen during grid expansion. */
-enum class SeedMode {
-    Derived, ///< deriveJobSeed(base, point): the determinism contract
-    Fixed,   ///< every job uses the base seed (bench-binary parity)
-};
-
-/** Canonical coordinate key of a point, the input to seed derivation. */
-std::string pointKey(const SweepPoint &point);
-
-/**
- * Seed of the job at `point`: splitmix64-finalised mix of the base
- * seed with an FNV-1a hash of pointKey(). Depends only on the
- * coordinates — two grids containing the same point give its job the
- * same seed. Pinned by tests/test_sweep.cpp.
- */
-std::uint64_t deriveJobSeed(std::uint64_t baseSeed, const SweepPoint &point);
-
-/** One expanded job: a grid index, coordinates and the derived seed. */
-struct SweepJob
-{
-    std::size_t index = 0;
-    SweepPoint point;
-    std::uint64_t seed = 0;
-};
-
-/** Expand a grid into jobs in canonical order (validates all names). */
-std::vector<SweepJob> expandGrid(const SweepGrid &grid,
-                                 std::uint64_t baseSeed,
-                                 SeedMode mode = SeedMode::Derived);
+class ResultCache;
 
 /** Result of one job plus its (non-deterministic) wall-clock cost. */
 struct SweepJobResult
 {
     SweepJob job;
     ComparisonResult comparison;
-    /** Wall seconds this job took; excluded from aggregate outputs. */
+    /** Wall seconds this job took; excluded from aggregate outputs.
+     *  For a cache hit this is the lookup time, not simulation time. */
     double wallSeconds = 0.0;
     /**
      * Spatial heatmap of the policy-under-test run; non-null only when
@@ -135,6 +66,8 @@ struct SweepJobResult
      * emitted in the job_finish NDJSON event, never in aggregates.
      */
     std::string profileJson;
+    /** Served from the result cache (telemetry/progress only). */
+    bool cached = false;
 };
 
 /** Execution knobs of a sweep run. */
@@ -183,14 +116,44 @@ struct SweepRunOptions
      * keeping historical hashes stable.
      */
     bool sparseCounters = false;
+    /**
+     * Optional content-addressed result store (not owned). When set,
+     * the runner probes it before scheduling: hits are stitched into
+     * the result vector in grid order without touching the thread
+     * pool, misses are simulated and stored back. Execution-only —
+     * a cached result is bit-equal to a fresh one, so the cache never
+     * enters seeds or sweepConfigHash. Probing is skipped (stores
+     * still happen) when collectHeatmaps is set, because entries do
+     * not carry heatmaps.
+     */
+    ResultCache *cache = nullptr;
+    /**
+     * Recompute every cache hit and fail fatally unless the stored
+     * result is identical to the fresh one — the paranoia mode that
+     * distinguishes a stale/foreign cache from nondeterminism.
+     */
+    bool cacheVerify = false;
 };
+
+/**
+ * Canonical simulation-semantic identity of one job under these run
+ * options: the exact string the result cache hashes into a key.
+ * Includes the build fingerprint, pointKey(), the job seed, and every
+ * option that changes simulated results (warmup/measure/segments/
+ * autoReconfigure; sparseCounters only when set, mirroring
+ * sweepConfigHash's asymmetry). Excludes execution-only knobs: jobs,
+ * shardJobs, telemetry/profile/heatmap sinks, progress, logLevel.
+ */
+std::string jobCacheCanonical(const SweepJob &job,
+                              const SweepRunOptions &opts);
 
 /** Run one already-expanded job (exposed for tests). */
 SweepJobResult runSweepJob(const SweepJob &job, const SweepRunOptions &opts);
 
 /**
- * Expand and execute the grid with opts.jobs workers. The returned
- * vector is in grid order regardless of completion order.
+ * Expand and execute the grid with opts.jobs workers, serving from
+ * opts.cache when attached. The returned vector is in grid order
+ * regardless of completion order or hit/miss mix.
  */
 std::vector<SweepJobResult> runSweep(const SweepGrid &grid,
                                      const SweepRunOptions &opts);

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "harness/result_cache.hh"
 #include "sim/logging.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -138,6 +139,7 @@ SweepTelemetry::jobFinish(const SweepJobResult &result)
          << ",\"events\":" << events
          << ",\"eventsPerSec\":" << num(perSec)
          << ",\"eta_s\":" << eta
+         << ",\"cached\":" << (result.cached ? "true" : "false")
          << ",\"peakRssKb\":" << peakRssKb();
     if (!result.profileJson.empty())
         line << ",\"phases\":" << result.profileJson;
@@ -148,7 +150,8 @@ SweepTelemetry::jobFinish(const SweepJobResult &result)
 
 void
 SweepTelemetry::sweepFinish(double wallSeconds,
-                            const ThreadPool::Stats *pool)
+                            const ThreadPool::Stats *pool,
+                            const ResultCacheStats *cache)
 {
     std::ostringstream line;
     line << "{\"event\":\"sweep_finish\",\"t\":" << num(elapsed())
@@ -159,6 +162,14 @@ SweepTelemetry::sweepFinish(double wallSeconds,
              << ",\"externalPops\":" << pool->externalPops
              << ",\"steals\":" << pool->steals
              << ",\"idleWaits\":" << pool->idleWaits << "}";
+    }
+    if (cache) {
+        line << ",\"cache\":{\"hits\":" << cache->hits
+             << ",\"misses\":" << cache->misses
+             << ",\"corrupt\":" << cache->corrupt
+             << ",\"stores\":" << cache->stores
+             << ",\"evictions\":" << cache->evictions
+             << ",\"verified\":" << cache->verified << "}";
     }
     line << "}";
     emitLine(line.str());

@@ -26,6 +26,8 @@
 
 namespace smartref {
 
+struct ResultCacheStats;
+
 /** Thread-safe NDJSON telemetry sink for one sweep run. */
 class SweepTelemetry
 {
@@ -53,16 +55,20 @@ class SweepTelemetry
     /**
      * Emit a job_finish event with wall time, events/s, peak RSS, a
      * linear completion estimate (`eta_s`, JSON null until a finite
-     * positive rate is observable — never inf/NaN) and, when the job
-     * carried one, its phase profile.
+     * positive rate is observable — never inf/NaN), whether the result
+     * was served from the result cache and, when the job carried one,
+     * its phase profile.
      */
     void jobFinish(const SweepJobResult &result);
 
     /**
      * Emit the sweep_finish event. `pool` may be null (serial run);
-     * when present its scheduling counters are included.
+     * when present its scheduling counters are included. `cache` may be
+     * null (no result cache attached); when present its hit/miss/
+     * corrupt/store/eviction/verified counters are included.
      */
-    void sweepFinish(double wallSeconds, const ThreadPool::Stats *pool);
+    void sweepFinish(double wallSeconds, const ThreadPool::Stats *pool,
+                     const ResultCacheStats *cache = nullptr);
 
     /**
      * Peak resident-set size of this process in KB (getrusage), or 0

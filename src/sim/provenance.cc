@@ -85,6 +85,17 @@ hex64(std::uint64_t v)
     return out;
 }
 
+const std::string &
+buildFingerprint()
+{
+    static const std::string fingerprint = [] {
+        const BuildInfo &b = buildInfo();
+        return "git=" + b.gitSha + ";compiler=" + b.compiler +
+               ";flags=" + b.compilerFlags + ";buildType=" + b.buildType;
+    }();
+    return fingerprint;
+}
+
 void
 writeMetaJson(std::ostream &os, const RunMeta &run)
 {

@@ -50,6 +50,16 @@ std::uint64_t fnv1a64(std::string_view s);
 /** Fixed-width (16 digit) lowercase hex of a 64-bit value. */
 std::string hex64(std::uint64_t v);
 
+/**
+ * Canonical build-identity string for content-addressed result keys:
+ * "git=<sha>;compiler=<id>;flags=<flags>;buildType=<type>". All four
+ * BuildInfo fields join deliberately — a cached result may only be
+ * served to the exact build that could have produced it, so a new
+ * commit or a sanitizer flag flip cold-starts the cache rather than
+ * risking a stale hit (harness/result_cache.hh).
+ */
+const std::string &buildFingerprint();
+
 /** Run-scoped provenance fields; empty/zero members are omitted. */
 struct RunMeta
 {

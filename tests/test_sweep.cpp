@@ -237,6 +237,48 @@ TEST(SweepGridTest, JsonDefaultsAndErrors)
                  std::runtime_error);
 }
 
+namespace {
+
+/** The message a callable's std::runtime_error carries ("" if none). */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(SweepGridTest, UnknownJsonMemberSuggestsNearMiss)
+{
+    const std::string msg = fatalMessage(
+        [] { parseSweepGrid(R"({"benchmark":["gcc"]})"); });
+    EXPECT_NE(msg.find("unknown sweep grid member 'benchmark'"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("did you mean 'benchmarks'?"), std::string::npos)
+        << msg;
+    // A name nothing like any axis gets no suggestion.
+    const std::string far = fatalMessage(
+        [] { parseSweepGrid(R"({"zzzz":["gcc"]})"); });
+    EXPECT_EQ(far.find("did you mean"), std::string::npos) << far;
+}
+
+TEST(SweepGridTest, UnknownPredefinedGridSuggestsNearMiss)
+{
+    const std::string msg =
+        fatalMessage([] { predefinedGridByName("smok"); });
+    EXPECT_NE(msg.find("unknown grid 'smok'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'smoke'?"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("--list-grids"), std::string::npos) << msg;
+}
+
 TEST(SweepDeterminism, ParallelAggregatesAreByteIdenticalGridA)
 {
     const SweepGrid grid = smallGridA();

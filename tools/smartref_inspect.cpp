@@ -3,11 +3,12 @@
  * smartref_inspect — query refresh-audit trails and energy ledgers.
  *
  * Takes the artifacts the simulator emits (`--audit-out` binary audit
- * trails, `--ledger-out` ledger JSON) and answers the questions a
- * debugging session actually asks: which outcomes dominate, which rows
- * are hot, what happened in this time window, and how do two runs
- * differ. File types are auto-detected (binary "SRAUDIT" magic vs
- * ledger JSON schema), so there are no subcommands.
+ * trails, `--ledger-out` ledger JSON, sweep result-cache entry blobs)
+ * and answers the questions a debugging session actually asks: which
+ * outcomes dominate, which rows are hot, what happened in this time
+ * window, and how do two runs differ. File types are auto-detected
+ * (binary "SRAUDIT" magic vs JSON schema), so there are no
+ * subcommands.
  *
  * Usage:
  *   smartref_inspect FILE [FILE_B]
@@ -158,15 +159,38 @@ isAuditFile(const std::string &path)
     return in && std::memcmp(magic, kAuditMagic, sizeof(magic)) == 0;
 }
 
+std::string
+fmtJoules(double j)
+{
+    return fmtDouble(j * 1e3, 6) + " mJ";
+}
+
 minijson::Value
-loadLedger(const std::string &path)
+loadJsonFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
         SMARTREF_FATAL("cannot read '", path, "'");
     std::ostringstream text;
     text << in.rdbuf();
-    minijson::Value root = minijson::parse(text.str());
+    return minijson::parse(text.str());
+}
+
+bool
+isCacheEntry(const minijson::Value &root)
+{
+    return root.has("schema") &&
+           root.at("schema").str == "smartref-result-cache-v1";
+}
+
+minijson::Value
+loadLedger(const std::string &path)
+{
+    minijson::Value root = loadJsonFile(path);
+    if (isCacheEntry(root))
+        SMARTREF_FATAL("'", path,
+                       "' is a sweep result-cache entry; diff entries "
+                       "with smartref_statdiff instead");
     if (!root.has("schema") ||
         root.at("schema").str != "smartref-ledger-v1") {
         SMARTREF_FATAL("'", path,
@@ -176,10 +200,46 @@ loadLedger(const std::string &path)
     return root;
 }
 
-std::string
-fmtJoules(double j)
+/**
+ * Summary of one content-addressed sweep result-cache entry: the key,
+ * the grid point it memoizes, and the headline baseline-vs-policy
+ * metrics (the full-precision payload is for smartref_statdiff).
+ */
+void
+inspectCacheEntry(const minijson::Value &root)
 {
-    return fmtDouble(j * 1e3, 6) + " mJ";
+    const minijson::Value &p = root.at("point");
+    std::cout << "result-cache entry: key " << root.at("key").str << "\n"
+              << "point: config=" << p.at("config").str
+              << " benchmark=" << p.at("benchmark").str
+              << " policy=" << p.at("policy").str << " counterBits="
+              << static_cast<long>(p.at("counterBits").number)
+              << " retentionMs="
+              << static_cast<long>(p.at("retentionMs").number)
+              << " parallelism=" << p.at("parallelism").str << "\n"
+              << "seed: " << root.at("seed").str << "\n"
+              << "canonical: " << root.at("canonical").str << "\n";
+
+    const minijson::Value &cmp = root.at("comparison");
+    ReportTable table({"run", "policy", "refreshes/s", "refreshEnergy",
+                       "totalEnergy", "avgLatencyNs"});
+    for (const char *side : {"baseline", "smart"}) {
+        const minijson::Value &r = cmp.at(side);
+        table.addRow({side, r.at("policy").str,
+                      fmtDouble(r.at("refreshesPerSec").number, 0),
+                      fmtJoules(r.at("refreshEnergyJ").number),
+                      fmtJoules(r.at("totalEnergyJ").number),
+                      fmtDouble(r.at("avgLatencyNs").number, 2)});
+    }
+    std::cout << "\n=== memoized comparison ===\n";
+    table.print(std::cout);
+
+    const double baseRate =
+        cmp.at("baseline").at("refreshesPerSec").number;
+    const double smartRate = cmp.at("smart").at("refreshesPerSec").number;
+    if (baseRate > 0.0)
+        std::cout << "refresh reduction: "
+                  << fmtPercent(1.0 - smartRate / baseRate) << "\n";
 }
 
 /** Outcome (and source) histogram of the matching records. */
@@ -593,11 +653,22 @@ main(int argc, char **argv)
             return diffLedgers(loadLedger(files[0]),
                                loadLedger(files[1]));
         }
-        if (auditA)
+        if (auditA) {
             inspectAudit(loadAudit(files[0]), filters, top, records,
                          histogramOnly);
-        else
-            inspectLedger(loadLedger(files[0]), filters, top);
+            return 0;
+        }
+        const minijson::Value root = loadJsonFile(files[0]);
+        if (isCacheEntry(root)) {
+            inspectCacheEntry(root);
+            return 0;
+        }
+        if (!root.has("schema") ||
+            root.at("schema").str != "smartref-ledger-v1")
+            SMARTREF_FATAL("'", files[0],
+                           "' is neither an audit trail, a ledger, nor "
+                           "a result-cache entry");
+        inspectLedger(root, filters, top);
         return 0;
     } catch (const std::exception &e) {
         std::cerr << "smartref_inspect: " << e.what() << "\n";

@@ -10,23 +10,32 @@
  * drift (ci/golden_tolerances.json).
  *
  * Usage:
- *   smartref_statdiff A.json B.json
+ *   smartref_statdiff A B
  *                     [--tolerances FILE]  per-metric tolerance table
  *                     [--subset]           metrics only in B are OK
  *                     [--json-out FILE]    machine verdict JSON
+ *                     [--cache-dir DIR]    result cache for cache refs
  *                     [--quiet]            suppress the human report
  *                     [--version]          print the provenance block
+ *
+ * Each operand is a JSON file path, or a reference into the
+ * content-addressed sweep result cache: `cache:<key-prefix>` or a bare
+ * unique hex key prefix (when no file of that name exists). Cache refs
+ * resolve against --cache-dir (default: the same SMARTREF_CACHE_DIR /
+ * XDG_CACHE_HOME / ~/.cache/smartref chain as smartref_sweep).
  *
  * Exit codes: 0 = within tolerance, 1 = differences found,
  *             2 = usage or I/O error.
  */
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "harness/result_cache.hh"
 #include "harness/statdiff.hh"
 #include "sim/provenance.hh"
 
@@ -38,9 +47,52 @@ int
 usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
-              << " A.json B.json [--tolerances FILE] [--subset]"
-                 " [--json-out FILE] [--quiet]\n";
+              << " A B [--tolerances FILE] [--subset]"
+                 " [--json-out FILE] [--cache-dir DIR] [--quiet]\n"
+                 "  A/B: stats/sweep JSON path, cache:<key-prefix>, or "
+                 "a bare unique hex key prefix\n";
     return 2;
+}
+
+bool
+isHexPrefix(const std::string &s)
+{
+    return !s.empty() && s.size() <= 16 &&
+           s.find_first_not_of("0123456789abcdef") == std::string::npos;
+}
+
+/**
+ * Turn an operand into a readable JSON path. `cache:<prefix>` always
+ * resolves through the cache; a bare operand resolves through the
+ * cache only when it is not an existing file but looks like a hex key
+ * prefix. Throws std::runtime_error on no / ambiguous matches.
+ */
+std::string
+resolveOperand(const std::string &operand, const std::string &cacheDir)
+{
+    const bool explicitRef = operand.rfind("cache:", 0) == 0;
+    const std::string prefix =
+        explicitRef ? operand.substr(6) : operand;
+    if (!explicitRef &&
+        (std::filesystem::exists(operand) || !isHexPrefix(prefix)))
+        return operand;
+    if (!isHexPrefix(prefix))
+        throw std::runtime_error("bad cache key prefix '" + prefix +
+                                 "' (lowercase hex, at most 16 digits)");
+    ResultCache cache(cacheDir);
+    const std::vector<std::string> matches = cache.matchPrefix(prefix);
+    if (matches.empty())
+        throw std::runtime_error("no cache entry matches '" + prefix +
+                                 "' in '" + cacheDir + "'");
+    if (matches.size() > 1) {
+        std::string msg = "ambiguous cache prefix '" + prefix +
+                          "' matches " +
+                          std::to_string(matches.size()) + " keys:";
+        for (const auto &m : matches)
+            msg += "\n  " + m;
+        throw std::runtime_error(msg);
+    }
+    return cache.entryPath(matches[0]);
 }
 
 } // namespace
@@ -51,17 +103,24 @@ main(int argc, char **argv)
     std::vector<std::string> files;
     std::string tolerancesPath;
     std::string jsonOutPath;
+    std::string cacheDir = ResultCache::defaultDir();
     bool subset = false;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--tolerances" || arg == "--json-out") {
+        if (arg == "--tolerances" || arg == "--json-out" ||
+            arg == "--cache-dir") {
             if (i + 1 >= argc) {
                 std::cerr << arg << " needs a value\n";
                 return usage(argv[0]);
             }
-            (arg == "--tolerances" ? tolerancesPath : jsonOutPath) =
-                argv[++i];
+            const std::string value = argv[++i];
+            if (arg == "--tolerances")
+                tolerancesPath = value;
+            else if (arg == "--json-out")
+                jsonOutPath = value;
+            else
+                cacheDir = value;
         } else if (arg == "--subset") {
             subset = true;
         } else if (arg == "--quiet") {
@@ -86,8 +145,8 @@ main(int argc, char **argv)
         DiffTolerances tolerances;
         if (!tolerancesPath.empty())
             tolerances = loadTolerances(tolerancesPath);
-        const auto a = loadMetrics(files[0]);
-        const auto b = loadMetrics(files[1]);
+        const auto a = loadMetrics(resolveOperand(files[0], cacheDir));
+        const auto b = loadMetrics(resolveOperand(files[1], cacheDir));
         const DiffResult result = diffMetrics(a, b, tolerances, subset);
         if (!quiet)
             writeDiffReport(std::cout, result);

@@ -34,6 +34,18 @@
  *                  [--parallelism A,B,..] override the grid's refresh
  *                                        parallelism axis (none, refpb,
  *                                        darp, sarp, all)
+ *                  [--cache-dir DIR]     content-addressed result cache:
+ *                                        only cache misses are simulated,
+ *                                        aggregates stay byte-identical
+ *                  [--incremental]       shorthand: cache at the default
+ *                                        directory (SMARTREF_CACHE_DIR /
+ *                                        XDG_CACHE_HOME/smartref /
+ *                                        ~/.cache/smartref)
+ *                  [--cache-verify]      recompute every hit and fail
+ *                                        unless the stored result is
+ *                                        bit-identical
+ *                  [--cache-max-mb N]    LRU-prune the cache to N MB
+ *                                        after the sweep
  *                  [--seed S] [--seed-mode derived|fixed]
  *                  [--warmup-ms N] [--measure-ms N] [--segments N]
  *                  [--no-auto] [--progress]
@@ -54,6 +66,7 @@
 
 #include "harness/cli.hh"
 #include "harness/report.hh"
+#include "harness/result_cache.hh"
 #include "harness/sweep.hh"
 #include "harness/sweep_telemetry.hh"
 #include "sim/provenance.hh"
@@ -62,86 +75,6 @@
 using namespace smartref;
 
 namespace {
-
-struct NamedGrid
-{
-    const char *name;
-    const char *description;
-    SweepGrid grid;
-};
-
-/**
- * The predefined grids. "figures" reproduces every paper figure in one
- * run; "smoke" is the reduced grid CI's determinism gate uses.
- */
-std::vector<NamedGrid>
-predefinedGrids()
-{
-    std::vector<NamedGrid> grids;
-    grids.push_back({"smoke",
-                     "reduced CI grid: 2 configs x 3 benchmarks",
-                     {"smoke",
-                      {"2gb", "3d64"},
-                      {"mummer", "gcc", "radix"},
-                      {"smart"},
-                      {3},
-                      {0}}});
-    grids.push_back({"2gb", "full suite on the 2 GB module (Figs. 6-8)",
-                     {"2gb", {"2gb"}, {"all"}, {"smart"}, {3}, {0}}});
-    grids.push_back({"4gb", "full suite on the 4 GB module (Figs. 9-11)",
-                     {"4gb", {"4gb"}, {"all"}, {"smart"}, {3}, {0}}});
-    grids.push_back(
-        {"3d64", "full suite, 3D 64 MB cache at 64 ms (Figs. 12-14)",
-         {"3d64", {"3d64"}, {"all"}, {"smart"}, {3}, {0}}});
-    grids.push_back(
-        {"3d64-32ms", "full suite, 3D 64 MB at 32 ms (Figs. 15-18)",
-         {"3d64-32ms", {"3d64-32ms"}, {"all"}, {"smart"}, {3}, {0}}});
-    grids.push_back({"3d32", "full suite on the 3D 32 MB cache",
-                     {"3d32", {"3d32"}, {"all"}, {"smart"}, {3}, {0}}});
-    grids.push_back(
-        {"figures", "every paper-figure config in one run (Figs. 6-18)",
-         {"figures",
-          {"2gb", "4gb", "3d64", "3d64-32ms"},
-          {"all"},
-          {"smart"},
-          {3},
-          {0}}});
-    grids.push_back({"bits",
-                     "counter-width ablation on the 2 GB module",
-                     {"bits",
-                      {"2gb"},
-                      {"all"},
-                      {"smart"},
-                      {1, 2, 3, 4, 8},
-                      {0}}});
-    grids.push_back({"policies",
-                     "policy comparison on the 2 GB module",
-                     {"policies",
-                      {"2gb"},
-                      {"all"},
-                      {"burst", "ras-only", "per-bank", "smart",
-                       "retention-aware"},
-                      {3},
-                      {0}}});
-    grids.push_back({"policy-grid",
-                     "refresh-parallelism x policy smoke grid (CI gate)",
-                     {"policy-grid",
-                      {"2gb"},
-                      {"mummer", "radix"},
-                      {"cbr", "smart"},
-                      {3},
-                      {0},
-                      {"none", "refpb", "darp", "sarp", "all"}}});
-    grids.push_back({"server",
-                     "multi-channel server modules, 128-512 GB",
-                     {"server",
-                      {"128gb", "256gb", "512gb"},
-                      {"mummer", "radix"},
-                      {"smart"},
-                      {3},
-                      {0}}});
-    return grids;
-}
 
 void
 listGrids()
@@ -181,18 +114,7 @@ resolveGrid(const CliArgs &args)
     if (args.has("grid-file")) {
         grid = loadSweepGrid(args.getString("grid-file"));
     } else {
-        const std::string name = args.getString("grid", "smoke");
-        bool found = false;
-        for (const auto &g : predefinedGrids()) {
-            if (name == g.name) {
-                grid = g.grid;
-                found = true;
-                break;
-            }
-        }
-        if (!found)
-            SMARTREF_FATAL("unknown grid '", name,
-                           "' (see --list-grids, or use --grid-file)");
+        grid = predefinedGridByName(args.getString("grid", "smoke"));
     }
     if (args.has("parallelism")) {
         grid.parallelism = splitCommas(args.getString("parallelism"));
@@ -210,7 +132,8 @@ resolveGrid(const CliArgs &args)
 void
 writeTiming(const std::string &path, const SweepGrid &grid,
             const SweepRunOptions &opts, double wallSeconds,
-            const std::vector<SweepJobResult> &results)
+            const std::vector<SweepJobResult> &results,
+            const ResultCache *cache)
 {
     double jobSeconds = 0.0;
     for (const auto &r : results)
@@ -232,8 +155,17 @@ writeTiming(const std::string &path, const SweepGrid &grid,
         << ",\"parallelEfficiency\":"
         << (wallSeconds > 0.0 && opts.jobs > 0
                 ? jobSeconds / (wallSeconds * opts.jobs)
-                : 0.0)
-        << "}\n";
+                : 0.0);
+    if (cache) {
+        const ResultCacheStats cs = cache->stats();
+        out << ",\"cache\":{\"hits\":" << cs.hits
+            << ",\"misses\":" << cs.misses
+            << ",\"corrupt\":" << cs.corrupt
+            << ",\"stores\":" << cs.stores
+            << ",\"evictions\":" << cs.evictions
+            << ",\"verified\":" << cs.verified << "}";
+    }
+    out << "}\n";
 }
 
 } // namespace
@@ -274,6 +206,20 @@ main(int argc, char **argv)
     else if (seedMode != "derived")
         SMARTREF_FATAL("unknown --seed-mode '", seedMode,
                        "' (derived, fixed)");
+
+    // The cache is opt-in: --cache-dir names it explicitly,
+    // --incremental and --cache-verify imply the default location.
+    std::unique_ptr<ResultCache> cache;
+    if (args.has("cache-dir") || args.has("incremental") ||
+        args.has("cache-verify")) {
+        cache = std::make_unique<ResultCache>(
+            args.getString("cache-dir", ResultCache::defaultDir()));
+        opts.cache = cache.get();
+        opts.cacheVerify = args.has("cache-verify");
+    } else if (args.has("cache-max-mb")) {
+        SMARTREF_FATAL("--cache-max-mb needs --cache-dir or "
+                       "--incremental");
+    }
 
     const std::string outDir = args.getString("out-dir", ".");
     std::filesystem::create_directories(outDir);
@@ -339,9 +285,26 @@ main(int argc, char **argv)
         }
     }
 
+    if (cache) {
+        if (args.has("cache-max-mb"))
+            cache->pruneToBytes(args.getU64("cache-max-mb", 0) * 1024 *
+                                1024);
+        const ResultCacheStats cs = cache->stats();
+        std::cerr << "cache '" << cache->dir() << "': " << cs.hits
+                  << " hit(s), " << cs.misses << " miss(es)";
+        if (cs.corrupt)
+            std::cerr << " (" << cs.corrupt << " corrupt)";
+        std::cerr << ", " << cs.stores << " store(s)";
+        if (cs.evictions)
+            std::cerr << ", " << cs.evictions << " evicted";
+        if (opts.cacheVerify)
+            std::cerr << ", " << cs.verified << " verified";
+        std::cerr << std::endl;
+    }
+
     if (args.has("timing"))
         writeTiming(args.getString("timing"), grid, opts, wallSeconds,
-                    results);
+                    results, cache.get());
 
     const std::uint64_t violations = totalViolations(results);
     if (violations > 0) {
