@@ -8,6 +8,7 @@
 #include <system_error>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/mini_json.hh"
 #include "sim/provenance.hh"
 
@@ -128,6 +129,7 @@ ResultCache::lookup(const ResultCacheKey &key, SweepJobResult &out)
     {
         std::ifstream in(path, std::ios::binary);
         if (!in) {
+            SMARTREF_METRIC_INC("result_cache.miss_absent");
             std::lock_guard<std::mutex> lk(mu_);
             ++stats_.misses;
             return false;
@@ -139,10 +141,16 @@ ResultCache::lookup(const ResultCacheKey &key, SweepJobResult &out)
     // Any defect — truncation, garbage, wrong schema, a key collision
     // on the file name — downgrades to a miss; the recompute will
     // overwrite the bad entry.
+    // Both defect classes land in the `corrupt` stat (that field's
+    // contract predates the metrics layer); only the metrics counters
+    // tell schema drift apart from truncation/garbage.
+    const char *missCause = "result_cache.miss_corrupt";
     try {
         const minijson::Value root = minijson::parse(text);
-        if (root.at("schema").str != kEntrySchema)
+        if (root.at("schema").str != kEntrySchema) {
+            missCause = "result_cache.miss_schema";
             throw std::runtime_error("schema mismatch");
+        }
         if (root.at("key").str != key.hex ||
             root.at("canonical").str != key.canonical)
             throw std::runtime_error("key mismatch");
@@ -155,6 +163,10 @@ ResultCache::lookup(const ResultCacheKey &key, SweepJobResult &out)
         r.cached = true;
         out = std::move(r);
     } catch (const std::exception &) {
+        // missCause is a variable, so resolve the handle explicitly
+        // rather than through the literal-name macro.
+        if (kMetricsCompiledIn && metricsEnabled())
+            globalMetrics().counter(missCause).add(1);
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.misses;
         ++stats_.corrupt;
@@ -163,6 +175,7 @@ ResultCache::lookup(const ResultCacheKey &key, SweepJobResult &out)
     // Approximate LRU for pruneToBytes: a hit refreshes the mtime.
     std::error_code ec;
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    SMARTREF_METRIC_INC("result_cache.hits");
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.hits;
     return true;
@@ -207,6 +220,8 @@ ResultCache::store(const ResultCacheKey &key, const SweepJob &job,
         std::lock_guard<std::mutex> lk(mu_);
         serial = ++stats_.stores;
     }
+    SMARTREF_METRIC_INC("result_cache.stores");
+    SMARTREF_METRIC_ADD("result_cache.store_bytes", body.str().size());
     const std::string tmp = path + ".tmp." +
                             std::to_string(processId()) + "." +
                             std::to_string(serial);
@@ -275,6 +290,7 @@ ResultCache::pruneToBytes(std::uint64_t maxBytes)
             ++evicted;
         }
     }
+    SMARTREF_METRIC_ADD("result_cache.evictions", evicted);
     std::lock_guard<std::mutex> lk(mu_);
     stats_.evictions += evicted;
     return evicted;
@@ -283,6 +299,7 @@ ResultCache::pruneToBytes(std::uint64_t maxBytes)
 void
 ResultCache::countVerified()
 {
+    SMARTREF_METRIC_INC("result_cache.verified");
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.verified;
 }

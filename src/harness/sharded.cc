@@ -1,9 +1,11 @@
 #include "harness/sharded.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "dram/energy_ledger.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/provenance.hh"
 #include "sim/thread_pool.hh"
 
@@ -91,11 +93,42 @@ ShardedSystem::forEachChannel(const Body &body)
 void
 ShardedSystem::run(Tick duration)
 {
+    using clock = std::chrono::steady_clock;
+    const bool timed = kMetricsCompiledIn && metricsEnabled();
+    std::vector<std::int64_t> channelNs(timed ? channels_ : 0);
     Tick advanced = 0;
     while (advanced < duration) {
         const Tick step = std::min<Tick>(epoch_, duration - advanced);
-        forEachChannel(
-            [this, step](std::size_t c) { shards_[c].sys->run(step); });
+        if (!timed) {
+            forEachChannel(
+                [this, step](std::size_t c) { shards_[c].sys->run(step); });
+        } else {
+            // Per-channel wall per epoch: each worker writes its own
+            // slot, so the timing adds no synchronisation. A channel's
+            // "lag" is how long it idled at the epoch barrier waiting
+            // for the slowest sibling — large sustained lag means the
+            // channel shards are imbalanced.
+            const auto epochStart = clock::now();
+            forEachChannel([this, step, &channelNs](std::size_t c) {
+                const auto t0 = clock::now();
+                shards_[c].sys->run(step);
+                channelNs[c] =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clock::now() - t0)
+                        .count();
+            });
+            const std::int64_t epochNs =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - epochStart)
+                    .count();
+            SMARTREF_METRIC_INC("sharded.epochs");
+            for (std::size_t c = 0; c < channels_; ++c) {
+                [[maybe_unused]] const std::int64_t lag =
+                    epochNs - channelNs[c];
+                SMARTREF_METRIC_OBSERVE("sharded.epoch_lag_ns",
+                                        lag > 0 ? lag : 0);
+            }
+        }
         advanced += step;
     }
 }
@@ -179,6 +212,19 @@ ShardedSystem::mergeObservers()
 {
     SMARTREF_ASSERT(!merged_, "observers already merged");
     merged_ = true;
+    const auto mergeStart = std::chrono::steady_clock::now();
+    struct MergeTimer
+    {
+        std::chrono::steady_clock::time_point start;
+        ~MergeTimer()
+        {
+            SMARTREF_METRIC_OBSERVE(
+                "sharded.merge_ns",
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+        }
+    } mergeTimer{mergeStart};
 
     if (cfg_.heatmap) {
         for (const Shard &s : shards_)

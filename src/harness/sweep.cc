@@ -18,6 +18,7 @@
 #include "harness/system.hh"
 #include "harness/threed_system.hh"
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/phase_profiler.hh"
 #include "sim/provenance.hh"
 #include "sim/thread_pool.hh"
@@ -210,6 +211,7 @@ runSweep(const SweepGrid &grid, const SweepRunOptions &opts)
                 if (!opts.cache->lookup(keys[i], results[i]))
                     continue;
                 hit[i] = 1;
+                SMARTREF_METRIC_INC("sweep.jobs_cached");
                 // Entries store the point and seed, not the grid index:
                 // re-stamp the grid-local job.
                 results[i].job = jobs[i];
@@ -237,12 +239,21 @@ runSweep(const SweepGrid &grid, const SweepRunOptions &opts)
             continue;
         pending.push_back(i);
     }
+    SMARTREF_METRIC_ADD("sweep.jobs_scheduled", pending.size());
 
     const auto runOne = [&](std::size_t k) {
         const std::size_t i = pending[k];
         if (opts.telemetry)
             opts.telemetry->jobStart(jobs[i]);
-        SweepJobResult fresh = runSweepJob(jobs[i], opts);
+        SweepJobResult fresh;
+        try {
+            fresh = runSweepJob(jobs[i], opts);
+        } catch (...) {
+            SMARTREF_METRIC_INC("sweep.jobs_failed");
+            throw;
+        }
+        SMARTREF_METRIC_OBSERVE("sweep.job_wall_us",
+                                fresh.wallSeconds * 1e6);
         if (opts.cache) {
             if (hit[i]) {
                 // cacheVerify: the stored result must be bit-equal to
@@ -252,12 +263,14 @@ runSweep(const SweepGrid &grid, const SweepRunOptions &opts)
                     ResultCache::comparisonJson(results[i].comparison);
                 const std::string recomputed =
                     ResultCache::comparisonJson(fresh.comparison);
-                if (stored != recomputed)
+                if (stored != recomputed) {
+                    SMARTREF_METRIC_INC("result_cache.verify_failures");
                     SMARTREF_FATAL(
                         "cache verify failed for '",
                         pointKey(jobs[i].point), "' (key ", keys[i].hex,
                         "):\n  cached: ", stored,
                         "\n  fresh:  ", recomputed);
+                }
                 opts.cache->countVerified();
                 fresh.cached = true; // served (and verified) from cache
             } else {

@@ -67,6 +67,22 @@ SweepTelemetry::elapsed() const
 }
 
 void
+SweepTelemetry::setTraceId(const std::string &traceId)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    traceJson_ = traceId.empty()
+                     ? std::string()
+                     : ",\"traceId\":\"" + escaped(traceId) + "\"";
+}
+
+std::string
+SweepTelemetry::traceSuffix()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return traceJson_;
+}
+
+void
 SweepTelemetry::emitLine(const std::string &line)
 {
     std::lock_guard<std::mutex> lk(mu_);
@@ -85,7 +101,7 @@ SweepTelemetry::sweepStart(const std::string &gridName,
          << ",\"jobs\":" << jobCount << ",\"workers\":" << workers;
     if (!metaJson.empty())
         line << ",\"meta\":" << metaJson;
-    line << "}";
+    line << traceSuffix() << "}";
     {
         std::lock_guard<std::mutex> lk(mu_);
         jobCount_ = jobCount;
@@ -100,7 +116,7 @@ SweepTelemetry::jobStart(const SweepJob &job)
     std::ostringstream line;
     line << "{\"event\":\"job_start\",\"t\":" << num(elapsed())
          << ",\"index\":" << job.index << ",\"point\":\""
-         << escaped(pointKey(job.point)) << "\"}";
+         << escaped(pointKey(job.point)) << "\"" << traceSuffix() << "}";
     emitLine(line.str());
 }
 
@@ -143,7 +159,7 @@ SweepTelemetry::jobFinish(const SweepJobResult &result)
          << ",\"peakRssKb\":" << peakRssKb();
     if (!result.profileJson.empty())
         line << ",\"phases\":" << result.profileJson;
-    line << "}";
+    line << traceJson_ << "}"; // mu_ already held
     *os_ << line.str() << '\n';
     os_->flush(); // line-by-line so `tail -f` follows a live sweep
 }
@@ -171,7 +187,7 @@ SweepTelemetry::sweepFinish(double wallSeconds,
              << ",\"evictions\":" << cache->evictions
              << ",\"verified\":" << cache->verified << "}";
     }
-    line << "}";
+    line << traceSuffix() << "}";
     emitLine(line.str());
 }
 

@@ -1,0 +1,469 @@
+#include "harness/sweepd_service.hh"
+
+#include <algorithm>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "harness/sweep_telemetry.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/mini_json.hh"
+#include "sim/provenance.hh"
+#include "sim/suggest.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace fs = std::filesystem;
+
+namespace smartref {
+
+namespace {
+
+long
+processId()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    return static_cast<long>(::getpid());
+#else
+    return 0;
+#endif
+}
+
+std::int64_t
+unixMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+seedValue(const minijson::Value &v)
+{
+    // Seeds are 64-bit; JSON numbers are doubles, so large seeds must
+    // be strings ("17388960893229350514"). Accept both spellings.
+    if (v.isString())
+        return std::stoull(v.str);
+    return static_cast<std::uint64_t>(v.number);
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        SMARTREF_FATAL("cannot read '", path.string(), "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Cache counters attributable to one request: after minus before. */
+ResultCacheStats
+statsDelta(const ResultCacheStats &after, const ResultCacheStats &before)
+{
+    ResultCacheStats d;
+    d.hits = after.hits - before.hits;
+    d.misses = after.misses - before.misses;
+    d.corrupt = after.corrupt - before.corrupt;
+    d.stores = after.stores - before.stores;
+    d.evictions = after.evictions - before.evictions;
+    d.verified = after.verified - before.verified;
+    return d;
+}
+
+std::string
+cacheJson(const ResultCacheStats &c)
+{
+    std::ostringstream oss;
+    oss << "{\"hits\":" << c.hits << ",\"misses\":" << c.misses
+        << ",\"corrupt\":" << c.corrupt << ",\"stores\":" << c.stores
+        << ",\"evictions\":" << c.evictions
+        << ",\"verified\":" << c.verified << "}";
+    return oss.str();
+}
+
+void
+writeStatus(const fs::path &dir, const std::string &status,
+            const std::string &error, double wallSeconds,
+            std::size_t jobCount, std::uint64_t violations,
+            const ResultCacheStats *cache, const std::string &traceId)
+{
+    std::ofstream out(dir / "status.json");
+    RunMeta meta;
+    meta.schema = "smartref-sweepd-status-v1";
+    meta.traceId = traceId;
+    out << "{\"schema\":\"smartref-sweepd-status-v1\""
+        << ",\"meta\":" << metaJson(meta) << ",\"status\":\"" << status
+        << "\"";
+    if (!error.empty())
+        out << ",\"error\":\"" << jsonEscape(error) << "\"";
+    if (!traceId.empty())
+        out << ",\"traceId\":\"" << jsonEscape(traceId) << "\"";
+    out << ",\"wallSeconds\":" << wallSeconds
+        << ",\"jobCount\":" << jobCount
+        << ",\"violations\":" << violations;
+    if (cache)
+        out << ",\"cache\":" << cacheJson(*cache);
+    out << "}\n";
+}
+
+/** Number of entries in `dir` satisfying `pred` (0 when unreadable). */
+template <typename Pred>
+std::size_t
+countEntries(const fs::path &dir, const Pred &pred)
+{
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec))
+        if (pred(entry))
+            ++n;
+    return n;
+}
+
+} // namespace
+
+SweepdRequest
+parseSweepdRequest(const std::string &text,
+                   const SweepRunOptions &defaults)
+{
+    const minijson::Value root = minijson::parse(text);
+    if (!root.isObject())
+        SMARTREF_FATAL("request must be a JSON object");
+
+    SweepdRequest req;
+    req.opts = defaults;
+    bool haveGrid = false;
+    for (const auto &[key, value] : root.object) {
+        if (key == "grid") {
+            req.grid = sweepGridFromJson(value);
+            haveGrid = true;
+        } else if (key == "gridName") {
+            req.grid = predefinedGridByName(value.str);
+            haveGrid = true;
+        } else if (key == "warmupMs") {
+            req.opts.warmup =
+                static_cast<Tick>(value.number) * kMillisecond;
+        } else if (key == "measureMs") {
+            req.opts.measure =
+                static_cast<Tick>(value.number) * kMillisecond;
+        } else if (key == "segments") {
+            req.opts.segments = static_cast<std::uint32_t>(value.number);
+        } else if (key == "seed") {
+            req.opts.baseSeed = seedValue(value);
+        } else if (key == "seedMode") {
+            if (value.str == "fixed")
+                req.opts.seedMode = SeedMode::Fixed;
+            else if (value.str == "derived")
+                req.opts.seedMode = SeedMode::Derived;
+            else
+                SMARTREF_FATAL("unknown seedMode '", value.str,
+                               "' (derived, fixed)");
+        } else if (key == "autoReconfigure") {
+            req.opts.autoReconfigure = value.boolean;
+        } else if (key == "sparseCounters") {
+            req.opts.sparseCounters = value.boolean;
+        } else if (key == "traceId") {
+            req.traceId = value.str;
+        } else {
+            SMARTREF_FATAL(
+                "unknown request member '", key, "'",
+                didYouMean(key,
+                           {"grid", "gridName", "warmupMs", "measureMs",
+                            "segments", "seed", "seedMode",
+                            "autoReconfigure", "sparseCounters",
+                            "traceId"}));
+        }
+    }
+    if (!haveGrid)
+        SMARTREF_FATAL("request needs a 'grid' or 'gridName' member");
+    return req;
+}
+
+SweepdService::SweepdService(const SweepdConfig &cfg)
+    : cfg_(cfg),
+      cache_(cfg.cacheDir.empty() ? ResultCache::defaultDir()
+                                  : cfg.cacheDir),
+      incoming_(fs::path(cfg.queueDir) / "incoming"),
+      work_(fs::path(cfg.queueDir) / "work"),
+      done_(fs::path(cfg.queueDir) / "done"),
+      failed_(fs::path(cfg.queueDir) / "failed"),
+      daemon_(fs::path(cfg.queueDir) / "daemon"),
+      start_(std::chrono::steady_clock::now()),
+      lastPollUnixMs_(unixMs())
+{
+    if (cfg.queueDir.empty())
+        SMARTREF_FATAL("sweepd needs a queue directory");
+    for (const fs::path &d : {incoming_, work_, done_, failed_, daemon_})
+        fs::create_directories(d);
+    writeHealth();
+}
+
+bool
+SweepdService::claimNext(fs::path &claimed)
+{
+    std::vector<fs::path> candidates;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(incoming_, ec)) {
+        if (entry.path().extension() == ".json")
+            candidates.push_back(entry.path());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const fs::path &c : candidates) {
+        const fs::path target = work_ / c.filename();
+        fs::rename(c, target, ec);
+        if (!ec) {
+            claimed = target;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+SweepdService::deriveTraceId(const std::string &stem)
+{
+    // Request-scoped, collision-resistant, deliberately
+    // non-deterministic: every carrier of a trace ID is already
+    // outside the byte-identity contract.
+    return hex64(fnv1a64(stem + ";" + std::to_string(++traceSeq_) + ";" +
+                         std::to_string(unixMs()) + ";" +
+                         std::to_string(processId())));
+}
+
+void
+SweepdService::logAccess(const std::string &line)
+{
+    std::ofstream out(daemon_ / "access.ndjson",
+                      std::ios::binary | std::ios::app);
+    if (out) {
+        out << line << "\n";
+        out.flush();
+    }
+}
+
+bool
+SweepdService::processOne(const fs::path &workFile)
+{
+    const std::string stem = workFile.stem().string();
+    const ResultCacheStats before = cache_.stats();
+    const auto start = std::chrono::steady_clock::now();
+    const auto wall = [&start] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+    ++inFlight_;
+    writeHealth();
+
+    // Stage every artifact next to the claimed request; the finished
+    // directory is renamed into done/ or failed/ as the final act, so
+    // a mid-run failure never leaves partials in a terminal state dir.
+    const fs::path staging = work_ / (stem + ".out");
+    std::error_code ec;
+    fs::remove_all(staging, ec);
+    fs::create_directories(staging);
+
+    std::string traceId = deriveTraceId(stem);
+    std::string error;
+    std::size_t jobCount = 0;
+    std::uint64_t violations = 0;
+
+    SweepdRequest req;
+    bool parsed = false;
+    try {
+        req = parseSweepdRequest(readFile(workFile), cfg_.defaults);
+        if (!req.traceId.empty())
+            traceId = req.traceId;
+        parsed = true;
+    } catch (const std::exception &e) {
+        error = e.what();
+    }
+
+    const std::string idFields = "\"request\":\"" + jsonEscape(stem) +
+                                 "\",\"traceId\":\"" +
+                                 jsonEscape(traceId) + "\"";
+    logAccess("{\"event\":\"received\",\"unixMs\":" +
+              std::to_string(unixMs()) + "," + idFields + ",\"file\":\"" +
+              jsonEscape(workFile.string()) + "\"}");
+    logAccess("{\"event\":\"claimed\",\"unixMs\":" +
+              std::to_string(unixMs()) + "," + idFields + "}");
+
+    if (parsed) {
+        try {
+            req.opts.cache = &cache_;
+            SweepTelemetry telemetry(
+                (staging / "telemetry.ndjson").string());
+            telemetry.setTraceId(traceId);
+            req.opts.telemetry = &telemetry;
+            jobCount = expandGrid(req.grid, req.opts.baseSeed,
+                                  req.opts.seedMode)
+                           .size();
+            RunMeta meta;
+            meta.schema = "smartref-sweep-telemetry-v1";
+            meta.configHash = sweepConfigHash(req.grid, req.opts);
+            meta.seedMode = seedModeName(req.opts.seedMode);
+            meta.traceId = traceId;
+            telemetry.sweepStart(req.grid.name, jobCount, req.opts.jobs,
+                                 metaJson(meta));
+            logAccess("{\"event\":\"started\",\"unixMs\":" +
+                      std::to_string(unixMs()) + "," + idFields +
+                      ",\"grid\":\"" + jsonEscape(req.grid.name) +
+                      "\",\"jobs\":" + std::to_string(jobCount) + "}");
+
+            std::cerr << "sweepd: request '" << stem << "' grid '"
+                      << req.grid.name << "': " << jobCount << " job(s)"
+                      << std::endl;
+            const std::vector<SweepJobResult> results =
+                runSweep(req.grid, req.opts);
+
+            // The deterministic aggregates carry no trace ID: they
+            // must stay cmp-equal to the one-shot CLI's bytes.
+            writeSweepJson(req.grid, req.opts, results,
+                           (staging / "sweep.json").string());
+            writeSweepCsv(results, (staging / "sweep.csv").string());
+            violations = totalViolations(results);
+        } catch (const std::exception &e) {
+            error = e.what();
+        }
+    }
+
+    const ResultCacheStats delta = statsDelta(cache_.stats(), before);
+    const double elapsed = wall();
+    const std::string status =
+        !error.empty() ? "failed"
+                       : (violations ? "retention-violations" : "ok");
+    writeStatus(staging, status, error, elapsed, jobCount, violations,
+                &delta, traceId);
+    fs::rename(workFile, staging / "request.json", ec);
+
+    const fs::path target =
+        (error.empty() ? done_ : failed_) / stem;
+    fs::remove_all(target, ec); // a stale same-named result loses
+    fs::rename(staging, target, ec);
+    if (ec)
+        SMARTREF_WARN("cannot publish request '", stem, "' to '",
+                      target.string(), "': ", ec.message());
+
+    std::ostringstream fin;
+    fin << "{\"event\":\"" << (error.empty() ? "finished" : "failed")
+        << "\",\"unixMs\":" << unixMs() << "," << idFields
+        << ",\"status\":\"" << status << "\""
+        << ",\"wallSeconds\":" << elapsed
+        << ",\"jobCount\":" << jobCount << ",\"cache\":"
+        << cacheJson(delta);
+    if (!error.empty())
+        fin << ",\"error\":\"" << jsonEscape(error) << "\"";
+    fin << "}";
+    logAccess(fin.str());
+
+    if (error.empty()) {
+        SMARTREF_METRIC_INC("sweepd.requests_ok");
+        std::cerr << "sweepd: request '" << stem << "' done in "
+                  << elapsed << "s (" << delta.hits << " hit(s), "
+                  << delta.misses << " miss(es))" << std::endl;
+    } else {
+        SMARTREF_METRIC_INC("sweepd.requests_failed");
+        std::cerr << "sweepd: request '" << stem << "' failed: " << error
+                  << std::endl;
+    }
+    SMARTREF_METRIC_OBSERVE("sweepd.request_wall_us", elapsed * 1e6);
+
+    ++processed_;
+    const bool ok = error.empty() && violations == 0;
+    if (!ok)
+        ++failures_;
+    --inFlight_;
+    writeHealth();
+    return ok;
+}
+
+void
+SweepdService::notePoll()
+{
+    lastPollUnixMs_ = unixMs();
+    writeHealth();
+}
+
+void
+SweepdService::writeHealth()
+{
+    const auto isJson = [](const fs::directory_entry &e) {
+        return e.path().extension() == ".json";
+    };
+    const auto isDir = [](const fs::directory_entry &e) {
+        return e.is_directory();
+    };
+    RunMeta meta;
+    meta.schema = "smartref-sweepd-health-v1";
+
+    std::ostringstream body;
+    body << "{\"schema\":\"smartref-sweepd-health-v1\""
+         << ",\"meta\":" << metaJson(meta) << ",\"pid\":" << processId()
+         << ",\"uptimeSeconds\":"
+         << std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count()
+         << ",\"queue\":{\"incoming\":" << countEntries(incoming_, isJson)
+         << ",\"work\":" << countEntries(work_, isJson)
+         << ",\"done\":" << countEntries(done_, isDir)
+         << ",\"failed\":" << countEntries(failed_, isDir) << "}"
+         << ",\"requestsInFlight\":" << inFlight_
+         << ",\"processed\":" << processed_
+         << ",\"failures\":" << failures_
+         << ",\"lastPollUnixMs\":" << lastPollUnixMs_
+         << ",\"metrics\":" << globalMetrics().snapshotJson() << "}\n";
+
+    // tmp + rename so a concurrent reader never sees a partial file.
+    const fs::path path = daemon_ / "health.json";
+    const fs::path tmp =
+        daemon_ / ("health.json.tmp." + std::to_string(processId()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        out << body.str();
+        if (!out.flush())
+            return;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+
+    std::ofstream prom(daemon_ / "metrics.prom",
+                       std::ios::binary | std::ios::trunc);
+    if (prom)
+        globalMetrics().writePrometheus(prom);
+}
+
+void
+SweepdService::pruneCache()
+{
+    if (cfg_.cacheMaxMb)
+        cache_.pruneToBytes(cfg_.cacheMaxMb * 1024 * 1024);
+}
+
+} // namespace smartref

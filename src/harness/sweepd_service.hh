@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The sweepd daemon core, extracted from tools/smartref_sweepd.cpp so
+ * the queue protocol is unit-testable: request parsing, atomic claims,
+ * end-to-end request processing, and the operational surface
+ * (`<queue>/daemon/health.json`, the NDJSON access log, Prometheus
+ * exposition, request-scoped trace IDs).
+ *
+ * Failure-path contract (pinned by tests/test_sweepd_service.cpp):
+ * every artifact of a request is staged in `work/<stem>.out/` and the
+ * whole directory is renamed into `done/<stem>/` or `failed/<stem>/`
+ * as the final act, so neither terminal directory ever holds partial
+ * output, and `status.json` is always complete — status, error,
+ * elapsed wall, per-request cache-stats delta and trace ID — on both
+ * paths.
+ *
+ * Trace IDs: a request may carry `"traceId"` in request.json;
+ * otherwise the service derives one (stem + sequence + clock + pid —
+ * deliberately non-deterministic, like everything else it stamps).
+ * The ID is threaded through every telemetry line (SweepTelemetry::
+ * setTraceId), every access-log event and the status.json `meta`
+ * block, and never touches sweep.json/sweep.csv: those stay under the
+ * byte-identity contract and must remain `cmp`-equal to the one-shot
+ * CLI's output for the same grid.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "harness/result_cache.hh"
+#include "harness/sweep.hh"
+
+namespace smartref {
+
+/** One parsed queue request: grid, run-option overrides, trace ID. */
+struct SweepdRequest
+{
+    SweepGrid grid;
+    SweepRunOptions opts;
+    std::string traceId; ///< optional "traceId" member; empty = derive
+};
+
+/**
+ * Parse a request JSON (gridName-or-inline-grid plus option
+ * overrides). Unknown members are fatal with a did-you-mean, as are
+ * requests without a grid. Throws (std::runtime_error via
+ * SMARTREF_FATAL) rather than returning an error: the caller owns the
+ * failed/ bookkeeping.
+ */
+SweepdRequest parseSweepdRequest(const std::string &text,
+                                 const SweepRunOptions &defaults);
+
+/** Daemon configuration (one service instance per queue). */
+struct SweepdConfig
+{
+    std::string queueDir;            ///< required
+    std::string cacheDir;            ///< empty = ResultCache::defaultDir()
+    std::uint64_t cacheMaxMb = 0;    ///< 0 = never prune
+    SweepRunOptions defaults;        ///< per-request option baseline
+};
+
+/**
+ * The daemon engine: claims requests from `<queue>/incoming/`,
+ * processes them against the shared result cache, maintains
+ * `<queue>/daemon/{health.json,access.ndjson,metrics.prom}`.
+ * Not thread-safe: one service instance is one worker loop (scale out
+ * by running several daemons against the same queue — claims are
+ * atomic renames).
+ */
+class SweepdService
+{
+  public:
+    explicit SweepdService(const SweepdConfig &cfg);
+
+    /**
+     * Claim the alphabetically first request in incoming/ by renaming
+     * it into work/. Atomic, so several daemons can share one queue;
+     * losing a race just means trying the next file.
+     */
+    bool claimNext(std::filesystem::path &claimed);
+
+    /**
+     * Process one claimed request end to end. Returns true when the
+     * request succeeded with zero retention violations; parse errors
+     * and mid-run failures land in failed/ with a complete status.
+     */
+    bool processOne(const std::filesystem::path &workFile);
+
+    /** Stamp the last-poll time and rewrite the health surface. */
+    void notePoll();
+
+    /**
+     * Atomically rewrite `daemon/health.json` (uptime, queue depths,
+     * in-flight count, last poll, cumulative metrics snapshot) and
+     * `daemon/metrics.prom`.
+     */
+    void writeHealth();
+
+    /** LRU-prune the cache to cfg.cacheMaxMb (no-op when 0). */
+    void pruneCache();
+
+    ResultCache &cache() { return cache_; }
+    std::uint64_t processed() const { return processed_; }
+    std::uint64_t failures() const { return failures_; }
+
+    const std::filesystem::path &incomingDir() const { return incoming_; }
+    const std::filesystem::path &workDir() const { return work_; }
+    const std::filesystem::path &doneDir() const { return done_; }
+    const std::filesystem::path &failedDir() const { return failed_; }
+    const std::filesystem::path &daemonDir() const { return daemon_; }
+
+  private:
+    std::string deriveTraceId(const std::string &stem);
+    /** Append one event line to daemon/access.ndjson. */
+    void logAccess(const std::string &line);
+
+    SweepdConfig cfg_;
+    ResultCache cache_;
+    std::filesystem::path incoming_;
+    std::filesystem::path work_;
+    std::filesystem::path done_;
+    std::filesystem::path failed_;
+    std::filesystem::path daemon_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t processed_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t inFlight_ = 0;
+    std::uint64_t traceSeq_ = 0;
+    std::int64_t lastPollUnixMs_ = 0;
+};
+
+} // namespace smartref

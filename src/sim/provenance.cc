@@ -113,6 +113,8 @@ writeMetaJson(std::ostream &os, const RunMeta &run)
         os << ",\"peakRssBytes\":" << run.peakRssBytes;
     if (run.bytesPerSimulatedRow > 0.0)
         os << ",\"bytesPerSimulatedRow\":" << run.bytesPerSimulatedRow;
+    if (!run.traceId.empty())
+        os << ",\"traceId\":\"" << escaped(run.traceId) << "\"";
     os << "}";
 }
 

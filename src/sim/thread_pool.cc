@@ -1,9 +1,11 @@
 #include "sim/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "sim/logging.hh"
+#include "sim/metrics.hh"
 
 namespace smartref {
 
@@ -67,6 +69,7 @@ ThreadPool::enqueue(std::function<void()> task)
         std::lock_guard<std::mutex> lk(mu_);
         ++queued_;
         ++pending_;
+        SMARTREF_METRIC_SET("thread_pool.queue_depth", queued_);
     }
     if (tlsPool == this) {
         // Nested submit: LIFO on the submitting worker's own deque.
@@ -120,10 +123,20 @@ ThreadPool::tryGetTask(unsigned id, std::function<void()> &out)
     if (src != Source::None) {
         std::lock_guard<std::mutex> lk(mu_);
         --queued_;
+        SMARTREF_METRIC_SET("thread_pool.queue_depth", queued_);
         switch (src) {
-          case Source::Local: ++stats_.localPops; break;
-          case Source::External: ++stats_.externalPops; break;
-          case Source::Steal: ++stats_.steals; break;
+          case Source::Local:
+            ++stats_.localPops;
+            SMARTREF_METRIC_INC("thread_pool.local_pops");
+            break;
+          case Source::External:
+            ++stats_.externalPops;
+            SMARTREF_METRIC_INC("thread_pool.external_pops");
+            break;
+          case Source::Steal:
+            ++stats_.steals;
+            SMARTREF_METRIC_INC("thread_pool.steals");
+            break;
           case Source::None: break;
         }
     }
@@ -138,7 +151,18 @@ ThreadPool::workerLoop(unsigned id)
     for (;;) {
         std::function<void()> task;
         if (tryGetTask(id, task)) {
-            task();
+            if (kMetricsCompiledIn && metricsEnabled()) {
+                const auto t0 = std::chrono::steady_clock::now();
+                task();
+                [[maybe_unused]] const auto busy =
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                SMARTREF_METRIC_INC("thread_pool.tasks_executed");
+                SMARTREF_METRIC_ADD("thread_pool.busy_ns", busy);
+            } else {
+                task();
+            }
             std::lock_guard<std::mutex> lk(mu_);
             --pending_;
             if (pending_ == 0)
@@ -148,8 +172,10 @@ ThreadPool::workerLoop(unsigned id)
         std::unique_lock<std::mutex> lk(mu_);
         // queued_ > 0 with empty deques is a transient (another worker
         // popped but has not decremented yet); the retry loop absorbs it.
-        if (!stop_ && queued_ == 0)
+        if (!stop_ && queued_ == 0) {
             ++stats_.idleWaits;
+            SMARTREF_METRIC_INC("thread_pool.idle_waits");
+        }
         workCv_.wait(lk, [this] { return stop_ || queued_ > 0; });
         if (stop_ && queued_ == 0)
             return;

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Sweepd service tests: the queue protocol and the operational surface.
+ * The pinned contracts:
+ *
+ *  - request parsing: gridName/inline grid, option overrides, string
+ *    seeds, the optional traceId member, did-you-mean on unknown keys;
+ *
+ *  - failure-path completeness: BOTH the parse-failure and the
+ *    mid-run-failure paths land the request in failed/ with a complete
+ *    status.json (status, error, wallSeconds, jobCount, cache delta,
+ *    trace ID), and neither done/ nor failed/ ever holds partial
+ *    artifacts — everything is staged in work/<stem>.out/ and renamed
+ *    in one shot;
+ *
+ *  - trace IDs: the request's ID (or a derived one) appears in
+ *    status.json (meta + top level), every telemetry line, and every
+ *    access-log event of that request's lifecycle chain — and never in
+ *    sweep.json/sweep.csv;
+ *
+ *  - health surface: daemon/health.json carries the documented schema
+ *    with queue depths that match the directory state, plus an
+ *    embedded metrics snapshot; daemon/metrics.prom exists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/sweepd_service.hh"
+#include "sim/mini_json.hh"
+
+using namespace smartref;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Fresh queue + cache directories per test. */
+struct QueueFixture
+{
+    fs::path root;
+
+    explicit QueueFixture(const std::string &name)
+        : root(fs::path(testing::TempDir()) / ("smartref_" + name))
+    {
+        fs::remove_all(root);
+        fs::create_directories(root);
+    }
+
+    SweepdConfig
+    config() const
+    {
+        SweepdConfig cfg;
+        cfg.queueDir = (root / "queue").string();
+        cfg.cacheDir = (root / "cache").string();
+        cfg.defaults.warmup = 1 * kMillisecond;
+        cfg.defaults.measure = 2 * kMillisecond;
+        cfg.defaults.jobs = 2;
+        return cfg;
+    }
+
+    /** Drop a request into incoming/ the way a client would. */
+    fs::path
+    submit(const std::string &stem, const std::string &json) const
+    {
+        const fs::path path =
+            root / "queue" / "incoming" / (stem + ".json");
+        std::ofstream(path) << json;
+        return path;
+    }
+};
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty())
+            out.push_back(line);
+    return out;
+}
+
+/** A one-config one-benchmark grid the request can embed inline. */
+const char *kTinyRequest =
+    "{\"grid\":{\"name\":\"svc\",\"configs\":[\"2gb\"],"
+    "\"benchmarks\":[\"mummer\"],\"policies\":[\"smart\"],"
+    "\"counterBits\":[3],\"retentionMs\":[0]},"
+    "\"warmupMs\":1,\"measureMs\":2}";
+
+} // namespace
+
+// ------------------------------------------------------------- parsing
+
+TEST(SweepdParse, GridNameOptionsAndTraceId)
+{
+    SweepRunOptions defaults;
+    const SweepdRequest req = parseSweepdRequest(
+        "{\"gridName\":\"smoke\",\"warmupMs\":3,\"measureMs\":5,"
+        "\"seed\":\"17388960893229350514\",\"seedMode\":\"fixed\","
+        "\"traceId\":\"trace-abc-123\"}",
+        defaults);
+    EXPECT_EQ(req.grid.name, "smoke");
+    EXPECT_EQ(req.opts.warmup, 3 * kMillisecond);
+    EXPECT_EQ(req.opts.measure, 5 * kMillisecond);
+    EXPECT_EQ(req.opts.baseSeed, 17388960893229350514ull);
+    EXPECT_EQ(req.opts.seedMode, SeedMode::Fixed);
+    EXPECT_EQ(req.traceId, "trace-abc-123");
+}
+
+TEST(SweepdParse, UnknownMemberIsFatalWithDidYouMean)
+{
+    SweepRunOptions defaults;
+    try {
+        parseSweepdRequest("{\"gridName\":\"smoke\",\"traceid\":\"x\"}",
+                           defaults);
+        FAIL() << "expected a fatal on the misspelled member";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("traceid"), std::string::npos);
+        EXPECT_NE(what.find("traceId"), std::string::npos)
+            << "should suggest the correct spelling: " << what;
+    }
+}
+
+TEST(SweepdParse, RequestWithoutGridIsFatal)
+{
+    SweepRunOptions defaults;
+    EXPECT_THROW(parseSweepdRequest("{\"warmupMs\":1}", defaults),
+                 std::runtime_error);
+}
+
+// ------------------------------------------------------------ claiming
+
+TEST(SweepdService, ClaimsAlphabeticallyAndAtomically)
+{
+    QueueFixture fx("claim");
+    SweepdService service(fx.config());
+    EXPECT_TRUE(fs::exists(service.daemonDir() / "health.json"));
+
+    fs::path claimed;
+    EXPECT_FALSE(service.claimNext(claimed));
+
+    fx.submit("b-second", kTinyRequest);
+    fx.submit("a-first", kTinyRequest);
+    ASSERT_TRUE(service.claimNext(claimed));
+    EXPECT_EQ(claimed.filename().string(), "a-first.json");
+    EXPECT_EQ(claimed.parent_path(), service.workDir());
+    EXPECT_TRUE(fs::exists(claimed));
+    EXPECT_FALSE(fs::exists(fx.root / "queue" / "incoming" /
+                            "a-first.json"));
+}
+
+// ------------------------------------------------------- success path
+
+TEST(SweepdService, SuccessPublishesCompleteResultWithTraceId)
+{
+    QueueFixture fx("ok");
+    SweepdService service(fx.config());
+    fx.submit("req1",
+              std::string(kTinyRequest).insert(1,
+                  "\"traceId\":\"tid-req1-xyz\","));
+
+    fs::path claimed;
+    ASSERT_TRUE(service.claimNext(claimed));
+    EXPECT_TRUE(service.processOne(claimed));
+    EXPECT_EQ(service.processed(), 1u);
+    EXPECT_EQ(service.failures(), 0u);
+
+    const fs::path out = service.doneDir() / "req1";
+    for (const char *f : {"request.json", "sweep.json", "sweep.csv",
+                          "telemetry.ndjson", "status.json"})
+        EXPECT_TRUE(fs::exists(out / f)) << f;
+    EXPECT_TRUE(fs::is_empty(service.workDir()));
+
+    const minijson::Value status =
+        minijson::parse(slurp(out / "status.json"));
+    EXPECT_EQ(status.at("schema").str, "smartref-sweepd-status-v1");
+    EXPECT_EQ(status.at("status").str, "ok");
+    EXPECT_EQ(status.at("traceId").str, "tid-req1-xyz");
+    EXPECT_EQ(status.at("meta").at("traceId").str, "tid-req1-xyz");
+    EXPECT_GT(status.at("wallSeconds").number, 0.0);
+    EXPECT_EQ(status.at("jobCount").number, 1.0);
+    EXPECT_TRUE(status.at("cache").has("hits"));
+
+    // Every telemetry line of the request carries the trace ID; the
+    // deterministic aggregates never do.
+    const auto telemetry = lines(slurp(out / "telemetry.ndjson"));
+    ASSERT_FALSE(telemetry.empty());
+    for (const std::string &line : telemetry)
+        EXPECT_NE(line.find("\"traceId\":\"tid-req1-xyz\""),
+                  std::string::npos)
+            << line;
+    EXPECT_EQ(slurp(out / "sweep.json").find("traceId"),
+              std::string::npos);
+    EXPECT_EQ(slurp(out / "sweep.csv").find("traceId"),
+              std::string::npos);
+
+    // The access log holds one full lifecycle chain under that ID.
+    const auto access =
+        lines(slurp(service.daemonDir() / "access.ndjson"));
+    std::vector<std::string> events;
+    for (const std::string &line : access) {
+        if (line.find("\"traceId\":\"tid-req1-xyz\"") ==
+            std::string::npos)
+            continue;
+        const minijson::Value ev = minijson::parse(line);
+        EXPECT_EQ(ev.at("request").str, "req1");
+        EXPECT_GT(ev.at("unixMs").number, 0.0);
+        events.push_back(ev.at("event").str);
+    }
+    EXPECT_EQ(events, (std::vector<std::string>{
+                          "received", "claimed", "started", "finished"}));
+}
+
+// ------------------------------------------------------ failure paths
+
+TEST(SweepdService, ParseFailureLandsCompleteStatusInFailed)
+{
+    QueueFixture fx("badparse");
+    SweepdService service(fx.config());
+    fx.submit("bad", "{\"gridName\":\"smoke\",\"bogusKnob\":1}");
+
+    fs::path claimed;
+    ASSERT_TRUE(service.claimNext(claimed));
+    EXPECT_FALSE(service.processOne(claimed));
+    EXPECT_EQ(service.failures(), 1u);
+
+    const fs::path out = service.failedDir() / "bad";
+    EXPECT_TRUE(fs::exists(out / "request.json"));
+    EXPECT_TRUE(fs::exists(out / "status.json"));
+    EXPECT_FALSE(fs::exists(service.doneDir() / "bad"));
+    EXPECT_TRUE(fs::is_empty(service.workDir()));
+
+    const minijson::Value status =
+        minijson::parse(slurp(out / "status.json"));
+    EXPECT_EQ(status.at("status").str, "failed");
+    EXPECT_NE(status.at("error").str.find("bogusKnob"),
+              std::string::npos);
+    EXPECT_GE(status.at("wallSeconds").number, 0.0);
+    EXPECT_EQ(status.at("jobCount").number, 0.0);
+    EXPECT_TRUE(status.at("cache").has("hits"));
+    EXPECT_FALSE(status.at("traceId").str.empty());
+
+    // Even a parse failure gets a received/claimed/failed access chain.
+    const std::string access =
+        slurp(service.daemonDir() / "access.ndjson");
+    EXPECT_NE(access.find("\"event\":\"failed\""), std::string::npos);
+    EXPECT_NE(access.find(status.at("traceId").str),
+              std::string::npos);
+}
+
+TEST(SweepdService, MidRunFailureLandsCompleteStatusInFailed)
+{
+    QueueFixture fx("midrun");
+    SweepdService service(fx.config());
+    // Parses fine; expandGrid rejects the unknown config inside the
+    // run, exercising the second failure path.
+    fx.submit("boom",
+              "{\"grid\":{\"name\":\"boom\",\"configs\":[\"5gb\"],"
+              "\"benchmarks\":[\"mummer\"],\"policies\":[\"smart\"],"
+              "\"counterBits\":[3],\"retentionMs\":[0]}}");
+
+    fs::path claimed;
+    ASSERT_TRUE(service.claimNext(claimed));
+    EXPECT_FALSE(service.processOne(claimed));
+
+    const fs::path out = service.failedDir() / "boom";
+    EXPECT_TRUE(fs::exists(out / "request.json"));
+    EXPECT_TRUE(fs::exists(out / "status.json"));
+    // The run never produced aggregates, and the staged directory was
+    // renamed whole: failed/ holds no partial sweep.json.
+    EXPECT_FALSE(fs::exists(out / "sweep.json"));
+    EXPECT_TRUE(fs::is_empty(service.workDir()));
+
+    const minijson::Value status =
+        minijson::parse(slurp(out / "status.json"));
+    EXPECT_EQ(status.at("status").str, "failed");
+    EXPECT_FALSE(status.at("error").str.empty());
+    EXPECT_GT(status.at("wallSeconds").number, 0.0);
+    EXPECT_FALSE(status.at("traceId").str.empty());
+    EXPECT_TRUE(status.at("cache").has("hits"));
+}
+
+// ------------------------------------------------------ health surface
+
+TEST(SweepdService, HealthJsonTracksQueueAndEmbedsMetrics)
+{
+    QueueFixture fx("health");
+    SweepdService service(fx.config());
+    fx.submit("h1", kTinyRequest);
+    fx.submit("h2", kTinyRequest);
+
+    service.notePoll();
+    minijson::Value health = minijson::parse(
+        slurp(service.daemonDir() / "health.json"));
+    EXPECT_EQ(health.at("schema").str, "smartref-sweepd-health-v1");
+    EXPECT_GT(health.at("pid").number, 0.0);
+    EXPECT_GE(health.at("uptimeSeconds").number, 0.0);
+    EXPECT_GT(health.at("lastPollUnixMs").number, 0.0);
+    EXPECT_EQ(health.at("queue").at("incoming").number, 2.0);
+    EXPECT_EQ(health.at("queue").at("done").number, 0.0);
+    EXPECT_EQ(health.at("requestsInFlight").number, 0.0);
+    EXPECT_EQ(health.at("metrics").at("schema").str,
+              "smartref-metrics-v1");
+
+    fs::path claimed;
+    ASSERT_TRUE(service.claimNext(claimed));
+    EXPECT_TRUE(service.processOne(claimed));
+
+    health = minijson::parse(
+        slurp(service.daemonDir() / "health.json"));
+    EXPECT_EQ(health.at("queue").at("incoming").number, 1.0);
+    EXPECT_EQ(health.at("queue").at("done").number, 1.0);
+    EXPECT_EQ(health.at("processed").number, 1.0);
+    EXPECT_EQ(health.at("failures").number, 0.0);
+    EXPECT_TRUE(fs::exists(service.daemonDir() / "metrics.prom"));
+}
+
+// ---------------------------------------------------- warm replay path
+
+TEST(SweepdService, RepeatedRequestIsServedFromCache)
+{
+    QueueFixture fx("warm");
+    SweepdService service(fx.config());
+    fx.submit("cold", kTinyRequest);
+    fx.submit("warm", kTinyRequest);
+
+    fs::path claimed;
+    ASSERT_TRUE(service.claimNext(claimed));
+    EXPECT_TRUE(service.processOne(claimed));
+    ASSERT_TRUE(service.claimNext(claimed));
+    EXPECT_TRUE(service.processOne(claimed));
+
+    const minijson::Value warmStatus = minijson::parse(
+        slurp(service.doneDir() / "warm" / "status.json"));
+    EXPECT_EQ(warmStatus.at("cache").at("hits").number, 1.0);
+    EXPECT_EQ(warmStatus.at("cache").at("misses").number, 0.0);
+
+    // Byte-identity across the cold and warm replays: the aggregates
+    // never depend on the hit/miss mix (or on anything traced).
+    EXPECT_EQ(slurp(service.doneDir() / "cold" / "sweep.json"),
+              slurp(service.doneDir() / "warm" / "sweep.json"));
+    EXPECT_EQ(slurp(service.doneDir() / "cold" / "sweep.csv"),
+              slurp(service.doneDir() / "warm" / "sweep.csv"));
+}

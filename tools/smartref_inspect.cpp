@@ -3,12 +3,12 @@
  * smartref_inspect — query refresh-audit trails and energy ledgers.
  *
  * Takes the artifacts the simulator emits (`--audit-out` binary audit
- * trails, `--ledger-out` ledger JSON, sweep result-cache entry blobs)
- * and answers the questions a debugging session actually asks: which
- * outcomes dominate, which rows are hot, what happened in this time
- * window, and how do two runs differ. File types are auto-detected
- * (binary "SRAUDIT" magic vs JSON schema), so there are no
- * subcommands.
+ * trails, `--ledger-out` ledger JSON, sweep result-cache entry blobs,
+ * `--metrics-out` snapshots and sweepd `health.json`) and answers the
+ * questions a debugging session actually asks: which outcomes
+ * dominate, which rows are hot, what happened in this time window, and
+ * how do two runs differ. File types are auto-detected (binary
+ * "SRAUDIT" magic vs JSON schema), so there are no subcommands.
  *
  * Usage:
  *   smartref_inspect FILE [FILE_B]
@@ -22,7 +22,9 @@
  *                    [--version]        print the provenance build block
  *
  * With two files of the same kind the tool diffs them: per-outcome
- * counts for audits, component totals for ledgers.
+ * counts for audits, component totals for ledgers, counter deltas and
+ * rates for metrics snapshots (health.json diffs its embedded
+ * snapshot).
  *
  * Exit codes: 0 = done (diff: equal), 1 = diff found differences,
  *             2 = usage or I/O error.
@@ -183,10 +185,34 @@ isCacheEntry(const minijson::Value &root)
            root.at("schema").str == "smartref-result-cache-v1";
 }
 
-minijson::Value
-loadLedger(const std::string &path)
+bool
+isMetricsSnapshot(const minijson::Value &root)
 {
-    minijson::Value root = loadJsonFile(path);
+    return root.has("schema") &&
+           root.at("schema").str == "smartref-metrics-v1";
+}
+
+bool
+isHealthFile(const minijson::Value &root)
+{
+    return root.has("schema") &&
+           root.at("schema").str == "smartref-sweepd-health-v1";
+}
+
+/**
+ * The metrics snapshot of a metrics-or-health file: health.json embeds
+ * one under "metrics", a --metrics-out file *is* one.
+ */
+const minijson::Value &
+metricsOf(const minijson::Value &root)
+{
+    return isHealthFile(root) ? root.at("metrics") : root;
+}
+
+/** Validates that @p root is a ledger, with a pointed error if not. */
+const minijson::Value &
+asLedger(const minijson::Value &root, const std::string &path)
+{
     if (isCacheEntry(root))
         SMARTREF_FATAL("'", path,
                        "' is a sweep result-cache entry; diff entries "
@@ -581,6 +607,132 @@ diffLedgers(const minijson::Value &a, const minijson::Value &b)
     return differ ? 1 : 0;
 }
 
+/** Counters, gauges, and histogram stats of one metrics snapshot. */
+void
+inspectMetrics(const minijson::Value &m)
+{
+    std::cout << "metrics snapshot: uptime "
+              << fmtDouble(m.at("uptimeSeconds").number, 2) << " s\n";
+
+    const minijson::Value &counters = m.at("counters");
+    if (!counters.object.empty()) {
+        ReportTable table({"counter", "value"});
+        for (const auto &[name, v] : counters.object) {
+            table.addRow({name,
+                          std::to_string(static_cast<std::uint64_t>(
+                              v.number))});
+        }
+        std::cout << "\n=== counters ===\n";
+        table.print(std::cout);
+    }
+
+    const minijson::Value &gauges = m.at("gauges");
+    if (!gauges.object.empty()) {
+        ReportTable table({"gauge", "value"});
+        for (const auto &[name, v] : gauges.object)
+            table.addRow({name, fmtDouble(v.number, 3)});
+        std::cout << "\n=== gauges ===\n";
+        table.print(std::cout);
+    }
+
+    const minijson::Value &hists = m.at("histograms");
+    if (!hists.object.empty()) {
+        ReportTable table({"histogram", "count", "sum", "min", "max",
+                           "p50", "p95", "p99"});
+        for (const auto &[name, h] : hists.object) {
+            table.addRow(
+                {name,
+                 std::to_string(
+                     static_cast<std::uint64_t>(h.at("count").number)),
+                 fmtDouble(h.at("sum").number, 0),
+                 fmtDouble(h.at("min").number, 0),
+                 fmtDouble(h.at("max").number, 0),
+                 fmtDouble(h.at("p50").number, 0),
+                 fmtDouble(h.at("p95").number, 0),
+                 fmtDouble(h.at("p99").number, 0)});
+        }
+        std::cout << "\n=== histograms ===\n";
+        table.print(std::cout);
+    }
+}
+
+/** Queue depths and liveness of one sweepd health.json. */
+void
+inspectHealth(const minijson::Value &root)
+{
+    const minijson::Value &q = root.at("queue");
+    std::cout << "sweepd health: pid "
+              << static_cast<long>(root.at("pid").number) << ", uptime "
+              << fmtDouble(root.at("uptimeSeconds").number, 2) << " s\n"
+              << "processed: "
+              << static_cast<std::uint64_t>(root.at("processed").number)
+              << " request(s), "
+              << static_cast<std::uint64_t>(root.at("failures").number)
+              << " failure(s), "
+              << static_cast<std::uint64_t>(
+                     root.at("requestsInFlight").number)
+              << " in flight\n"
+              << "last poll: unix ms "
+              << static_cast<std::uint64_t>(
+                     root.at("lastPollUnixMs").number)
+              << "\n";
+    ReportTable table({"state", "requests"});
+    for (const char *state : {"incoming", "work", "done", "failed"}) {
+        table.addRow({state,
+                      std::to_string(static_cast<std::uint64_t>(
+                          q.at(state).number))});
+    }
+    std::cout << "\n=== queue ===\n";
+    table.print(std::cout);
+    std::cout << "\n";
+    inspectMetrics(root.at("metrics"));
+}
+
+/**
+ * Counter deltas between two snapshots, with per-second rates when the
+ * uptimes let us infer the elapsed wall (same process, B after A).
+ */
+int
+diffMetrics(const minijson::Value &a, const minijson::Value &b)
+{
+    const double dt =
+        b.at("uptimeSeconds").number - a.at("uptimeSeconds").number;
+    const minijson::Value &ca = a.at("counters");
+    const minijson::Value &cb = b.at("counters");
+    std::map<std::string, bool> names;
+    for (const auto &[name, v] : ca.object) {
+        (void)v;
+        names.emplace(name, true);
+    }
+    for (const auto &[name, v] : cb.object) {
+        (void)v;
+        names.emplace(name, true);
+    }
+    bool differ = false;
+    ReportTable table({"counter", "A", "B", "delta", "rate/s"});
+    for (const auto &[name, unused] : names) {
+        (void)unused;
+        const auto va = static_cast<std::int64_t>(
+            ca.has(name) ? ca.at(name).number : 0.0);
+        const auto vb = static_cast<std::int64_t>(
+            cb.has(name) ? cb.at(name).number : 0.0);
+        const std::int64_t d = vb - va;
+        differ = differ || d != 0;
+        table.addRow({name, std::to_string(va), std::to_string(vb),
+                      std::to_string(d),
+                      dt > 0.0 ? fmtDouble(static_cast<double>(d) / dt,
+                                           2)
+                               : "-"});
+    }
+    std::cout << "\n=== metrics diff (counter deltas";
+    if (dt > 0.0)
+        std::cout << ", " << fmtDouble(dt, 2) << " s apart";
+    std::cout << ") ===\n";
+    table.print(std::cout);
+    std::cout << (differ ? "snapshots differ\n" : "snapshots agree\n");
+    return differ ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -650,8 +802,19 @@ main(int argc, char **argv)
             if (auditA)
                 return diffAudits(loadAudit(files[0]),
                                   loadAudit(files[1]), filters);
-            return diffLedgers(loadLedger(files[0]),
-                               loadLedger(files[1]));
+            const minijson::Value ja = loadJsonFile(files[0]);
+            const minijson::Value jb = loadJsonFile(files[1]);
+            const bool metricsA =
+                isMetricsSnapshot(ja) || isHealthFile(ja);
+            const bool metricsB =
+                isMetricsSnapshot(jb) || isHealthFile(jb);
+            if (metricsA != metricsB)
+                SMARTREF_FATAL("cannot diff a metrics snapshot against "
+                               "a ledger");
+            if (metricsA)
+                return diffMetrics(metricsOf(ja), metricsOf(jb));
+            return diffLedgers(asLedger(ja, files[0]),
+                               asLedger(jb, files[1]));
         }
         if (auditA) {
             inspectAudit(loadAudit(files[0]), filters, top, records,
@@ -663,11 +826,20 @@ main(int argc, char **argv)
             inspectCacheEntry(root);
             return 0;
         }
+        if (isHealthFile(root)) {
+            inspectHealth(root);
+            return 0;
+        }
+        if (isMetricsSnapshot(root)) {
+            inspectMetrics(root);
+            return 0;
+        }
         if (!root.has("schema") ||
             root.at("schema").str != "smartref-ledger-v1")
             SMARTREF_FATAL("'", files[0],
-                           "' is neither an audit trail, a ledger, nor "
-                           "a result-cache entry");
+                           "' is neither an audit trail, a ledger, a "
+                           "result-cache entry, nor a metrics/health "
+                           "snapshot");
         inspectLedger(root, filters, top);
         return 0;
     } catch (const std::exception &e) {

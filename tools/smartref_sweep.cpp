@@ -46,6 +46,10 @@
  *                                        bit-identical
  *                  [--cache-max-mb N]    LRU-prune the cache to N MB
  *                                        after the sweep
+ *                  [--metrics-out FILE]  service-layer metrics snapshot
+ *                                        JSON (not deterministic)
+ *                  [--no-metrics]        disable metrics updates (the
+ *                                        overhead-measurement baseline)
  *                  [--seed S] [--seed-mode derived|fixed]
  *                  [--warmup-ms N] [--measure-ms N] [--segments N]
  *                  [--no-auto] [--progress]
@@ -69,6 +73,8 @@
 #include "harness/result_cache.hh"
 #include "harness/sweep.hh"
 #include "harness/sweep_telemetry.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
 #include "sim/provenance.hh"
 #include "sim/thread_pool.hh"
 
@@ -186,6 +192,14 @@ main(int argc, char **argv)
     const SweepGrid grid = resolveGrid(args);
     const ExperimentOptions eo = args.experimentOptions();
     setLogLevel(eo.logLevel);
+
+    // Mirror the audit frontend: a metrics flag against a metrics-less
+    // build is a configuration error, not a silently empty snapshot.
+    if (args.has("metrics-out") && !kMetricsCompiledIn)
+        SMARTREF_FATAL("--metrics-out requires a build with "
+                       "-DSMARTREF_METRICS=ON");
+    if (args.has("no-metrics"))
+        setMetricsEnabled(false);
 
     SweepRunOptions opts;
     opts.jobs = args.jobs();
@@ -305,6 +319,18 @@ main(int argc, char **argv)
     if (args.has("timing"))
         writeTiming(args.getString("timing"), grid, opts, wallSeconds,
                     results, cache.get());
+
+    if (args.has("metrics-out")) {
+        // Like --timing, a non-deterministic sidecar: never part of
+        // the aggregate byte-identity contract.
+        const std::string path = args.getString("metrics-out");
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            SMARTREF_FATAL("cannot write metrics JSON '", path, "'");
+        globalMetrics().writeJson(out);
+        out << "\n";
+        std::cout << "metrics snapshot written to " << path << "\n";
+    }
 
     const std::uint64_t violations = totalViolations(results);
     if (violations > 0) {

@@ -11,12 +11,18 @@
  * same grid re-submitted, a superset, a different grid sharing points
  * — only simulates its delta.
  *
+ * The engine lives in src/harness/sweepd_service.{hh,cc} (unit-tested
+ * there); this file is only flag parsing and the poll loop.
+ *
  * Queue protocol (see docs/sweepd.md):
  *   <queue>/incoming/NAME.json   submitted requests (atomic rename in)
  *   <queue>/work/NAME.json       the request being processed
  *   <queue>/done/NAME/           request.json + sweep.json + sweep.csv
  *                                + telemetry.ndjson + status.json
  *   <queue>/failed/NAME/         request.json + status.json (error)
+ *   <queue>/daemon/              health.json (rewritten every poll),
+ *                                access.ndjson (request lifecycle),
+ *                                metrics.prom (Prometheus exposition)
  *
  * A request names a predefined grid or embeds one inline, plus
  * optional run options:
@@ -24,8 +30,9 @@
  *   {"grid": {"name": "mine", "configs": ["2gb"], ...}, "seed": "7"}
  * Optional members: warmupMs, measureMs, segments, seed (string or
  * number), seedMode ("derived"|"fixed"), autoReconfigure (bool),
- * sparseCounters (bool). Unknown members are fatal for that request
- * (it lands in failed/ with the message) with a did-you-mean.
+ * sparseCounters (bool), traceId (string; derived when absent).
+ * Unknown members are fatal for that request (it lands in failed/
+ * with the message) with a did-you-mean.
  *
  * Usage:
  *   smartref_sweepd --queue-dir DIR
@@ -41,269 +48,18 @@
  *                   [--version]
  */
 
-#include <algorithm>
 #include <chrono>
-#include <exception>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <sstream>
-#include <string>
 #include <thread>
-#include <vector>
 
 #include "harness/cli.hh"
-#include "harness/result_cache.hh"
-#include "harness/sweep.hh"
-#include "harness/sweep_telemetry.hh"
+#include "harness/sweepd_service.hh"
 #include "sim/logging.hh"
-#include "sim/mini_json.hh"
 #include "sim/provenance.hh"
-#include "sim/suggest.hh"
 
 namespace fs = std::filesystem;
 using namespace smartref;
-
-namespace {
-
-/** One parsed queue request: the grid plus its run-option overrides. */
-struct Request
-{
-    SweepGrid grid;
-    SweepRunOptions opts;
-};
-
-std::uint64_t
-seedValue(const minijson::Value &v)
-{
-    // Seeds are 64-bit; JSON numbers are doubles, so large seeds must
-    // be strings ("17388960893229350514"). Accept both spellings.
-    if (v.isString())
-        return std::stoull(v.str);
-    return static_cast<std::uint64_t>(v.number);
-}
-
-Request
-parseRequest(const std::string &text, const SweepRunOptions &defaults)
-{
-    const minijson::Value root = minijson::parse(text);
-    if (!root.isObject())
-        SMARTREF_FATAL("request must be a JSON object");
-
-    Request req;
-    req.opts = defaults;
-    bool haveGrid = false;
-    for (const auto &[key, value] : root.object) {
-        if (key == "grid") {
-            req.grid = sweepGridFromJson(value);
-            haveGrid = true;
-        } else if (key == "gridName") {
-            req.grid = predefinedGridByName(value.str);
-            haveGrid = true;
-        } else if (key == "warmupMs") {
-            req.opts.warmup =
-                static_cast<Tick>(value.number) * kMillisecond;
-        } else if (key == "measureMs") {
-            req.opts.measure =
-                static_cast<Tick>(value.number) * kMillisecond;
-        } else if (key == "segments") {
-            req.opts.segments = static_cast<std::uint32_t>(value.number);
-        } else if (key == "seed") {
-            req.opts.baseSeed = seedValue(value);
-        } else if (key == "seedMode") {
-            if (value.str == "fixed")
-                req.opts.seedMode = SeedMode::Fixed;
-            else if (value.str == "derived")
-                req.opts.seedMode = SeedMode::Derived;
-            else
-                SMARTREF_FATAL("unknown seedMode '", value.str,
-                               "' (derived, fixed)");
-        } else if (key == "autoReconfigure") {
-            req.opts.autoReconfigure = value.boolean;
-        } else if (key == "sparseCounters") {
-            req.opts.sparseCounters = value.boolean;
-        } else {
-            SMARTREF_FATAL(
-                "unknown request member '", key, "'",
-                didYouMean(key,
-                           {"grid", "gridName", "warmupMs", "measureMs",
-                            "segments", "seed", "seedMode",
-                            "autoReconfigure", "sparseCounters"}));
-        }
-    }
-    if (!haveGrid)
-        SMARTREF_FATAL("request needs a 'grid' or 'gridName' member");
-    return req;
-}
-
-std::string
-readFile(const fs::path &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        SMARTREF_FATAL("cannot read '", path.string(), "'");
-    std::ostringstream oss;
-    oss << in.rdbuf();
-    return oss.str();
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default: out += c;
-        }
-    }
-    return out;
-}
-
-void
-writeStatus(const fs::path &dir, const std::string &status,
-            const std::string &error, double wallSeconds,
-            std::size_t jobCount, std::uint64_t violations,
-            const ResultCacheStats *cache)
-{
-    std::ofstream out(dir / "status.json");
-    RunMeta meta;
-    meta.schema = "smartref-sweepd-status-v1";
-    out << "{\"schema\":\"smartref-sweepd-status-v1\""
-        << ",\"meta\":" << metaJson(meta) << ",\"status\":\"" << status
-        << "\"";
-    if (!error.empty())
-        out << ",\"error\":\"" << jsonEscape(error) << "\"";
-    out << ",\"wallSeconds\":" << wallSeconds
-        << ",\"jobCount\":" << jobCount
-        << ",\"violations\":" << violations;
-    if (cache) {
-        out << ",\"cache\":{\"hits\":" << cache->hits
-            << ",\"misses\":" << cache->misses
-            << ",\"corrupt\":" << cache->corrupt
-            << ",\"stores\":" << cache->stores
-            << ",\"evictions\":" << cache->evictions
-            << ",\"verified\":" << cache->verified << "}";
-    }
-    out << "}\n";
-}
-
-/** Cache counters attributable to one request: after minus before. */
-ResultCacheStats
-statsDelta(const ResultCacheStats &after, const ResultCacheStats &before)
-{
-    ResultCacheStats d;
-    d.hits = after.hits - before.hits;
-    d.misses = after.misses - before.misses;
-    d.corrupt = after.corrupt - before.corrupt;
-    d.stores = after.stores - before.stores;
-    d.evictions = after.evictions - before.evictions;
-    d.verified = after.verified - before.verified;
-    return d;
-}
-
-/**
- * Process one claimed request file end to end. Returns true on
- * success; failures land in failed/ with the error in status.json.
- */
-bool
-processRequest(const fs::path &workFile, const fs::path &doneDir,
-               const fs::path &failedDir, ResultCache &cache,
-               const SweepRunOptions &defaults)
-{
-    const std::string stem = workFile.stem().string();
-    const ResultCacheStats before = cache.stats();
-    const auto start = std::chrono::steady_clock::now();
-    const auto wall = [&start] {
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - start)
-            .count();
-    };
-    try {
-        Request req = parseRequest(readFile(workFile), defaults);
-        req.opts.cache = &cache;
-
-        const fs::path outDir = doneDir / stem;
-        fs::create_directories(outDir);
-
-        SweepTelemetry telemetry((outDir / "telemetry.ndjson").string());
-        req.opts.telemetry = &telemetry;
-        const std::size_t jobCount =
-            expandGrid(req.grid, req.opts.baseSeed, req.opts.seedMode)
-                .size();
-        RunMeta meta;
-        meta.schema = "smartref-sweep-telemetry-v1";
-        meta.configHash = sweepConfigHash(req.grid, req.opts);
-        meta.seedMode = seedModeName(req.opts.seedMode);
-        telemetry.sweepStart(req.grid.name, jobCount, req.opts.jobs,
-                             metaJson(meta));
-
-        std::cerr << "sweepd: request '" << stem << "' grid '"
-                  << req.grid.name << "': " << jobCount << " job(s)"
-                  << std::endl;
-        const std::vector<SweepJobResult> results =
-            runSweep(req.grid, req.opts);
-
-        writeSweepJson(req.grid, req.opts, results,
-                       (outDir / "sweep.json").string());
-        writeSweepCsv(results, (outDir / "sweep.csv").string());
-
-        const ResultCacheStats delta = statsDelta(cache.stats(), before);
-        const std::uint64_t violations = totalViolations(results);
-        writeStatus(outDir,
-                    violations ? "retention-violations" : "ok",
-                    "", wall(), results.size(), violations, &delta);
-        fs::rename(workFile, outDir / "request.json");
-        std::cerr << "sweepd: request '" << stem << "' done in "
-                  << wall() << "s (" << delta.hits << " hit(s), "
-                  << delta.misses << " miss(es))" << std::endl;
-        return violations == 0;
-    } catch (const std::exception &e) {
-        const fs::path outDir = failedDir / stem;
-        std::error_code ec;
-        fs::create_directories(outDir, ec);
-        const ResultCacheStats delta = statsDelta(cache.stats(), before);
-        writeStatus(outDir, "failed", e.what(), wall(), 0, 0, &delta);
-        fs::rename(workFile, outDir / "request.json", ec);
-        std::cerr << "sweepd: request '" << stem
-                  << "' failed: " << e.what() << std::endl;
-        return false;
-    }
-}
-
-/**
- * Claim the alphabetically first request in incoming/ by renaming it
- * into work/. The rename is atomic, so several daemons can share one
- * queue; losing a race just means trying the next file.
- */
-bool
-claimNext(const fs::path &incoming, const fs::path &work,
-          fs::path &claimed)
-{
-    std::vector<fs::path> candidates;
-    std::error_code ec;
-    for (const auto &entry : fs::directory_iterator(incoming, ec)) {
-        if (entry.path().extension() == ".json")
-            candidates.push_back(entry.path());
-    }
-    std::sort(candidates.begin(), candidates.end());
-    for (const fs::path &c : candidates) {
-        const fs::path target = work / c.filename();
-        fs::rename(c, target, ec);
-        if (!ec) {
-            claimed = target;
-            return true;
-        }
-    }
-    return false;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -317,56 +73,47 @@ main(int argc, char **argv)
     if (queueDir.empty())
         SMARTREF_FATAL("smartref_sweepd needs --queue-dir DIR");
 
-    const fs::path incoming = fs::path(queueDir) / "incoming";
-    const fs::path work = fs::path(queueDir) / "work";
-    const fs::path done = fs::path(queueDir) / "done";
-    const fs::path failed = fs::path(queueDir) / "failed";
-    for (const fs::path &d : {incoming, work, done, failed})
-        fs::create_directories(d);
+    SweepdConfig cfg;
+    cfg.queueDir = queueDir;
+    cfg.cacheDir = args.getString("cache-dir");
+    cfg.cacheMaxMb = args.getU64("cache-max-mb", 0);
+    cfg.defaults.jobs = args.jobs();
+    const ExperimentOptions eo = args.experimentOptions();
+    setLogLevel(eo.logLevel);
+    cfg.defaults.logLevel = eo.logLevel;
+    cfg.defaults.shardJobs = eo.shardJobs;
 
-    ResultCache cache(args.getString("cache-dir",
-                                     ResultCache::defaultDir()));
-    const std::uint64_t cacheMaxMb = args.getU64("cache-max-mb", 0);
     const std::uint64_t pollMs = args.getU64("poll-ms", 500);
     const std::uint64_t maxRequests = args.getU64("max-requests", 0);
     const bool once = args.has("once");
 
-    SweepRunOptions defaults;
-    defaults.jobs = args.jobs();
-    const ExperimentOptions eo = args.experimentOptions();
-    setLogLevel(eo.logLevel);
-    defaults.logLevel = eo.logLevel;
-    defaults.shardJobs = eo.shardJobs;
-
+    SweepdService service(cfg);
     std::cerr << "sweepd: queue '" << queueDir << "', cache '"
-              << cache.dir() << "', " << defaults.jobs
+              << service.cache().dir() << "', " << cfg.defaults.jobs
               << " worker(s)" << (once ? ", single pass" : "")
               << std::endl;
 
-    std::uint64_t processed = 0;
-    std::uint64_t failures = 0;
     while (true) {
         fs::path claimed;
-        if (!claimNext(incoming, work, claimed)) {
+        if (!service.claimNext(claimed)) {
             if (once)
                 break;
+            service.notePoll();
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(pollMs));
             continue;
         }
-        if (!processRequest(claimed, done, failed, cache, defaults))
-            ++failures;
-        if (cacheMaxMb)
-            cache.pruneToBytes(cacheMaxMb * 1024 * 1024);
-        ++processed;
-        if (maxRequests && processed >= maxRequests)
+        service.processOne(claimed);
+        service.pruneCache();
+        if (maxRequests && service.processed() >= maxRequests)
             break;
     }
+    service.notePoll();
 
-    const ResultCacheStats cs = cache.stats();
-    std::cerr << "sweepd: " << processed << " request(s), " << failures
-              << " failure(s); cache " << cs.hits << " hit(s), "
-              << cs.misses << " miss(es), " << cs.stores << " store(s)"
-              << std::endl;
-    return failures ? 1 : 0;
+    const ResultCacheStats cs = service.cache().stats();
+    std::cerr << "sweepd: " << service.processed() << " request(s), "
+              << service.failures() << " failure(s); cache " << cs.hits
+              << " hit(s), " << cs.misses << " miss(es), " << cs.stores
+              << " store(s)" << std::endl;
+    return service.failures() ? 1 : 0;
 }
